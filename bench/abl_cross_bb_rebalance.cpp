@@ -1,0 +1,123 @@
+// Ablation: the cross-building-block rebalancer — Section 3.1
+// ("fragmentation and imbalances can also occur across building blocks,
+// requiring manual intervention or external rebalancers") and Section 7
+// ("Continuous migration mechanisms across BBs are required").
+//
+// Controlled experiment: a group of identical general-purpose BBs starts
+// deliberately imbalanced (all load packed onto the first BBs, the state a
+// fleet reaches after months of bin-packing and churn).  The rebalancer
+// then runs pass after pass; the table shows the reserved-RAM spread
+// shrinking and the migration bill for each pass.
+
+#include <algorithm>
+#include <iostream>
+#include <limits>
+#include <map>
+
+#include "analysis/render.hpp"
+#include "common.hpp"
+#include "rebalancer/cross_bb.hpp"
+#include "sched/conductor.hpp"
+
+namespace {
+
+double ram_spread(const sci::placement_service& placement) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (sci::bb_id bb : placement.providers()) {
+        const double ratio =
+            static_cast<double>(placement.usage(bb).ram_used_mib) /
+            static_cast<double>(placement.inventory(bb).total_ram_mib);
+        lo = std::min(lo, ratio);
+        hi = std::max(hi, ratio);
+    }
+    return hi - lo;
+}
+
+}  // namespace
+
+int main() {
+    using namespace sci;
+    benchutil::print_header(
+        "Ablation — cross-BB rebalancer healing a fragmented fleet",
+        "imbalance across building blocks requires an external rebalancer; "
+        "continuous cross-BB migration maintains balance (Sections 3.1, 7)");
+
+    // six identical 4-node general BBs
+    fleet f;
+    const region_id region = f.add_region("r");
+    const dc_id dc = f.add_dc(f.add_az(region, "az"), "dc");
+    for (int i = 0; i < 6; ++i) {
+        f.add_bb(dc, "gen-" + std::to_string(i), bb_purpose::general,
+                 profiles::general_purpose(), 4);
+    }
+    flavor_catalog catalog;
+    const flavor_id fid = catalog.add("g_c4_m32", 4, gib_to_mib(32), 100.0,
+                                      workload_class::general_purpose);
+    placement_service placement;
+    for (const building_block& bb : f.bbs()) {
+        const allocation_ratios ratios = default_ratios_for(bb.purpose);
+        placement.register_provider(
+            bb.id, provider_inventory{f.bb_total_cores(bb.id),
+                                      f.bb_total_memory(bb.id), 1e6,
+                                      ratios.cpu, ratios.ram});
+    }
+
+    // imbalanced start: 180 VMs crammed into the first two BBs
+    vm_registry vms;
+    std::map<bb_id, std::vector<vm_id>> residents;
+    for (int i = 0; i < 180; ++i) {
+        const bb_id target(i < 110 ? 0 : 1);
+        const vm_id vm = vms.create(fid, project_id(0), 0);
+        placement.claim(vm, target, catalog.get(fid));
+        residents[target].push_back(vm);
+    }
+
+    cross_bb_config config;
+    config.target_ram_spread = 0.05;
+    config.max_moves_per_pass = 8;
+    const cross_bb_rebalancer rebalancer(f, catalog, config);
+
+    cross_bb_inputs inputs;
+    inputs.vms_of_bb = [&](bb_id bb) { return residents[bb]; };
+    inputs.flavor_of = [&](vm_id vm) -> const flavor& {
+        return catalog.get(vms.get(vm).flavor);
+    };
+    inputs.resident_mib = [&](vm_id vm) -> mebibytes {
+        return catalog.get(vms.get(vm).flavor).ram_mib * 3 / 4;
+    };
+    inputs.dirty_rate = [](vm_id) { return 60.0; };
+
+    table_printer table({"pass", "RAM spread before", "moves",
+                         "migration time (s)", "worst downtime (ms)"});
+    int pass = 0;
+    while (pass < 20) {
+        const double spread_before = ram_spread(placement);
+        const auto moves = rebalancer.plan(placement, inputs);
+        if (moves.empty()) {
+            table.add_row({std::to_string(pass),
+                           format_double(spread_before * 100.0) + "%", "0", "-",
+                           "-"});
+            break;
+        }
+        double seconds = 0.0, worst_downtime = 0.0;
+        for (const cross_bb_move& m : moves) {
+            placement.move(m.vm, m.to, catalog.get(vms.get(m.vm).flavor));
+            std::erase(residents[m.from], m.vm);
+            residents[m.to].push_back(m.vm);
+            seconds += m.estimate.total_seconds;
+            worst_downtime = std::max(worst_downtime, m.estimate.downtime_ms);
+        }
+        table.add_row({std::to_string(pass),
+                       format_double(spread_before * 100.0) + "%",
+                       std::to_string(moves.size()), format_double(seconds, 1),
+                       format_double(worst_downtime, 1)});
+        ++pass;
+    }
+    std::cout << table.to_string();
+    std::cout << "\nfinal RAM spread: " << format_double(ram_spread(placement) * 100.0)
+              << "% (target " << format_double(config.target_ram_spread * 100.0)
+              << "%)\nexpected: the spread converges under the target within "
+                 "a few passes, each costing bounded migration time\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation: lifetime-aware vs. lifetime-agnostic placement — Section 7:
+// "Placement strategies that incorporate workload lifetime can reduce
+// migrations and mitigate resource fragmentation."
+//
+// Lifetime-aware mode packs VMs with expected lifetime < 7 days so churn
+// stays concentrated instead of punching holes across the whole fleet.
+
+#include <iostream>
+
+#include "analysis/figures.hpp"
+#include "analysis/render.hpp"
+#include "common.hpp"
+
+namespace {
+
+struct outcome {
+    double mean_intra_bb_stddev = 0.0;
+    std::uint64_t migrations = 0;
+    std::uint64_t forced_fits = 0;
+    std::uint64_t failures = 0;
+};
+
+outcome run(bool lifetime_aware) {
+    sci::engine_config config = sci::benchutil::default_config();
+    config.scenario.scale = std::min(config.scenario.scale, 0.05);
+    config.lifetime_aware = lifetime_aware;
+    // pronounced churn so the effect is visible in 30 days
+    config.population.daily_churn_fraction = 0.05;
+    sci::sim_engine engine(config);
+    engine.run();
+    outcome out;
+    out.mean_intra_bb_stddev =
+        sci::intra_bb_imbalance(engine.store(), engine.infrastructure())
+            .mean_intra_bb_stddev_pct;
+    out.migrations = engine.stats().drs_migrations;
+    out.forced_fits = engine.stats().forced_fits;
+    out.failures = engine.stats().placement_failures;
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    using namespace sci;
+    benchutil::print_header(
+        "Ablation — lifetime-aware vs. lifetime-agnostic placement",
+        "long-lived VMs occupy resources for extended periods; packing "
+        "short-lived VMs reduces migrations and fragmentation (Section 7)");
+
+    const outcome agnostic = run(false);
+    const outcome aware = run(true);
+
+    table_printer table({"policy", "mean intra-BB stddev %", "drs migrations",
+                         "forced fits", "failures"});
+    table.add_row({"lifetime-agnostic", format_double(agnostic.mean_intra_bb_stddev),
+                   std::to_string(agnostic.migrations),
+                   std::to_string(agnostic.forced_fits),
+                   std::to_string(agnostic.failures)});
+    table.add_row({"lifetime-aware", format_double(aware.mean_intra_bb_stddev),
+                   std::to_string(aware.migrations),
+                   std::to_string(aware.forced_fits),
+                   std::to_string(aware.failures)});
+    std::cout << table.to_string();
+    std::cout << "\nhypothesis under test (Section 7): packing short-lived "
+                 "VMs contains churn-driven fragmentation.  Note the "
+                 "trade-off columns — concentrating churn can also raise "
+                 "NoValidHost under pack pressure.\n";
+    return 0;
+}

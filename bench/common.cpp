@@ -1,0 +1,54 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+namespace sci::benchutil {
+
+double env_scale() {
+    const char* v = std::getenv("SCI_SCALE");
+    if (v == nullptr) return 0.1;
+    const double s = std::atof(v);
+    return s > 0.0 ? s : 0.1;
+}
+
+std::uint64_t env_seed() {
+    const char* v = std::getenv("SCI_SEED");
+    if (v == nullptr) return 42;
+    return static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
+}
+
+engine_config default_config() {
+    engine_config config;
+    config.scenario.scale = env_scale();
+    config.scenario.seed = env_seed();
+    return config;
+}
+
+sim_engine& shared_engine() {
+    static std::unique_ptr<sim_engine> engine = [] {
+        auto e = std::make_unique<sim_engine>(default_config());
+        std::printf("[setup] simulating region at scale %.3f (%zu nodes, %d VMs, seed %llu) ...\n",
+                    env_scale(), e->infrastructure().node_count(),
+                    e->scn().target_vm_population,
+                    static_cast<unsigned long long>(env_seed()));
+        std::fflush(stdout);
+        e->run();
+        std::printf("[setup] done: %llu placements, %llu scrapes\n\n",
+                    static_cast<unsigned long long>(e->stats().placements),
+                    static_cast<unsigned long long>(e->stats().scrapes));
+        return e;
+    }();
+    return *engine;
+}
+
+void print_header(std::string_view artifact, std::string_view paper_claim) {
+    std::printf("================================================================\n");
+    std::printf("%.*s\n", static_cast<int>(artifact.size()), artifact.data());
+    std::printf("paper: %.*s\n", static_cast<int>(paper_claim.size()),
+                paper_claim.data());
+    std::printf("================================================================\n");
+}
+
+}  // namespace sci::benchutil

@@ -1,0 +1,34 @@
+#pragma once
+
+// Shared harness for the figure/table bench binaries.
+//
+// Every bench binary simulates the studied region (once per process; the
+// engine is cached) and prints the paper artifact it regenerates next to
+// the published statistic.  Scale/seed come from the environment:
+//
+//   SCI_SCALE  linear fleet scale (default 0.1 — ~180 nodes, ~4,800 VMs;
+//              1.0 reproduces the full 1,800-node / 48,000-VM region)
+//   SCI_SEED   master seed (default 42)
+
+#include <string_view>
+
+#include "core/engine.hpp"
+
+namespace sci::benchutil {
+
+/// Scale from SCI_SCALE (default 0.1).
+double env_scale();
+
+/// Seed from SCI_SEED (default 42).
+std::uint64_t env_seed();
+
+/// Default engine config honoring the environment overrides.
+engine_config default_config();
+
+/// The shared, fully simulated engine (constructed and run on first use).
+sim_engine& shared_engine();
+
+/// Print the standard bench banner.
+void print_header(std::string_view artifact, std::string_view paper_claim);
+
+}  // namespace sci::benchutil

@@ -1,0 +1,40 @@
+// Figure 11: daily average percentage of free network TX bandwidth per
+// node within a single data center (200 Gbps NICs).
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "analysis/figures.hpp"
+#include "analysis/render.hpp"
+#include "analysis/svg.hpp"
+#include "common.hpp"
+
+int main() {
+    using namespace sci;
+    benchutil::print_header(
+        "Figure 11 — daily avg % free network TX bandwidth per node",
+        "network load notably below the 200 Gbps NIC capacity; network is "
+        "currently not a relevant scheduling dimension");
+
+    sim_engine& engine = benchutil::shared_engine();
+    const fleet& f = engine.infrastructure();
+    const dc_id dc = f.dcs().front().id;
+    const heatmap hm = fig11_free_net_tx(engine.store(), f, dc);
+
+    std::cout << render_heatmap_ascii(hm) << "\n";
+    std::cout << "least-free TX cell: " << format_double(hm.min_value())
+              << "% free (paper: clearly below capacity everywhere)\n";
+
+    std::filesystem::create_directories("bench_results");
+    std::ofstream csv("bench_results/fig11.csv");
+    write_heatmap_csv(csv, hm);
+    std::ofstream svg("bench_results/fig11.svg");
+    svg_options svg_opts;
+    svg_opts.title = "Figure 11 - % free network TX bandwidth per node";
+    svg_opts.x_label = "nodes";
+    svg_opts.y_label = "day";
+    write_heatmap_svg(svg, hm, svg_opts);
+    std::cout << "wrote bench_results/fig11.csv, bench_results/fig11.svg\n";
+    return 0;
+}

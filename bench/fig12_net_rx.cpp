@@ -1,0 +1,39 @@
+// Figure 12: daily average percentage of free network RX bandwidth per
+// node within a single data center (200 Gbps NICs).
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "analysis/figures.hpp"
+#include "analysis/render.hpp"
+#include "analysis/svg.hpp"
+#include "common.hpp"
+
+int main() {
+    using namespace sci;
+    benchutil::print_header(
+        "Figure 12 — daily avg % free network RX bandwidth per node",
+        "as with TX, received traffic stays notably below 200 Gbps");
+
+    sim_engine& engine = benchutil::shared_engine();
+    const fleet& f = engine.infrastructure();
+    const dc_id dc = f.dcs().front().id;
+    const heatmap hm = fig12_free_net_rx(engine.store(), f, dc);
+
+    std::cout << render_heatmap_ascii(hm) << "\n";
+    std::cout << "least-free RX cell: " << format_double(hm.min_value())
+              << "% free (paper: clearly below capacity everywhere)\n";
+
+    std::filesystem::create_directories("bench_results");
+    std::ofstream csv("bench_results/fig12.csv");
+    write_heatmap_csv(csv, hm);
+    std::ofstream svg("bench_results/fig12.svg");
+    svg_options svg_opts;
+    svg_opts.title = "Figure 12 - % free network RX bandwidth per node";
+    svg_opts.x_label = "nodes";
+    svg_opts.y_label = "day";
+    write_heatmap_svg(svg, hm, svg_opts);
+    std::cout << "wrote bench_results/fig12.csv, bench_results/fig12.svg\n";
+    return 0;
+}

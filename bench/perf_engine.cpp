@@ -1,0 +1,67 @@
+// Microbenchmark (google-benchmark): end-to-end engine throughput — how
+// fast the simulator plays the 30-day window at a given fleet scale, and
+// the cost of the individual hot paths (placement, scrape).
+//
+// Full-scale reference: the paper's region (1,800 nodes / 48,000 VMs at
+// 300 s scrape cadence) plays in a few minutes on a laptop.
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.hpp"
+
+namespace {
+
+void bm_full_window(benchmark::State& state) {
+    const double scale = static_cast<double>(state.range(0)) / 1000.0;
+    for (auto _ : state) {
+        sci::engine_config config;
+        config.scenario.scale = scale;
+        config.scenario.seed = 42;
+        sci::sim_engine engine(config);
+        engine.run();
+        benchmark::DoNotOptimize(engine.stats().scrapes);
+        state.counters["placements"] =
+            static_cast<double>(engine.stats().placements);
+        state.counters["samples"] =
+            static_cast<double>(engine.store().total_samples());
+    }
+}
+
+void bm_initial_placement(benchmark::State& state) {
+    const double scale = static_cast<double>(state.range(0)) / 1000.0;
+    for (auto _ : state) {
+        sci::engine_config config;
+        config.scenario.scale = scale;
+        config.scenario.seed = 42;
+        sci::sim_engine engine(config);
+        engine.setup();  // includes placing the whole initial population
+        benchmark::DoNotOptimize(engine.stats().placements);
+    }
+}
+
+void bm_single_day(benchmark::State& state) {
+    // setup once, then play single days incrementally
+    sci::engine_config config;
+    config.scenario.scale = 0.05;
+    config.scenario.seed = 42;
+    sci::sim_engine engine(config);
+    engine.setup();
+    sci::sim_time until = 0;
+    for (auto _ : state) {
+        until += sci::days(1);
+        if (until > sci::observation_window) {
+            state.SkipWithError("window exhausted");
+            break;
+        }
+        engine.run_until(until);
+        benchmark::DoNotOptimize(engine.stats().scrapes);
+    }
+}
+
+}  // namespace
+
+BENCHMARK(bm_full_window)->Arg(10)->Arg(25)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_initial_placement)->Arg(25)->Arg(50)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_single_day)->Unit(benchmark::kMillisecond)->Iterations(25);
+
+BENCHMARK_MAIN();

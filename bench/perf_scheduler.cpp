@@ -1,0 +1,95 @@
+// Microbenchmark (google-benchmark): Nova filter/weigher pipeline
+// throughput as a function of fleet size — the paper's Section 2.2 notes
+// the scheduler must scan "the list of all hypervisors" per request, so
+// per-request cost scales with the provider count.
+
+#include <benchmark/benchmark.h>
+
+#include "sched/scheduler.hpp"
+#include "simcore/rng.hpp"
+
+namespace {
+
+std::vector<sci::host_state> make_hosts(int n, std::uint64_t seed) {
+    using namespace sci;
+    rng_stream rng(seed, "perf-sched");
+    std::vector<host_state> hosts;
+    hosts.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        host_state h;
+        h.bb = bb_id(i);
+        h.az = az_id(static_cast<std::int32_t>(i % 2));
+        h.dc = dc_id(static_cast<std::int32_t>(i % 2));
+        h.purpose = i % 5 == 0 ? bb_purpose::hana : bb_purpose::general;
+        h.node_count = 8;
+        h.total_pcpus = 8 * 96;
+        h.total_ram_mib = 8 * gib_to_mib(1024);
+        h.total_disk_gib = 8 * 7680.0;
+        h.cpu_allocation_ratio = 4.0;
+        h.ram_allocation_ratio = 1.0;
+        h.vcpus_used =
+            static_cast<core_count>(rng.uniform(0.0, h.vcpu_capacity()));
+        h.ram_used_mib =
+            static_cast<mebibytes>(rng.uniform(0.0, h.ram_capacity_mib()));
+        h.instances = static_cast<int>(rng.uniform_int(0, 400));
+        hosts.push_back(h);
+    }
+    return hosts;
+}
+
+void bm_select_destinations(benchmark::State& state) {
+    using namespace sci;
+    const auto hosts = make_hosts(static_cast<int>(state.range(0)), 42);
+    const filter_scheduler scheduler = make_default_scheduler();
+
+    flavor f{.id = flavor_id(0),
+             .name = "g_c4_m32",
+             .vcpus = 4,
+             .ram_mib = gib_to_mib(32),
+             .disk_gib = 100.0,
+             .wclass = workload_class::general_purpose};
+    schedule_request request;
+    request.vm = vm_id(0);
+    request.flavor = f.id;
+    request.project = project_id(0);
+    const request_context ctx{request, f};
+
+    for (auto _ : state) {
+        auto result = scheduler.select_destinations(ctx, hosts, 5);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(hosts.size()));
+}
+
+void bm_score_hosts(benchmark::State& state) {
+    using namespace sci;
+    const auto hosts = make_hosts(static_cast<int>(state.range(0)), 7);
+    const auto weighers = make_spread_weighers();
+
+    flavor f{.id = flavor_id(0),
+             .name = "g_c4_m32",
+             .vcpus = 4,
+             .ram_mib = gib_to_mib(32),
+             .disk_gib = 100.0,
+             .wclass = workload_class::general_purpose};
+    schedule_request request;
+    request.vm = vm_id(0);
+    request.flavor = f.id;
+    request.project = project_id(0);
+    const request_context ctx{request, f};
+
+    for (auto _ : state) {
+        auto scores = score_hosts(hosts, ctx, weighers);
+        benchmark::DoNotOptimize(scores);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(hosts.size()));
+}
+
+}  // namespace
+
+BENCHMARK(bm_select_destinations)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK(bm_score_hosts)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Microbenchmark (google-benchmark): telemetry store ingest + compaction +
+// query throughput.  The production pipeline sustains samples from 1,800
+// nodes and 48,000 VMs every 30–300 s (Section 4); the store's streaming
+// day/hour compaction is what keeps that tractable.
+
+#include <benchmark/benchmark.h>
+
+#include "telemetry/store.hpp"
+
+namespace {
+
+void bm_append(benchmark::State& state) {
+    using namespace sci;
+    metric_store store(metric_registry::standard_catalog());
+    const int series_count = static_cast<int>(state.range(0));
+    std::vector<series_id> ids;
+    ids.reserve(static_cast<std::size_t>(series_count));
+    for (int i = 0; i < series_count; ++i) {
+        ids.push_back(store.open_series(
+            metric_names::host_cpu_core_utilization,
+            label_set{{"node", "node-" + std::to_string(i)}}));
+    }
+    sim_time t = 0;
+    for (auto _ : state) {
+        for (series_id id : ids) {
+            store.append(id, t, 42.0);
+        }
+        t = (t + 300) % observation_window;
+    }
+    state.SetItemsProcessed(state.iterations() * series_count);
+}
+
+void bm_append_hourly_metric(benchmark::State& state) {
+    using namespace sci;
+    metric_store store(metric_registry::standard_catalog());
+    const series_id id = store.open_series(metric_names::host_cpu_ready,
+                                           label_set{{"node", "n"}});
+    sim_time t = 0;
+    for (auto _ : state) {
+        store.append(id, t, 100.0);
+        t = (t + 300) % observation_window;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void bm_open_series(benchmark::State& state) {
+    using namespace sci;
+    metric_store store(metric_registry::standard_catalog());
+    int i = 0;
+    for (auto _ : state) {
+        auto id = store.open_series(
+            metric_names::vm_cpu_usage_ratio,
+            label_set{{"vm", "vm-" + std::to_string(i++)}});
+        benchmark::DoNotOptimize(id);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void bm_select(benchmark::State& state) {
+    using namespace sci;
+    metric_store store(metric_registry::standard_catalog());
+    const int series_count = static_cast<int>(state.range(0));
+    for (int i = 0; i < series_count; ++i) {
+        store.open_series(metric_names::host_cpu_core_utilization,
+                          label_set{{"node", "node-" + std::to_string(i)},
+                                    {"dc", i % 2 == 0 ? "dc-a" : "dc-b"}});
+    }
+    const std::vector<std::pair<std::string, std::string>> filter{{"dc", "dc-a"}};
+    for (auto _ : state) {
+        auto result =
+            store.select(metric_names::host_cpu_core_utilization, filter);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations() * series_count);
+}
+
+}  // namespace
+
+BENCHMARK(bm_append)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(bm_append_hourly_metric);
+BENCHMARK(bm_open_series);
+BENCHMARK(bm_select)->Arg(1000)->Arg(10000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Table 5 (Appendix D): hypervisor and VM counts per data center.  Builds
+// the full global fleet from the published counts and verifies the
+// constructed topology matches (building-block partitioning is synthetic,
+// so per-DC node totals may differ by a handful of leftover nodes that do
+// not fill a minimum-size building block).
+
+#include <iostream>
+
+#include "analysis/render.hpp"
+#include "core/scenario.hpp"
+
+int main() {
+    using namespace sci;
+    std::cout << "Table 5 — data center overview (29 DCs, 15+1 regions)\n\n";
+
+    const scenario global = make_global_scenario();
+    const fleet& f = global.infrastructure;
+
+    table_printer table({"Region", "DC", "paper hypervisors",
+                         "built hypervisors", "built BBs", "paper VMs"});
+    std::size_t spec_index = 0;
+    long total_paper_nodes = 0, total_built_nodes = 0, total_vms = 0;
+    for (const dc_spec& spec : table5_datacenters()) {
+        const datacenter& dc = f.dcs()[spec_index++];
+        const std::size_t built = f.nodes_of_dc(dc.id).size();
+        table.add_row({std::to_string(spec.region_id), spec.dc_name,
+                       std::to_string(spec.hypervisors), std::to_string(built),
+                       std::to_string(dc.bbs.size()),
+                       std::to_string(spec.vms)});
+        total_paper_nodes += spec.hypervisors;
+        total_built_nodes += static_cast<long>(built);
+        total_vms += spec.vms;
+    }
+    std::cout << table.to_string();
+    std::cout << "\ntotals: paper " << total_paper_nodes
+              << " hypervisors / built " << total_built_nodes << " ("
+              << f.bb_count() << " building blocks), " << total_vms
+              << " VMs across " << f.dc_count() << " DCs in "
+              << f.region_count() << " regions\n";
+    std::cout << "(paper Section 3: >6,000 hypervisors and >200,000 active "
+                 "VMs platform-wide; the studied region is region 9)\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+// Contention study: reproduce the paper's noisy-neighbor investigation
+// (Sections 5.1, 7) on a synthetic deployment and show how the two
+// mitigation levers — DRS rebalancing and contention-aware placement —
+// change the contention envelope.
+//
+// Run:  ./contention_study [scale]   (default 0.04)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/figures.hpp"
+#include "analysis/render.hpp"
+#include "core/engine.hpp"
+
+namespace {
+
+struct study_result {
+    double worst_mean = 0.0;
+    double worst_p95 = 0.0;
+    double worst_max = 0.0;
+    double peak_ready_s = 0.0;
+    std::uint64_t migrations = 0;
+};
+
+study_result run_study(double scale, bool drs_enabled, bool contention_aware) {
+    sci::engine_config config;
+    config.scenario.scale = scale;
+    config.scenario.seed = 21;
+    config.drs.enabled = drs_enabled;
+    config.contention_aware = contention_aware;
+    sci::sim_engine engine(config);
+    engine.run();
+
+    study_result result;
+    for (const auto& day : sci::fig9_contention_by_day(engine.store())) {
+        result.worst_mean = std::max(result.worst_mean, day.mean_pct);
+        result.worst_p95 = std::max(result.worst_p95, day.p95_pct);
+        result.worst_max = std::max(result.worst_max, day.max_pct);
+    }
+    for (const auto& s : sci::fig8_top_ready_nodes(engine.store(), 1)) {
+        result.peak_ready_s = std::max(result.peak_ready_s, s.peak_ready_ms / 1000.0);
+    }
+    result.migrations = engine.stats().drs_migrations;
+    return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const double scale = argc > 1 ? std::atof(argv[1]) : 0.04;
+    std::cout << "Contention study at scale " << scale
+              << " — paper context: contention >40% on several nodes, CPU "
+                 "ready time up to 220 s (Figures 8, 9)\n\n";
+
+    sci::table_printer table({"configuration", "worst daily mean %",
+                              "worst p95 %", "worst max %", "peak ready (s)",
+                              "migrations"});
+    const auto row = [&](const char* label, const study_result& r) {
+        table.add_row({label, sci::format_double(r.worst_mean),
+                       sci::format_double(r.worst_p95),
+                       sci::format_double(r.worst_max),
+                       sci::format_double(r.peak_ready_s),
+                       std::to_string(r.migrations)});
+    };
+    std::cout << "running: vanilla (DRS on) ...\n";
+    row("vanilla Nova + DRS", run_study(scale, true, false));
+    std::cout << "running: DRS off ...\n";
+    row("vanilla Nova, DRS off", run_study(scale, false, false));
+    std::cout << "running: contention-aware ...\n";
+    row("contention-aware + DRS", run_study(scale, true, true));
+    std::cout << "\n" << table.to_string();
+    std::cout << "\nReading: DRS tames intra-cluster hotspots; feeding the "
+                 "observed contention back into placement (the paper's §7 "
+                 "guidance) lowers the envelope further.\n";
+    return 0;
+}

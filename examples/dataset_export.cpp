@@ -1,0 +1,49 @@
+// Dataset export: regenerate a (scaled) equivalent of the published
+// Zenodo dataset — anonymized per-metric CSV telemetry (Appendix B) — from
+// a simulation run, then read the manifest back and summarize it.
+//
+// Run:  ./dataset_export [scale] [out_dir]   (defaults: 0.02 ./sci_dataset)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/render.hpp"
+#include "core/engine.hpp"
+#include "data/dataset.hpp"
+
+int main(int argc, char** argv) {
+    using namespace sci;
+    engine_config config;
+    config.scenario.scale = argc > 1 ? std::atof(argv[1]) : 0.02;
+    config.scenario.seed = 3;
+    const std::filesystem::path out_dir =
+        argc > 2 ? argv[2] : "sci_dataset";
+
+    std::cout << "Simulating region at scale " << config.scenario.scale
+              << " ...\n";
+    sim_engine engine(config);
+    engine.run();
+
+    std::cout << "Exporting dataset to " << out_dir << " ...\n";
+    const dataset_export_report report =
+        export_dataset(engine.store(), out_dir);
+    const std::size_t events =
+        export_events_csv(engine.events(), out_dir / "events.csv");
+    std::cout << "  metrics: " << report.metrics_exported
+              << ", series: " << report.series_exported
+              << ", daily rows: " << report.daily_rows
+              << ", scheduling events: " << events << "\n\n";
+
+    const auto manifest = read_manifest(out_dir);
+    table_printer table({"metric", "subsystem", "unit", "series"});
+    for (const manifest_entry& e : manifest) {
+        table.add_row({e.metric, e.subsystem, e.unit,
+                       std::to_string(e.series_count)});
+    }
+    std::cout << table.to_string();
+    std::cout << "\nLayout mirrors the paper's release: anonymized hostnames, "
+                 "one CSV per Table 4 metric, 30 days of aggregates.\n"
+              << "Set store.keep_raw=true in code for full-resolution raw "
+                 "sample export (memory permitting).\n";
+    return 0;
+}

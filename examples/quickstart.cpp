@@ -1,0 +1,65 @@
+// Quickstart: build a scaled-down replica of the studied region, play the
+// 30-day observation window, and print the headline numbers the paper
+// reports (Sections 5.1–5.5).
+//
+// Run:  ./quickstart [scale]    (default 0.05 — ~90 nodes, ~2,400 VMs)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/figures.hpp"
+#include "analysis/render.hpp"
+#include "core/engine.hpp"
+
+int main(int argc, char** argv) {
+    sci::engine_config config;
+    config.scenario.scale = argc > 1 ? std::atof(argv[1]) : 0.05;
+    config.scenario.seed = 7;
+
+    std::cout << "Building regional scenario at scale " << config.scenario.scale
+              << " ...\n";
+    sci::sim_engine engine(config);
+    const sci::fleet& fleet = engine.infrastructure();
+    std::cout << "  fleet: " << fleet.node_count() << " nodes in "
+              << fleet.bb_count() << " building blocks across "
+              << fleet.dc_count() << " DCs\n";
+    std::cout << "  target population: " << engine.scn().target_vm_population
+              << " VMs\n\nSimulating 30 days ...\n";
+    engine.run();
+
+    const sci::run_stats& stats = engine.stats();
+    std::cout << "  placements=" << stats.placements
+              << " failures=" << stats.placement_failures
+              << " drs_migrations=" << stats.drs_migrations
+              << " deletions=" << stats.deletions
+              << " scrapes=" << stats.scrapes << "\n\n";
+
+    // --- CPU free heatmap (Figure 5) ------------------------------------
+    const sci::dc_id dc = fleet.dcs().front().id;
+    const sci::heatmap fig5 = sci::fig5_free_cpu_per_node(engine.store(), fleet, dc);
+    std::cout << "Figure 5 preview — daily % free CPU per node (" << dc.value()
+              << "):\n"
+              << sci::render_heatmap_ascii(fig5);
+
+    // --- contention (Figure 9) -------------------------------------------
+    const auto contention = sci::fig9_contention_by_day(engine.store());
+    double max_contention = 0.0;
+    for (const auto& day : contention) {
+        max_contention = std::max(max_contention, day.max_pct);
+    }
+    std::cout << "\nMax CPU contention over the window: "
+              << sci::format_double(max_contention) << "% (paper: up to >40%)\n";
+
+    // --- VM utilization classes (Figure 14) -------------------------------
+    const auto cpu = sci::fig14a_cpu_utilization(engine.store());
+    const auto mem = sci::fig14b_memory_utilization(engine.store());
+    std::cout << "VM CPU utilization:    " << sci::format_double(cpu.classes.under_pct)
+              << "% under / " << sci::format_double(cpu.classes.optimal_pct)
+              << "% optimal / " << sci::format_double(cpu.classes.over_pct)
+              << "% over   (paper: >80% under)\n";
+    std::cout << "VM memory utilization: " << sci::format_double(mem.classes.under_pct)
+              << "% under / " << sci::format_double(mem.classes.optimal_pct)
+              << "% optimal / " << sci::format_double(mem.classes.over_pct)
+              << "% over   (paper: ~38% / ~10% / ~52%)\n";
+    return 0;
+}

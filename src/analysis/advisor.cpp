@@ -1,0 +1,64 @@
+#include "analysis/advisor.hpp"
+
+#include <algorithm>
+
+#include "simcore/error.hpp"
+#include "simcore/stats.hpp"
+
+namespace sci {
+
+std::vector<overcommit_recommendation> recommend_cpu_overcommit(
+    const metric_store& store, const fleet& f,
+    const placement_service& placement, const advisor_config& config) {
+    expects(config.target_util_pct > 0.0 && config.target_util_pct <= 100.0,
+            "recommend_cpu_overcommit: target in (0, 100]");
+    expects(config.min_ratio > 0.0 && config.max_ratio >= config.min_ratio,
+            "recommend_cpu_overcommit: invalid ratio bounds");
+
+    std::vector<overcommit_recommendation> out;
+    for (const building_block& bb : f.bbs()) {
+        if (!placement.has_provider(bb.id)) continue;
+
+        // collect node-day means and maxima within this BB
+        const std::vector<std::pair<std::string, std::string>> filter{
+            {"bb", bb.name}};
+        std::vector<double> node_day_means;
+        double max_contention = 0.0;
+        for (series_id id :
+             store.select(metric_names::host_cpu_core_utilization, filter)) {
+            for (int day = 0; day < store.config().days; ++day) {
+                const running_stats* agg = store.daily(id, day);
+                if (agg != nullptr) node_day_means.push_back(agg->mean());
+            }
+        }
+        for (series_id id :
+             store.select(metric_names::host_cpu_contention, filter)) {
+            const running_stats agg = store.window_aggregate(id);
+            if (!agg.empty()) max_contention = std::max(max_contention, agg.max());
+        }
+        if (node_day_means.empty()) continue;
+
+        overcommit_recommendation rec;
+        rec.bb = bb.id;
+        rec.bb_name = bb.name;
+        rec.purpose = bb.purpose;
+        rec.current_ratio = placement.inventory(bb.id).cpu_allocation_ratio;
+        rec.observed_p95_util_pct = exact_quantile(node_day_means, 0.95);
+        rec.observed_max_contention_pct = max_contention;
+
+        // utilization scales ~linearly with admitted vCPUs, so the ratio
+        // that hits the target is current * target / observed
+        const double observed = std::max(rec.observed_p95_util_pct, 1.0);
+        double recommended =
+            rec.current_ratio * config.target_util_pct / observed;
+        if (max_contention > config.contention_guard_pct) {
+            recommended = std::min(recommended, rec.current_ratio);
+        }
+        rec.recommended_ratio =
+            std::clamp(recommended, config.min_ratio, config.max_ratio);
+        out.push_back(std::move(rec));
+    }
+    return out;
+}
+
+}  // namespace sci

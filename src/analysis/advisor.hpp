@@ -1,0 +1,50 @@
+#pragma once
+
+// Overcommit advisor — the paper's §7 guidance made executable:
+// "the overcommit factor should be reconsidered ... A more dynamic and
+// workload-based approach to determine the overcommit factor and related
+// configuration might help to mitigate these problems."
+//
+// For every building block the advisor looks at the observed node CPU
+// utilization (p95 over node-days) and the contention envelope, and
+// recommends a vCPU:pCPU allocation ratio that would drive utilization
+// towards the target without contention.
+
+#include <string>
+#include <vector>
+
+#include "infra/fleet.hpp"
+#include "sched/placement.hpp"
+#include "telemetry/store.hpp"
+
+namespace sci {
+
+struct overcommit_recommendation {
+    bb_id bb;
+    std::string bb_name;
+    bb_purpose purpose = bb_purpose::general;
+    double current_ratio = 0.0;
+    /// p95 over node-day mean CPU utilization within the BB (percent).
+    double observed_p95_util_pct = 0.0;
+    /// Worst observed node contention within the BB (percent).
+    double observed_max_contention_pct = 0.0;
+    double recommended_ratio = 0.0;
+};
+
+struct advisor_config {
+    /// Utilization the recommendation steers towards.
+    double target_util_pct = 70.0;
+    /// Never recommend ratios outside [min_ratio, max_ratio].
+    double min_ratio = 1.0;
+    double max_ratio = 8.0;
+    /// If max contention exceeds this, cap the recommendation at the
+    /// current ratio (never recommend raising overcommit on a hot BB).
+    double contention_guard_pct = 10.0;
+};
+
+/// Recommend per-BB CPU allocation ratios from the observed telemetry.
+std::vector<overcommit_recommendation> recommend_cpu_overcommit(
+    const metric_store& store, const fleet& f,
+    const placement_service& placement, const advisor_config& config = {});
+
+}  // namespace sci

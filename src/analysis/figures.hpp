@@ -1,0 +1,149 @@
+#pragma once
+
+// Figure/table builders: one function per paper artifact, consuming only
+// the telemetry store + infrastructure metadata (the same inputs the
+// paper's analysis pipeline had).
+
+#include <string>
+#include <vector>
+
+#include "analysis/heatmap.hpp"
+#include "infra/fleet.hpp"
+#include "infra/vm.hpp"
+#include "telemetry/store.hpp"
+
+namespace sci {
+
+// ---------------------------------------------------------------------------
+// Heatmaps (Figures 5–7, 10–13)
+// ---------------------------------------------------------------------------
+
+/// Fig. 5: daily avg % free CPU per node within one data center.
+heatmap fig5_free_cpu_per_node(const metric_store& store, const fleet& f,
+                               dc_id dc);
+
+/// Fig. 6: daily avg % free CPU per building block within one data center.
+heatmap fig6_free_cpu_per_bb(const metric_store& store, const fleet& f,
+                             dc_id dc);
+
+/// Fig. 7: daily avg % free CPU per node within one building block.
+heatmap fig7_free_cpu_intra_bb(const metric_store& store, const fleet& f,
+                               bb_id bb);
+
+/// Pick the building block with the largest intra-BB CPU imbalance — the
+/// kind of BB Figure 7 showcases.  Requires >= min_nodes nodes.
+bb_id most_imbalanced_bb(const metric_store& store, const fleet& f, dc_id dc,
+                         int min_nodes = 4);
+
+/// Fig. 10: daily avg % free memory per node within one data center.
+heatmap fig10_free_memory_per_node(const metric_store& store, const fleet& f,
+                                   dc_id dc);
+
+/// Fig. 11 / 12: daily avg % free network TX / RX bandwidth per node.
+heatmap fig11_free_net_tx(const metric_store& store, const fleet& f, dc_id dc);
+heatmap fig12_free_net_rx(const metric_store& store, const fleet& f, dc_id dc);
+
+/// Fig. 13: daily avg % free local storage per node.
+heatmap fig13_free_storage(const metric_store& store, const fleet& f, dc_id dc);
+
+// ---------------------------------------------------------------------------
+// CPU ready time and contention (Figures 8, 9)
+// ---------------------------------------------------------------------------
+
+/// One node's hourly ready-time series (mean ms per scrape within the hour).
+struct ready_time_series {
+    std::string node;
+    double total_ready_ms = 0.0;      ///< window sum (ranking key)
+    double peak_ready_ms = 0.0;       ///< highest hourly mean
+    std::vector<double> hourly_ms;    ///< days*24 entries; NaN = no data
+};
+
+/// Fig. 8: the top-k nodes by aggregated CPU ready time, region-wide.
+std::vector<ready_time_series> fig8_top_ready_nodes(const metric_store& store,
+                                                    int top_k = 10);
+
+/// Fig. 9: daily distribution of CPU contention over all nodes.
+struct contention_day {
+    int day = 0;
+    double mean_pct = 0.0;  ///< mean over node-daily means
+    double p95_pct = 0.0;   ///< 95th percentile over node-daily means
+    double max_pct = 0.0;   ///< max over node-daily maxima
+};
+
+std::vector<contention_day> fig9_contention_by_day(const metric_store& store);
+
+// ---------------------------------------------------------------------------
+// Workload composition (Figure 14, Tables 1–2)
+// ---------------------------------------------------------------------------
+
+/// Utilization classes of Section 5.5.
+struct utilization_classification {
+    double under_pct = 0.0;    ///< share of VMs with mean util < 70%
+    double optimal_pct = 0.0;  ///< 70–85%
+    double over_pct = 0.0;     ///< > 85%
+    std::size_t vm_count = 0;
+};
+
+/// Fig. 14 data: sorted per-VM window-mean utilization ratios (CDF input)
+/// plus the class shares.
+struct vm_utilization_cdf {
+    std::vector<double> sorted_means;  ///< ascending, in [0, 1]
+    utilization_classification classes;
+
+    /// CDF value at x: share of VMs with mean utilization <= x.
+    double cdf(double x) const;
+};
+
+vm_utilization_cdf fig14a_cpu_utilization(const metric_store& store);
+vm_utilization_cdf fig14b_memory_utilization(const metric_store& store);
+
+/// Tables 1 and 2: average VM counts per size class over the window.
+struct size_class_row {
+    std::string category;
+    std::string bounds;
+    double average_vms = 0.0;
+};
+
+std::vector<size_class_row> table1_vcpu_classes(const vm_registry& vms,
+                                                const flavor_catalog& catalog);
+std::vector<size_class_row> table2_ram_classes(const vm_registry& vms,
+                                               const flavor_catalog& catalog);
+
+// ---------------------------------------------------------------------------
+// Lifetimes (Figure 15)
+// ---------------------------------------------------------------------------
+
+struct lifetime_row {
+    std::string flavor_name;
+    core_count vcpus = 0;
+    mebibytes ram_mib = 0;
+    std::string vcpu_class_name;
+    std::string ram_class_name;
+    std::size_t instances = 0;
+    double mean_days = 0.0;
+    double median_days = 0.0;
+    double min_days = 0.0;
+    double max_days = 0.0;
+};
+
+/// Fig. 15: lifetime stats per flavor with >= min_instances instances,
+/// grouped (sorted) by vCPU then RAM class.  Still-running VMs contribute
+/// their age at window end (the paper's retrospective collection).
+std::vector<lifetime_row> fig15_lifetime_per_flavor(
+    const vm_registry& vms, const flavor_catalog& catalog,
+    std::size_t min_instances = 30);
+
+// ---------------------------------------------------------------------------
+// Imbalance / fragmentation metrics (ablation benches)
+// ---------------------------------------------------------------------------
+
+struct imbalance_summary {
+    double mean_intra_bb_stddev_pct = 0.0;  ///< avg over BBs of node-util stddev
+    double max_intra_bb_spread_pct = 0.0;   ///< max over BBs of (max-min) node util
+    double max_node_util_pct = 0.0;         ///< hottest node-day anywhere
+};
+
+/// Intra-BB CPU imbalance over the window, from node telemetry.
+imbalance_summary intra_bb_imbalance(const metric_store& store, const fleet& f);
+
+}  // namespace sci

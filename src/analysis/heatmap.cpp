@@ -1,0 +1,139 @@
+#include "analysis/heatmap.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "simcore/error.hpp"
+#include "simcore/units.hpp"
+
+namespace sci {
+
+double heatmap::column_mean(std::size_t column) const {
+    double sum = 0.0;
+    int n = 0;
+    for (int day = 0; day < days; ++day) {
+        const double v = cell(day, column);
+        if (!missing(v)) {
+            sum += v;
+            ++n;
+        }
+    }
+    return n == 0 ? std::numeric_limits<double>::quiet_NaN()
+                  : sum / static_cast<double>(n);
+}
+
+double heatmap::min_value() const {
+    double lo = std::numeric_limits<double>::infinity();
+    for (const auto& row : cells) {
+        for (double v : row) {
+            if (!missing(v)) lo = std::min(lo, v);
+        }
+    }
+    return lo;
+}
+
+double heatmap::max_value() const {
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const auto& row : cells) {
+        for (double v : row) {
+            if (!missing(v)) hi = std::max(hi, v);
+        }
+    }
+    return hi;
+}
+
+double heatmap::missing_fraction() const {
+    std::size_t missing_cells = 0;
+    std::size_t total = 0;
+    for (const auto& row : cells) {
+        for (double v : row) {
+            ++total;
+            if (missing(v)) ++missing_cells;
+        }
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(missing_cells) /
+                            static_cast<double>(total);
+}
+
+heatmap build_daily_heatmap(
+    const metric_store& store, std::string_view metric,
+    std::span<const std::pair<std::string, std::string>> label_eq,
+    std::string_view column_label, const cell_transform& transform) {
+    expects(static_cast<bool>(transform), "build_daily_heatmap: null transform");
+    const int days = store.config().days;
+
+    // group series by the column label value (ordered map: deterministic)
+    std::map<std::string, std::vector<series_id>> groups;
+    for (series_id id : store.select(metric, label_eq)) {
+        const auto column = store.labels_of(id).get(column_label);
+        if (!column.has_value()) continue;
+        groups[std::string(*column)].push_back(id);
+    }
+
+    heatmap hm;
+    hm.days = days;
+    hm.columns.reserve(groups.size());
+    hm.cells.assign(static_cast<std::size_t>(days), {});
+    for (auto& row : hm.cells) {
+        row.assign(groups.size(), std::numeric_limits<double>::quiet_NaN());
+    }
+
+    std::size_t col = 0;
+    for (const auto& [name, ids] : groups) {
+        hm.columns.push_back(name);
+        for (int day = 0; day < days; ++day) {
+            running_stats merged;
+            const label_set* labels = nullptr;
+            for (series_id id : ids) {
+                if (const running_stats* agg = store.daily(id, day)) {
+                    merged.merge(*agg);
+                    labels = &store.labels_of(id);
+                }
+            }
+            if (!merged.empty() && labels != nullptr) {
+                hm.cells[static_cast<std::size_t>(day)][col] =
+                    transform(merged, *labels);
+            }
+        }
+        ++col;
+    }
+
+    // sort columns most free -> least free (descending column mean)
+    std::vector<std::size_t> order(hm.columns.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::vector<double> means(hm.columns.size());
+    for (std::size_t i = 0; i < means.size(); ++i) means[i] = hm.column_mean(i);
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        const double ma = std::isnan(means[a])
+                              ? -std::numeric_limits<double>::infinity()
+                              : means[a];
+        const double mb = std::isnan(means[b])
+                              ? -std::numeric_limits<double>::infinity()
+                              : means[b];
+        return ma > mb;
+    });
+
+    heatmap sorted;
+    sorted.days = hm.days;
+    sorted.columns.reserve(hm.columns.size());
+    sorted.cells.assign(static_cast<std::size_t>(days), {});
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        sorted.columns.push_back(hm.columns[order[i]]);
+    }
+    for (int day = 0; day < days; ++day) {
+        auto& row = sorted.cells[static_cast<std::size_t>(day)];
+        row.reserve(order.size());
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            row.push_back(hm.cells[static_cast<std::size_t>(day)][order[i]]);
+        }
+    }
+    return sorted;
+}
+
+double free_percent_from_util(const running_stats& day, const label_set&) {
+    return clamp_percent(100.0 - day.mean());
+}
+
+}  // namespace sci

@@ -1,0 +1,56 @@
+#pragma once
+
+// Daily heatmaps (Figures 5–7, 10–13): rows are days of the observation
+// window, columns are entities (nodes or building blocks) sorted from most
+// free (left) to least free (right); missing cells (hosts added/removed
+// mid-window) are NaN and render white/blank.
+
+#include <cmath>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simcore/stats.hpp"
+#include "telemetry/store.hpp"
+
+namespace sci {
+
+struct heatmap {
+    std::vector<std::string> columns;  ///< entity names, most→least free
+    int days = 0;
+    /// cells[day][column]; NaN marks missing data.
+    std::vector<std::vector<double>> cells;
+
+    double cell(int day, std::size_t column) const { return cells[static_cast<std::size_t>(day)][column]; }
+    static bool missing(double v) { return std::isnan(v); }
+
+    /// Mean over present cells of a column.
+    double column_mean(std::size_t column) const;
+    /// Min / max over all present cells.
+    double min_value() const;
+    double max_value() const;
+    /// Fraction of cells that are missing.
+    double missing_fraction() const;
+};
+
+/// Maps one day-aggregate (plus the series labels, e.g. to look up a
+/// node's capacity) to the plotted cell value.
+using cell_transform =
+    std::function<double(const running_stats& day, const label_set& labels)>;
+
+/// Build a daily heatmap from every series of `metric` matching
+/// `label_eq`.  Series sharing the same value of `column_label` are merged
+/// (e.g. column_label="bb" merges all nodes of a building block for
+/// Figure 6).  Columns are sorted by descending column mean.
+heatmap build_daily_heatmap(
+    const metric_store& store, std::string_view metric,
+    std::span<const std::pair<std::string, std::string>> label_eq,
+    std::string_view column_label, const cell_transform& transform);
+
+/// Convenience transform: value is already a utilization percentage;
+/// plot free % = 100 - mean.
+double free_percent_from_util(const running_stats& day, const label_set&);
+
+}  // namespace sci

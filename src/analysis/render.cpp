@@ -1,0 +1,149 @@
+#include "analysis/render.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+
+std::string render_heatmap_ascii(const heatmap& hm, const render_options& options) {
+    expects(options.max_columns > 0, "render_heatmap_ascii: max_columns > 0");
+    expects(!options.ramp.empty(), "render_heatmap_ascii: empty ramp");
+    if (hm.columns.empty() || hm.days == 0) return "(empty heatmap)\n";
+
+    const std::size_t cols = hm.columns.size();
+    const auto out_cols =
+        std::min<std::size_t>(cols, static_cast<std::size_t>(options.max_columns));
+
+    std::string out;
+    out.reserve(static_cast<std::size_t>(hm.days) * (out_cols + 8));
+    for (int day = 0; day < hm.days; ++day) {
+        char daybuf[16];
+        std::snprintf(daybuf, sizeof daybuf, "d%02d ", day);
+        out += daybuf;
+        for (std::size_t oc = 0; oc < out_cols; ++oc) {
+            // downsample: average the source columns mapping to this cell
+            const std::size_t lo = oc * cols / out_cols;
+            const std::size_t hi = std::max(lo + 1, (oc + 1) * cols / out_cols);
+            double sum = 0.0;
+            int n = 0;
+            for (std::size_t c = lo; c < hi; ++c) {
+                const double v = hm.cell(day, c);
+                if (!heatmap::missing(v)) {
+                    sum += v;
+                    ++n;
+                }
+            }
+            if (n == 0) {
+                out += '?';
+                continue;
+            }
+            const double v = std::clamp(sum / n, 0.0, 100.0);
+            const auto idx = static_cast<std::size_t>(
+                v / 100.0 * static_cast<double>(options.ramp.size() - 1) + 0.5);
+            out += options.ramp[std::min(idx, options.ramp.size() - 1)];
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+void write_heatmap_csv(std::ostream& os, const heatmap& hm) {
+    os << "day";
+    for (const std::string& c : hm.columns) os << "," << c;
+    os << "\n";
+    for (int day = 0; day < hm.days; ++day) {
+        os << day;
+        for (std::size_t c = 0; c < hm.columns.size(); ++c) {
+            const double v = hm.cell(day, c);
+            os << ",";
+            if (!heatmap::missing(v)) os << v;
+        }
+        os << "\n";
+    }
+}
+
+void write_cdf_csv(std::ostream& os, const vm_utilization_cdf& cdf,
+                   int grid_points) {
+    expects(grid_points >= 2, "write_cdf_csv: need >= 2 grid points");
+    os << "utilization,cdf\n";
+    for (int i = 0; i < grid_points; ++i) {
+        const double x =
+            static_cast<double>(i) / static_cast<double>(grid_points - 1);
+        os << x << "," << cdf.cdf(x) << "\n";
+    }
+}
+
+void write_ready_series_csv(std::ostream& os,
+                            std::span<const ready_time_series> series) {
+    os << "hour";
+    for (const ready_time_series& s : series) os << "," << s.node;
+    os << "\n";
+    if (series.empty()) return;
+    const std::size_t hours = series.front().hourly_ms.size();
+    for (std::size_t h = 0; h < hours; ++h) {
+        os << h;
+        for (const ready_time_series& s : series) {
+            os << ",";
+            if (h < s.hourly_ms.size() && !std::isnan(s.hourly_ms[h])) {
+                os << s.hourly_ms[h];
+            }
+        }
+        os << "\n";
+    }
+}
+
+table_printer::table_printer(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+    expects(!headers_.empty(), "table_printer: need at least one column");
+}
+
+void table_printer::add_row(std::vector<std::string> cells) {
+    expects(cells.size() == headers_.size(),
+            "table_printer::add_row: cell count mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string table_printer::to_string() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            widths[i] = std::max(widths[i], row[i].size());
+        }
+    }
+    std::ostringstream os;
+    const auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << "| " << row[i];
+            os << std::string(widths[i] - row[i].size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+    emit(headers_);
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+        os << "|" << std::string(widths[i] + 2, '-');
+    }
+    os << "|\n";
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+}
+
+std::string format_double(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+}
+
+std::string format_count(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+}
+
+}  // namespace sci

@@ -1,0 +1,55 @@
+#pragma once
+
+// Rendering: ASCII previews for the terminal (benches print these) and CSV
+// export so the data behind every figure can be plotted externally.
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/figures.hpp"
+#include "analysis/heatmap.hpp"
+
+namespace sci {
+
+struct render_options {
+    /// Maximum columns in an ASCII heatmap; wider maps are downsampled.
+    int max_columns = 96;
+    /// Shade ramp from low to high value.
+    std::string ramp = " .:-=+*#%@";
+};
+
+/// ASCII heatmap: one row per day, columns as in the heatmap (downsampled
+/// if needed); '?' marks missing cells.  Values are mapped onto the ramp
+/// over [0, 100].
+std::string render_heatmap_ascii(const heatmap& hm,
+                                 const render_options& options = {});
+
+/// CSV of a heatmap: header = column names, one row per day.
+void write_heatmap_csv(std::ostream& os, const heatmap& hm);
+
+/// CSV of a CDF: columns utilization,cdf.
+void write_cdf_csv(std::ostream& os, const vm_utilization_cdf& cdf,
+                   int grid_points = 101);
+
+/// CSV of the Fig. 8 hourly ready-time series (one column per node).
+void write_ready_series_csv(std::ostream& os,
+                            std::span<const ready_time_series> series);
+
+/// Simple fixed-width table printer used by the bench binaries.
+class table_printer {
+public:
+    explicit table_printer(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+    std::string to_string() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers.
+std::string format_double(double v, int precision = 1);
+std::string format_count(double v);
+
+}  // namespace sci

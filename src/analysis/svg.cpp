@@ -1,0 +1,262 @@
+#include "analysis/svg.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+
+namespace {
+
+std::string hex_color(double r, double g, double b) {
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "#%02x%02x%02x",
+                  static_cast<unsigned>(std::clamp(r, 0.0, 1.0) * 255.0 + 0.5),
+                  static_cast<unsigned>(std::clamp(g, 0.0, 1.0) * 255.0 + 0.5),
+                  static_cast<unsigned>(std::clamp(b, 0.0, 1.0) * 255.0 + 0.5));
+    return buf;
+}
+
+std::string escape_xml(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '&': out += "&amp;"; break;
+            case '<': out += "&lt;"; break;
+            case '>': out += "&gt;"; break;
+            case '"': out += "&quot;"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+void open_svg(std::ostream& os, const svg_options& options) {
+    os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width
+       << "\" height=\"" << options.height << "\" viewBox=\"0 0 "
+       << options.width << " " << options.height << "\">\n";
+    os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+    if (!options.title.empty()) {
+        os << "<text x=\"" << options.width / 2
+           << "\" y=\"20\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+              "font-size=\"14\" font-weight=\"bold\">"
+           << escape_xml(options.title) << "</text>\n";
+    }
+}
+
+void axis_labels(std::ostream& os, const svg_options& options) {
+    if (!options.x_label.empty()) {
+        os << "<text x=\"" << options.width / 2 << "\" y=\""
+           << options.height - 6
+           << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+              "font-size=\"11\">"
+           << escape_xml(options.x_label) << "</text>\n";
+    }
+    if (!options.y_label.empty()) {
+        os << "<text x=\"14\" y=\"" << options.height / 2
+           << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+              "font-size=\"11\" transform=\"rotate(-90 14 "
+           << options.height / 2 << ")\">" << escape_xml(options.y_label)
+           << "</text>\n";
+    }
+}
+
+struct plot_area {
+    double x0, y0, x1, y1;  // top-left, bottom-right
+    double width() const { return x1 - x0; }
+    double height() const { return y1 - y0; }
+};
+
+plot_area default_area(const svg_options& options) {
+    return {56.0, 32.0, options.width - 16.0, options.height - 36.0};
+}
+
+}  // namespace
+
+std::string viridis_color(double t) {
+    t = std::clamp(t, 0.0, 1.0);
+    // 5-stop approximation of the viridis colormap
+    static constexpr std::array<std::array<double, 3>, 5> stops{{
+        {0.267, 0.005, 0.329},  // dark purple
+        {0.229, 0.322, 0.546},  // blue
+        {0.127, 0.566, 0.551},  // teal
+        {0.369, 0.789, 0.383},  // green
+        {0.993, 0.906, 0.144},  // yellow
+    }};
+    const double pos = t * (stops.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, stops.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return hex_color(stops[lo][0] + frac * (stops[hi][0] - stops[lo][0]),
+                     stops[lo][1] + frac * (stops[hi][1] - stops[lo][1]),
+                     stops[lo][2] + frac * (stops[hi][2] - stops[lo][2]));
+}
+
+std::string series_color(std::size_t i) {
+    static constexpr std::array<const char*, 10> palette{
+        "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+        "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac"};
+    return palette[i % palette.size()];
+}
+
+void write_heatmap_svg(std::ostream& os, const heatmap& hm,
+                       const svg_options& options) {
+    open_svg(os, options);
+    const plot_area area = default_area(options);
+    if (!hm.columns.empty() && hm.days > 0) {
+        const double cell_w = area.width() / static_cast<double>(hm.columns.size());
+        const double cell_h = area.height() / static_cast<double>(hm.days);
+        for (int day = 0; day < hm.days; ++day) {
+            for (std::size_t c = 0; c < hm.columns.size(); ++c) {
+                const double v = hm.cell(day, c);
+                if (heatmap::missing(v)) continue;  // white background
+                os << "<rect x=\"" << area.x0 + cell_w * static_cast<double>(c)
+                   << "\" y=\"" << area.y0 + cell_h * day << "\" width=\""
+                   << cell_w + 0.5 << "\" height=\"" << cell_h + 0.5
+                   << "\" fill=\"" << viridis_color(v / 100.0) << "\"/>\n";
+            }
+        }
+        // day ticks every 5 days
+        for (int day = 0; day < hm.days; day += 5) {
+            os << "<text x=\"" << area.x0 - 6 << "\" y=\""
+               << area.y0 + cell_h * (day + 0.7)
+               << "\" text-anchor=\"end\" font-family=\"sans-serif\" "
+                  "font-size=\"10\">d"
+               << day << "</text>\n";
+        }
+    }
+    os << "<rect x=\"" << area.x0 << "\" y=\"" << area.y0 << "\" width=\""
+       << area.width() << "\" height=\"" << area.height()
+       << "\" fill=\"none\" stroke=\"#444\"/>\n";
+    axis_labels(os, options);
+    os << "</svg>\n";
+}
+
+void write_line_chart_svg(std::ostream& os,
+                          const std::vector<svg_series>& series,
+                          const svg_options& options) {
+    open_svg(os, options);
+    const plot_area area = default_area(options);
+
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    std::size_t steps = 0;
+    for (const svg_series& s : series) {
+        steps = std::max(steps, s.values.size());
+        for (double v : s.values) {
+            if (std::isnan(v)) continue;
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+    }
+    if (steps >= 2 && hi > lo) {
+        lo = std::min(lo, 0.0);
+        const auto x_of = [&](std::size_t i) {
+            return area.x0 + area.width() * static_cast<double>(i) /
+                                 static_cast<double>(steps - 1);
+        };
+        const auto y_of = [&](double v) {
+            return area.y1 - area.height() * (v - lo) / (hi - lo);
+        };
+        // y grid: 4 lines + labels
+        for (int g = 0; g <= 4; ++g) {
+            const double v = lo + (hi - lo) * g / 4.0;
+            const double y = y_of(v);
+            os << "<line x1=\"" << area.x0 << "\" y1=\"" << y << "\" x2=\""
+               << area.x1 << "\" y2=\"" << y
+               << "\" stroke=\"#ddd\" stroke-width=\"1\"/>\n";
+            char label[32];
+            std::snprintf(label, sizeof label, "%.1f", v);
+            os << "<text x=\"" << area.x0 - 6 << "\" y=\"" << y + 3
+               << "\" text-anchor=\"end\" font-family=\"sans-serif\" "
+                  "font-size=\"10\">"
+               << label << "</text>\n";
+        }
+        for (std::size_t si = 0; si < series.size(); ++si) {
+            const svg_series& s = series[si];
+            os << "<polyline fill=\"none\" stroke=\"" << series_color(si)
+               << "\" stroke-width=\"1.5\" points=\"";
+            bool in_segment = false;
+            for (std::size_t i = 0; i < s.values.size(); ++i) {
+                if (std::isnan(s.values[i])) {
+                    if (in_segment) {
+                        os << "\"/>\n<polyline fill=\"none\" stroke=\""
+                           << series_color(si)
+                           << "\" stroke-width=\"1.5\" points=\"";
+                        in_segment = false;
+                    }
+                    continue;
+                }
+                os << x_of(i) << "," << y_of(s.values[i]) << " ";
+                in_segment = true;
+            }
+            os << "\"/>\n";
+            // legend
+            const double ly = area.y0 + 14.0 * static_cast<double>(si);
+            os << "<rect x=\"" << area.x1 - 150 << "\" y=\"" << ly
+               << "\" width=\"10\" height=\"3\" fill=\"" << series_color(si)
+               << "\"/>\n";
+            os << "<text x=\"" << area.x1 - 136 << "\" y=\"" << ly + 5
+               << "\" font-family=\"sans-serif\" font-size=\"10\">"
+               << escape_xml(s.label) << "</text>\n";
+        }
+    }
+    os << "<rect x=\"" << area.x0 << "\" y=\"" << area.y0 << "\" width=\""
+       << area.width() << "\" height=\"" << area.height()
+       << "\" fill=\"none\" stroke=\"#444\"/>\n";
+    axis_labels(os, options);
+    os << "</svg>\n";
+}
+
+void write_cdf_svg(std::ostream& os, const vm_utilization_cdf& cdf,
+                   const svg_options& options) {
+    open_svg(os, options);
+    const plot_area area = default_area(options);
+    const auto x_of = [&](double u) { return area.x0 + area.width() * u; };
+    const auto y_of = [&](double p) { return area.y1 - area.height() * p; };
+
+    // classification thresholds of Section 5.5
+    for (double threshold : {0.70, 0.85}) {
+        os << "<line x1=\"" << x_of(threshold) << "\" y1=\"" << area.y0
+           << "\" x2=\"" << x_of(threshold) << "\" y2=\"" << area.y1
+           << "\" stroke=\"#c44\" stroke-dasharray=\"4 3\"/>\n";
+        os << "<text x=\"" << x_of(threshold) << "\" y=\"" << area.y0 - 4
+           << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+              "font-size=\"10\" fill=\"#c44\">"
+           << static_cast<int>(threshold * 100) << "%</text>\n";
+    }
+    os << "<polyline fill=\"none\" stroke=\"#4e79a7\" stroke-width=\"2\" "
+          "points=\"";
+    for (int i = 0; i <= 200; ++i) {
+        const double u = static_cast<double>(i) / 200.0;
+        os << x_of(u) << "," << y_of(cdf.cdf(u)) << " ";
+    }
+    os << "\"/>\n";
+    // axes ticks
+    for (int g = 0; g <= 4; ++g) {
+        const double frac = g / 4.0;
+        char label[16];
+        std::snprintf(label, sizeof label, "%.2f", frac);
+        os << "<text x=\"" << x_of(frac) << "\" y=\"" << area.y1 + 14
+           << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+              "font-size=\"10\">"
+           << label << "</text>\n";
+        os << "<text x=\"" << area.x0 - 6 << "\" y=\"" << y_of(frac) + 3
+           << "\" text-anchor=\"end\" font-family=\"sans-serif\" "
+              "font-size=\"10\">"
+           << label << "</text>\n";
+    }
+    os << "<rect x=\"" << area.x0 << "\" y=\"" << area.y0 << "\" width=\""
+       << area.width() << "\" height=\"" << area.height()
+       << "\" fill=\"none\" stroke=\"#444\"/>\n";
+    axis_labels(os, options);
+    os << "</svg>\n";
+}
+
+}  // namespace sci

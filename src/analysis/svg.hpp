@@ -1,0 +1,52 @@
+#pragma once
+
+// SVG figure rendering (no external dependencies): regenerates the
+// paper's figures as standalone .svg files — heatmaps in the viridis-like
+// palette of Figures 5-7/10-13, line charts for Figures 8-9, CDF plots
+// for Figure 14.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/figures.hpp"
+#include "analysis/heatmap.hpp"
+
+namespace sci {
+
+struct svg_options {
+    int width = 960;
+    int height = 480;
+    std::string title;
+    std::string x_label;
+    std::string y_label;
+};
+
+/// Heatmap figure: one row per day, one column per entity, viridis-like
+/// color scale over [0, 100] (% free), white cells for missing data.
+void write_heatmap_svg(std::ostream& os, const heatmap& hm,
+                       const svg_options& options = {});
+
+/// One line series for the chart writers.
+struct svg_series {
+    std::string label;
+    std::vector<double> values;  ///< NaN breaks the line
+};
+
+/// Line chart (Figures 8, 9): x = index (hour/day), y = value.
+void write_line_chart_svg(std::ostream& os,
+                          const std::vector<svg_series>& series,
+                          const svg_options& options = {});
+
+/// CDF plot (Figure 14): x in [0, 1] utilization, y in [0, 1] CDF, with the
+/// paper's 70% / 85% classification thresholds marked.
+void write_cdf_svg(std::ostream& os, const vm_utilization_cdf& cdf,
+                   const svg_options& options = {});
+
+/// Viridis-like color for t in [0, 1] as "#rrggbb".
+std::string viridis_color(double t);
+
+/// Categorical palette color for index i.
+std::string series_color(std::size_t i);
+
+}  // namespace sci

@@ -1,0 +1,765 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "simcore/error.hpp"
+#include "workload/calibration.hpp"
+
+namespace sci {
+
+namespace cal = calibration;
+
+sim_engine::sim_engine(engine_config config)
+    : sim_engine(config, make_regional_scenario(config.scenario)) {}
+
+sim_engine::sim_engine(engine_config config, scenario sc)
+    : config_(config),
+      scenario_(std::move(sc)),
+      behaviors_(config.scenario.seed),
+      lifetimes_(config.scenario.seed),
+      store_(metric_registry::standard_catalog(), config.store) {
+    expects(config_.sampling_interval > 0, "sim_engine: sampling interval > 0");
+    expects(config_.drs_interval > 0, "sim_engine: drs interval > 0");
+}
+
+void sim_engine::setup() {
+    expects(!setup_done_, "sim_engine::setup: already set up");
+    setup_done_ = true;
+
+    setup_providers();
+    setup_node_churn();
+    build_population();
+    place_initial_population();
+    schedule_window_events();
+    schedule_resizes();
+}
+
+void sim_engine::run() {
+    if (!setup_done_) setup();
+    queue_.run_until(observation_window);
+}
+
+void sim_engine::run_until(sim_time until) {
+    expects(setup_done_, "sim_engine::run_until: call setup() first");
+    queue_.run_until(until);
+}
+
+// ---------------------------------------------------------------------------
+// setup
+// ---------------------------------------------------------------------------
+
+void sim_engine::setup_providers() {
+    const fleet& f = scenario_.infrastructure;
+
+    // one placement provider + one DRS cluster per building block
+    clusters_.reserve(f.bb_count());
+    for (const building_block& bb : f.bbs()) {
+        allocation_ratios ratios = default_ratios_for(bb.purpose);
+        if (bb.purpose == bb_purpose::general &&
+            config_.gp_cpu_allocation_ratio_override.has_value()) {
+            ratios.cpu = *config_.gp_cpu_allocation_ratio_override;
+        }
+        provider_inventory inv;
+        inv.total_pcpus = f.bb_total_cores(bb.id);
+        inv.total_ram_mib = f.bb_total_memory(bb.id);
+        inv.total_disk_gib =
+            bb.profile.storage_gib * static_cast<double>(bb.nodes.size());
+        inv.cpu_allocation_ratio = ratios.cpu;
+        inv.ram_allocation_ratio = ratios.ram;
+        placement_.register_provider(bb.id, inv);
+
+        drs_config cluster_cfg = config_.drs;
+        cluster_cfg.cpu_allocation_ratio = ratios.cpu;
+        cluster_cfg.ram_allocation_ratio = ratios.ram;
+        // memory-bound clusters bin-pack within the cluster (Section 3.2)
+        cluster_cfg.pack_memory = bb.purpose == bb_purpose::hana ||
+                                  bb.purpose == bb_purpose::dedicated_xl;
+        clusters_.emplace_back(bb, cluster_cfg);
+    }
+    bb_contention_ewma_.assign(f.bb_count(), 0.0);
+    demand_scratch_.assign(f.node_count(), node_demand{});
+
+    // scheduler pipeline, optionally contention-aware (Section 7 guidance)
+    auto filters = make_default_filters();
+    auto spread = make_spread_weighers();
+    auto pack = make_pack_weighers();
+    if (config_.contention_aware) {
+        filters.push_back(std::make_unique<contention_filter>(
+            config_.contention_filter_threshold_pct));
+        spread.push_back({std::make_unique<contention_weigher>(), 1.0});
+        pack.push_back({std::make_unique<contention_weigher>(), 1.0});
+    }
+    conductor_ = std::make_unique<conductor>(
+        f, scenario_.catalog, placement_,
+        filter_scheduler(std::move(filters), std::move(spread), std::move(pack)));
+    if (config_.contention_aware) {
+        conductor_->set_contention_feed(
+            [this](bb_id bb) { return bb_contention(bb); });
+    }
+
+    // open every node / BB series up front (labels are stable)
+    node_series_.resize(f.node_count());
+    for (const compute_node& node : f.nodes()) {
+        const building_block& bb = f.get(node.bb);
+        const datacenter& dc = f.get(bb.dc);
+        const label_set labels{{"node", node.name}, {"bb", bb.name}, {"dc", dc.name}};
+        node_series& s = node_series_[static_cast<std::size_t>(node.id.value())];
+        using namespace metric_names;
+        s.cpu_util = store_.open_series(host_cpu_core_utilization, labels);
+        s.contention = store_.open_series(host_cpu_contention, labels);
+        s.ready = store_.open_series(host_cpu_ready, labels);
+        s.mem = store_.open_series(host_memory_usage, labels);
+        s.tx = store_.open_series(host_network_tx, labels);
+        s.rx = store_.open_series(host_network_rx, labels);
+        s.disk = store_.open_series(host_diskspace_usage, labels);
+    }
+    bb_series_.resize(f.bb_count());
+    for (const building_block& bb : f.bbs()) {
+        const datacenter& dc = f.get(bb.dc);
+        const label_set labels{{"bb", bb.name}, {"dc", dc.name}};
+        bb_series& s = bb_series_[static_cast<std::size_t>(bb.id.value())];
+        using namespace metric_names;
+        s.vcpus = store_.open_series(os_nodes_vcpus, labels);
+        s.vcpus_used = store_.open_series(os_nodes_vcpus_used, labels);
+        s.mem = store_.open_series(os_nodes_memory_mb, labels);
+        s.mem_used = store_.open_series(os_nodes_memory_mb_used, labels);
+    }
+    instances_series_ = store_.open_series(
+        metric_names::os_instances_total,
+        label_set{{"region", f.get(scenario_.region).name}});
+}
+
+void sim_engine::setup_node_churn() {
+    fleet& f = scenario_.infrastructure;
+    rng_stream rng(config_.scenario.seed, "node-churn");
+    // deterministic count (round(fraction * nodes)): the white heatmap
+    // cells must appear at any fleet size, not just in expectation
+    const auto churn_count = static_cast<std::size_t>(
+        std::lround(config_.node_churn_fraction *
+                    static_cast<double>(f.node_count())));
+    std::vector<node_id> churned;
+    std::vector<std::size_t> indices(f.node_count());
+    for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+    for (std::size_t pick = 0; pick < churn_count && !indices.empty(); ++pick) {
+        const auto slot = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(indices.size()) - 1));
+        churned.push_back(
+            node_id(static_cast<std::int32_t>(indices[slot])));
+        indices.erase(indices.begin() + static_cast<std::ptrdiff_t>(slot));
+    }
+    for (const node_id churned_id : churned) {
+        const compute_node& node = f.get(churned_id);
+        compute_node& mutable_node = f.get_mutable(node.id);
+        drs_cluster& cluster = cluster_of(node.bb);
+        if (rng.chance(0.5)) {
+            // commissioned mid-window: unavailable before available_from
+            const auto from = static_cast<sim_time>(
+                rng.uniform(0.1, 0.8) * static_cast<double>(observation_window));
+            mutable_node.available_from = from;
+            cluster.node(node.id).set_accepting(false);
+            const node_id id = node.id;
+            queue_.schedule_at(from, [this, id](sim_time) {
+                cluster_of(scenario_.infrastructure.get(id).bb)
+                    .node(id)
+                    .set_accepting(true);
+            });
+        } else {
+            // decommissioned mid-window: evacuated at available_until
+            const auto until = static_cast<sim_time>(
+                rng.uniform(0.2, 0.95) * static_cast<double>(observation_window));
+            mutable_node.available_until = until;
+            const node_id id = node.id;
+            queue_.schedule_at(until,
+                               [this, id](sim_time t) { decommission_node(id, t); });
+        }
+    }
+}
+
+void sim_engine::build_population() {
+    population_config pop_cfg = config_.population;
+    pop_cfg.initial_population = scenario_.target_vm_population;
+    pop_cfg.seed = config_.scenario.seed;
+    population_plan_ = sci::build_population(pop_cfg, scenario_.catalog,
+                                             scenario_.mix, lifetimes_, vms_);
+}
+
+void sim_engine::place_initial_population() {
+    // place in creation order: the fleet's history replayed
+    std::vector<const vm_plan*> order;
+    order.reserve(population_plan_.initial.size());
+    for (const vm_plan& p : population_plan_.initial) order.push_back(&p);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const vm_plan* a, const vm_plan* b) {
+                         return a->created_at < b->created_at;
+                     });
+    for (const vm_plan* plan : order) {
+        if (place_vm(plan->vm, plan->created_at) && plan->deleted_at.has_value()) {
+            const vm_id vm = plan->vm;
+            queue_.schedule_at(*plan->deleted_at,
+                               [this, vm](sim_time t) { delete_vm(vm, t); });
+        }
+    }
+}
+
+void sim_engine::schedule_window_events() {
+    // churn arrivals
+    for (const vm_plan& plan : population_plan_.arrivals) {
+        const vm_id vm = plan.vm;
+        const std::optional<sim_time> deleted_at = plan.deleted_at;
+        queue_.schedule_at(plan.created_at, [this, vm, deleted_at](sim_time t) {
+            if (place_vm(vm, t) && deleted_at.has_value()) {
+                queue_.schedule_at(*deleted_at,
+                                   [this, vm](sim_time td) { delete_vm(vm, td); });
+            }
+        });
+    }
+    // scrapes (self-rescheduling)
+    queue_.schedule_at(0, [this](sim_time t) { scrape(t); });
+    // DRS passes, offset so they interleave between scrapes
+    queue_.schedule_at(config_.drs_interval,
+                       [this](sim_time t) { drs_pass(t); });
+    // cross-BB rebalancer (optional; the paper's "external rebalancers")
+    if (config_.cross_bb_interval > 0) {
+        queue_.schedule_at(config_.cross_bb_interval,
+                           [this](sim_time t) { cross_bb_pass(t); });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// placement & lifecycle
+// ---------------------------------------------------------------------------
+
+placement_policy sim_engine::policy_for(vm_id vm, const flavor& f) const {
+    if (config_.lifetime_aware) {
+        // pack short-lived VMs together to contain churn-driven
+        // fragmentation (Section 7 "workload lifetime" guidance)
+        if (lifetimes_.sample(vm, f) < days(7)) return placement_policy::pack;
+    }
+    return f.wclass == workload_class::general_purpose ? placement_policy::spread
+                                                       : placement_policy::pack;
+}
+
+bool sim_engine::place_vm(vm_id vm, sim_time when) {
+    if (config_.holistic) return place_vm_holistic(vm, when);
+
+    vm_record& rec = vms_.get_mutable(vm);
+    const flavor& f = scenario_.catalog.get(rec.flavor);
+    schedule_request request;
+    request.vm = vm;
+    request.flavor = rec.flavor;
+    request.project = rec.project;
+    request.policy = policy_for(vm, f);
+
+    const placement_outcome outcome = conductor_->schedule_and_claim(request);
+    stats_.scheduler_retries +=
+        outcome.attempts > 0 ? static_cast<std::uint64_t>(outcome.attempts - 1) : 0;
+    if (!outcome.success) {
+        rec.state = vm_state::error;
+        ++stats_.placement_failures;
+        events_.record(lifecycle_event{.t = when,
+                                       .kind = lifecycle_event_kind::schedule_fail,
+                                       .vm = vm});
+        return false;
+    }
+
+    drs_cluster& cluster = cluster_of(outcome.bb);
+    std::optional<node_id> node = cluster.initial_placement(f);
+    if (!node.has_value()) {
+        // BB-level aggregate space exists but no single node fits: the
+        // fragmentation blind spot of the two-layer design.  The cluster
+        // force-admits onto the least-reserved accepting node.
+        const node_runtime* best = nullptr;
+        double best_ratio = std::numeric_limits<double>::infinity();
+        for (const node_runtime& nr : cluster.nodes()) {
+            if (!nr.accepting()) continue;
+            if (nr.ram_reserved_ratio() < best_ratio) {
+                best_ratio = nr.ram_reserved_ratio();
+                best = &nr;
+            }
+        }
+        if (best == nullptr) {
+            placement_.release(vm, f);
+            rec.state = vm_state::error;
+            ++stats_.placement_failures;
+            events_.record(
+                lifecycle_event{.t = when,
+                                .kind = lifecycle_event_kind::schedule_fail,
+                                .vm = vm});
+            return false;
+        }
+        node = best->id();
+        ++stats_.forced_fits;
+    }
+    cluster.place(vm, f, *node);
+    rec.placed_bb = outcome.bb;
+    rec.placed_node = *node;
+    rec.state = vm_state::active;
+    rec.created_at = std::min(rec.created_at, when);
+    ++stats_.placements;
+
+    open_vm_series(rec);
+    events_.record(lifecycle_event{.t = when,
+                                   .kind = lifecycle_event_kind::create,
+                                   .vm = vm,
+                                   .bb = rec.placed_bb,
+                                   .to = rec.placed_node});
+    return true;
+}
+
+void sim_engine::open_vm_series(const vm_record& rec) {
+    const auto idx = static_cast<std::size_t>(rec.id.value());
+    if (vm_cpu_series_.size() <= idx) {
+        vm_cpu_series_.resize(idx + 1);
+        vm_mem_series_.resize(idx + 1);
+    }
+    const label_set labels{{"vm", rec.name}};
+    vm_cpu_series_[idx] =
+        store_.open_series(metric_names::vm_cpu_usage_ratio, labels);
+    vm_mem_series_[idx] =
+        store_.open_series(metric_names::vm_memory_consumed_ratio, labels);
+}
+
+void sim_engine::account_migration(vm_id vm, sim_time t) {
+    const vm_record& rec = vms_.get(vm);
+    const flavor& f = scenario_.catalog.get(rec.flavor);
+    const auto resident = static_cast<mebibytes>(
+        behavior_of(vm).mem_ratio_at(t, t - rec.created_at) *
+        static_cast<double>(f.ram_mib));
+    const double dirty = estimate_dirty_rate(
+        vm_cpu_demand_cores(vm, t), f.wclass == workload_class::hana_db);
+    const migration_estimate est =
+        estimate_live_migration(resident, dirty, config_.migration_cost);
+    stats_.migration_seconds += est.total_seconds;
+    stats_.max_migration_downtime_ms =
+        std::max(stats_.max_migration_downtime_ms, est.downtime_ms);
+}
+
+bool sim_engine::place_vm_holistic(vm_id vm, sim_time when) {
+    vm_record& rec = vms_.get_mutable(vm);
+    const flavor& f = scenario_.catalog.get(rec.flavor);
+    const placement_policy policy = policy_for(vm, f);
+
+    // single-layer scheduler: scan *nodes* across all purpose-compatible
+    // clusters and pick the best admissible one directly
+    drs_cluster* best_cluster = nullptr;
+    const node_runtime* best_node = nullptr;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (drs_cluster& cluster : clusters_) {
+        const building_block& bb =
+            scenario_.infrastructure.get(cluster.bb());
+        const bool purpose_ok =
+            f.requires_dedicated_bb()
+                ? bb.purpose == bb_purpose::dedicated_xl
+                : (f.wclass == workload_class::hana_db
+                       ? bb.purpose == bb_purpose::hana
+                       : bb.purpose == bb_purpose::general);
+        if (!purpose_ok) continue;
+        for (const node_runtime& nr : cluster.nodes()) {
+            if (!nr.accepting()) continue;
+            if (!nr.fits(f, cluster.config().cpu_allocation_ratio,
+                         cluster.config().ram_allocation_ratio)) {
+                continue;
+            }
+            const double util = 0.5 * nr.cpu_overcommit() /
+                                    cluster.config().cpu_allocation_ratio +
+                                0.5 * nr.ram_reserved_ratio();
+            const double score =
+                policy == placement_policy::spread ? util : -util;
+            if (score < best_score) {
+                best_score = score;
+                best_cluster = &cluster;
+                best_node = &nr;
+            }
+        }
+    }
+    if (best_cluster == nullptr) {
+        rec.state = vm_state::error;
+        ++stats_.placement_failures;
+        events_.record(lifecycle_event{.t = when,
+                                       .kind = lifecycle_event_kind::schedule_fail,
+                                       .vm = vm});
+        return false;
+    }
+    placement_.claim(vm, best_cluster->bb(), f);
+    best_cluster->place(vm, f, best_node->id());
+    rec.placed_bb = best_cluster->bb();
+    rec.placed_node = best_node->id();
+    rec.state = vm_state::active;
+    rec.created_at = std::min(rec.created_at, when);
+    ++stats_.placements;
+
+    open_vm_series(rec);
+    events_.record(lifecycle_event{.t = when,
+                                   .kind = lifecycle_event_kind::create,
+                                   .vm = vm,
+                                   .bb = rec.placed_bb,
+                                   .to = rec.placed_node});
+    return true;
+}
+
+void sim_engine::delete_vm(vm_id vm, sim_time when) {
+    vm_record& rec = vms_.get_mutable(vm);
+    if (rec.state != vm_state::active) return;
+    const flavor& f = scenario_.catalog.get(rec.flavor);
+    cluster_of(rec.placed_bb).remove(vm, f, rec.placed_node);
+    placement_.release(vm, f);
+    rec.state = vm_state::deleted;
+    rec.deleted_at = when;
+    ++stats_.deletions;
+    events_.record(lifecycle_event{.t = when,
+                                   .kind = lifecycle_event_kind::remove,
+                                   .vm = vm,
+                                   .bb = rec.placed_bb,
+                                   .from = rec.placed_node});
+}
+
+void sim_engine::decommission_node(node_id node, sim_time t) {
+    const compute_node& meta = scenario_.infrastructure.get(node);
+    drs_cluster& cluster = cluster_of(meta.bb);
+    node_runtime& nr = cluster.node(node);
+    nr.set_accepting(false);
+
+    // evacuate: re-place every resident within the cluster
+    const std::vector<vm_id> residents(nr.residents().begin(),
+                                       nr.residents().end());
+    for (vm_id vm : residents) {
+        vm_record& rec = vms_.get_mutable(vm);
+        const flavor& f = scenario_.catalog.get(rec.flavor);
+        cluster.remove(vm, f, node);
+        std::optional<node_id> target = cluster.initial_placement(f);
+        if (!target.has_value()) {
+            // force-admit on the least-reserved accepting node
+            const node_runtime* best = nullptr;
+            double best_ratio = std::numeric_limits<double>::infinity();
+            for (const node_runtime& other : cluster.nodes()) {
+                if (!other.accepting()) continue;
+                if (other.ram_reserved_ratio() < best_ratio) {
+                    best_ratio = other.ram_reserved_ratio();
+                    best = &other;
+                }
+            }
+            if (best == nullptr) {
+                // cluster fully out of service: the VM is terminated
+                placement_.release(vm, f);
+                rec.state = vm_state::deleted;
+                rec.deleted_at = t;
+                ++stats_.deletions;
+                continue;
+            }
+            target = best->id();
+            ++stats_.forced_fits;
+        }
+        cluster.place(vm, f, *target);
+        rec.placed_node = *target;
+        ++rec.migration_count;
+        ++stats_.evacuations;
+        account_migration(vm, t);
+        events_.record(lifecycle_event{.t = t,
+                                       .kind = lifecycle_event_kind::evacuate,
+                                       .vm = vm,
+                                       .bb = meta.bb,
+                                       .from = node,
+                                       .to = *target});
+    }
+}
+
+// ---------------------------------------------------------------------------
+// telemetry & balancing
+// ---------------------------------------------------------------------------
+
+const vm_behavior& sim_engine::behavior_of(vm_id vm) {
+    const auto idx = static_cast<std::size_t>(vm.value());
+    if (behavior_cache_.size() <= idx) {
+        behavior_cache_.resize(idx + 1);
+        behavior_cached_.resize(idx + 1, 0);
+    }
+    if (!behavior_cached_[idx]) {
+        const vm_record& rec = vms_.get(vm);
+        behavior_cache_[idx] = behaviors_.sample(
+            vm, scenario_.catalog.get(rec.flavor), rec.project);
+        behavior_cached_[idx] = 1;
+    }
+    return behavior_cache_[idx];
+}
+
+double sim_engine::vm_cpu_demand_cores(vm_id vm, sim_time t) {
+    const vm_record& rec = vms_.get(vm);
+    const flavor& f = scenario_.catalog.get(rec.flavor);
+    return behavior_of(vm).cpu_ratio_at(t) * static_cast<double>(f.vcpus);
+}
+
+void sim_engine::scrape(sim_time t) {
+    const fleet& f = scenario_.infrastructure;
+    std::fill(demand_scratch_.begin(), demand_scratch_.end(), node_demand{});
+
+    // --- per-VM demand + VM metrics ------------------------------------
+    for (const vm_record& rec : vms_.all()) {
+        if (rec.state != vm_state::active) continue;
+        const flavor& fl = scenario_.catalog.get(rec.flavor);
+        const vm_behavior& b = behavior_of(rec.id);
+        const double cpu_ratio = b.cpu_ratio_at(t);
+        const double mem_ratio = b.mem_ratio_at(t, t - rec.created_at);
+        const auto node_idx = static_cast<std::size_t>(rec.placed_node.value());
+        // pinned-QoS VMs hold dedicated cores; others share the pool
+        const double shared_cores =
+            fl.cpu_pinned ? 0.0 : cpu_ratio * static_cast<double>(fl.vcpus);
+        demand_scratch_[node_idx].add(
+            shared_cores,
+            static_cast<mebibytes>(mem_ratio * static_cast<double>(fl.ram_mib)),
+            b.tx_at(t), b.rx_at(t), b.disk_fill * fl.disk_gib);
+        if (fl.cpu_pinned) {
+            demand_scratch_[node_idx].pinned_cores +=
+                static_cast<double>(fl.vcpus);
+        }
+
+        const auto idx = static_cast<std::size_t>(rec.id.value());
+        store_.append(vm_cpu_series_[idx], t, cpu_ratio);
+        store_.append(vm_mem_series_[idx], t, mem_ratio);
+    }
+
+    // --- per-node metrics + per-BB contention ---------------------------
+    for (const drs_cluster& cluster : clusters_) {
+        // feed the scheduler the *hottest* node of each BB: mean contention
+        // washes out single noisy-neighbor nodes the filter should react to
+        running_stats bb_contention_stats;
+        for (const node_runtime& nr : cluster.nodes()) {
+            const compute_node& meta = f.get(nr.id());
+            if (!meta.available_at(t)) continue;  // white heatmap cell
+            const auto node_idx = static_cast<std::size_t>(nr.id().value());
+            const node_snapshot snap = evaluate_node(
+                nr.profile(), demand_scratch_[node_idx], config_.sampling_interval);
+            const node_series& s = node_series_[node_idx];
+            store_.append(s.cpu_util, t, snap.cpu_util_pct);
+            store_.append(s.contention, t, snap.cpu_contention_pct);
+            store_.append(s.ready, t, snap.cpu_ready_ms);
+            store_.append(s.mem, t, snap.mem_usage_pct);
+            store_.append(s.tx, t, snap.tx_kbps);
+            store_.append(s.rx, t, snap.rx_kbps);
+            store_.append(s.disk, t, snap.storage_used_gib);
+            bb_contention_stats.add(snap.cpu_contention_pct);
+        }
+        if (!bb_contention_stats.empty()) {
+            double& ewma =
+                bb_contention_ewma_[static_cast<std::size_t>(cluster.bb().value())];
+            ewma = 0.7 * ewma + 0.3 * bb_contention_stats.max();
+        }
+    }
+
+    // --- per-BB placement gauges (Nova MySQL exporter) -------------------
+    for (const building_block& bb : f.bbs()) {
+        const provider_inventory& inv = placement_.inventory(bb.id);
+        const provider_usage& use = placement_.usage(bb.id);
+        const bb_series& s = bb_series_[static_cast<std::size_t>(bb.id.value())];
+        store_.append(s.vcpus, t,
+                      static_cast<double>(inv.total_pcpus) *
+                          inv.cpu_allocation_ratio);
+        store_.append(s.vcpus_used, t, static_cast<double>(use.vcpus_used));
+        store_.append(s.mem, t, static_cast<double>(inv.total_ram_mib));
+        store_.append(s.mem_used, t, static_cast<double>(use.ram_used_mib));
+    }
+    store_.append(instances_series_, t,
+                  static_cast<double>(placement_.allocation_count()));
+
+    ++stats_.scrapes;
+    const sim_time next = t + config_.sampling_interval;
+    if (next < observation_window) {
+        queue_.schedule_at(next, [this](sim_time tn) { scrape(tn); });
+    }
+}
+
+void sim_engine::drs_pass(sim_time t) {
+    const vm_cpu_demand_fn demand = [this, t](vm_id vm) {
+        return vm_cpu_demand_cores(vm, t);
+    };
+    const vm_flavor_fn flavor_of = [this](vm_id vm) -> const flavor& {
+        return scenario_.catalog.get(vms_.get(vm).flavor);
+    };
+    for (drs_cluster& cluster : clusters_) {
+        const std::vector<drs_migration> moved =
+            cluster.rebalance(demand, flavor_of);
+        for (const drs_migration& m : moved) {
+            vm_record& rec = vms_.get_mutable(m.vm);
+            rec.placed_node = m.to;
+            ++rec.migration_count;
+            account_migration(m.vm, t);
+            events_.record(lifecycle_event{.t = t,
+                                           .kind = lifecycle_event_kind::migrate,
+                                           .vm = m.vm,
+                                           .bb = cluster.bb(),
+                                           .from = m.from,
+                                           .to = m.to});
+        }
+        stats_.drs_migrations += moved.size();
+    }
+    const sim_time next = t + config_.drs_interval;
+    if (next < observation_window) {
+        queue_.schedule_at(next, [this](sim_time tn) { drs_pass(tn); });
+    }
+}
+
+void sim_engine::cross_bb_pass(sim_time t) {
+    const cross_bb_rebalancer rebalancer(scenario_.infrastructure,
+                                         scenario_.catalog, config_.cross_bb);
+    cross_bb_inputs inputs;
+    inputs.vms_of_bb = [this](bb_id bb) {
+        std::vector<vm_id> out;
+        for (const node_runtime& nr : cluster_of(bb).nodes()) {
+            out.insert(out.end(), nr.residents().begin(), nr.residents().end());
+        }
+        std::sort(out.begin(), out.end());  // hash-set order is not stable
+        return out;
+    };
+    inputs.flavor_of = [this](vm_id vm) -> const flavor& {
+        return scenario_.catalog.get(vms_.get(vm).flavor);
+    };
+    inputs.resident_mib = [this, t](vm_id vm) {
+        const vm_record& rec = vms_.get(vm);
+        const flavor& f = scenario_.catalog.get(rec.flavor);
+        return static_cast<mebibytes>(
+            behavior_of(vm).mem_ratio_at(t, t - rec.created_at) *
+            static_cast<double>(f.ram_mib));
+    };
+    inputs.dirty_rate = [this, t](vm_id vm) {
+        const flavor& f = scenario_.catalog.get(vms_.get(vm).flavor);
+        return estimate_dirty_rate(vm_cpu_demand_cores(vm, t),
+                                   f.wclass == workload_class::hana_db);
+    };
+
+    for (const cross_bb_move& move : rebalancer.plan(placement_, inputs)) {
+        vm_record& rec = vms_.get_mutable(move.vm);
+        const flavor& f = scenario_.catalog.get(rec.flavor);
+        drs_cluster& to_cluster = cluster_of(move.to);
+        const std::optional<node_id> target = to_cluster.initial_placement(f);
+        if (!target.has_value()) continue;  // node-level fragmentation
+        const node_id old_node = rec.placed_node;
+        placement_.move(move.vm, move.to, f);
+        cluster_of(move.from).remove(move.vm, f, old_node);
+        to_cluster.place(move.vm, f, *target);
+        rec.placed_bb = move.to;
+        rec.placed_node = *target;
+        ++rec.migration_count;
+        ++stats_.cross_bb_moves;
+        stats_.migration_seconds += move.estimate.total_seconds;
+        stats_.max_migration_downtime_ms =
+            std::max(stats_.max_migration_downtime_ms, move.estimate.downtime_ms);
+        events_.record(lifecycle_event{.t = t,
+                                       .kind = lifecycle_event_kind::migrate,
+                                       .vm = move.vm,
+                                       .bb = move.to,
+                                       .from = old_node,
+                                       .to = *target});
+    }
+    const sim_time next = t + config_.cross_bb_interval;
+    if (next < observation_window) {
+        queue_.schedule_at(next, [this](sim_time tn) { cross_bb_pass(tn); });
+    }
+}
+
+void sim_engine::schedule_resizes() {
+    if (config_.daily_resize_fraction <= 0.0) return;
+    rng_stream rng(config_.scenario.seed, "resizes");
+    // each VM resizes within the window with probability fraction * 30 d
+    const double p = std::min(1.0, config_.daily_resize_fraction *
+                                       static_cast<double>(observation_days));
+    const auto consider = [&](const vm_plan& plan) {
+        if (!rng.chance(p)) return;
+        // pick an instant while the VM is alive and inside the window
+        const sim_time lo = std::max<sim_time>(plan.created_at + 1, 1);
+        const sim_time hi =
+            std::min<sim_time>(plan.deleted_at.value_or(observation_window),
+                               observation_window) -
+            1;
+        if (hi <= lo) return;
+        const auto at = static_cast<sim_time>(
+            rng.uniform(static_cast<double>(lo), static_cast<double>(hi)));
+        const vm_id vm = plan.vm;
+        queue_.schedule_at(at, [this, vm](sim_time t) { resize_vm(vm, t); });
+    };
+    for (const vm_plan& plan : population_plan_.initial) consider(plan);
+    for (const vm_plan& plan : population_plan_.arrivals) consider(plan);
+}
+
+void sim_engine::resize_vm(vm_id vm, sim_time t) {
+    vm_record& rec = vms_.get_mutable(vm);
+    if (rec.state != vm_state::active) return;
+    const flavor& old_flavor = scenario_.catalog.get(rec.flavor);
+
+    // target: the neighbouring catalog flavor of the same workload class
+    // (50/50 grow or shrink, mirroring right-sizing in both directions)
+    rng_stream rng = rng_stream(config_.scenario.seed, "resize-target")
+                         .child(static_cast<std::uint64_t>(vm.value()));
+    const bool grow = rng.chance(0.5);
+    const flavor* target = nullptr;
+    for (const flavor& f : scenario_.catalog.all()) {
+        if (f.wclass != old_flavor.wclass || f.id == old_flavor.id) continue;
+        if (grow) {
+            if (f.ram_mib <= old_flavor.ram_mib) continue;
+            if (target == nullptr || f.ram_mib < target->ram_mib) target = &f;
+        } else {
+            if (f.ram_mib >= old_flavor.ram_mib) continue;
+            if (target == nullptr || f.ram_mib > target->ram_mib) target = &f;
+        }
+    }
+    if (target == nullptr) return;  // already at the catalog edge
+
+    // swap the allocation in place on the current building block / node
+    drs_cluster& cluster = cluster_of(rec.placed_bb);
+    node_runtime& node = cluster.node(rec.placed_node);
+    placement_.release(vm, old_flavor);
+    node.remove(vm, old_flavor);
+    bool admitted = false;
+    try {
+        placement_.claim(vm, rec.placed_bb, *target);
+        admitted = true;
+    } catch (const capacity_error&) {
+    }
+    if (admitted && node.fits(*target, cluster.config().cpu_allocation_ratio,
+                              cluster.config().ram_allocation_ratio)) {
+        node.place(vm, *target);
+    } else if (admitted) {
+        // current node too full: DRS picks another node in the cluster
+        const std::optional<node_id> other = cluster.initial_placement(*target);
+        if (other.has_value()) {
+            cluster.place(vm, *target, *other);
+            rec.placed_node = *other;
+            ++rec.migration_count;
+        } else {
+            placement_.release(vm, *target);
+            admitted = false;
+        }
+    }
+    if (!admitted) {
+        // fleet rejects the resize: restore the old reservation
+        placement_.claim(vm, rec.placed_bb, old_flavor);
+        node.place(vm, old_flavor);
+        ++stats_.resize_failures;
+        return;
+    }
+
+    rec.flavor = target->id;
+    ++stats_.resizes;
+    // the workload changed size: resample its behavior lazily
+    const auto idx = static_cast<std::size_t>(vm.value());
+    if (idx < behavior_cached_.size()) behavior_cached_[idx] = 0;
+    events_.record(lifecycle_event{.t = t,
+                                   .kind = lifecycle_event_kind::resize,
+                                   .vm = vm,
+                                   .bb = rec.placed_bb,
+                                   .from = rec.placed_node,
+                                   .to = rec.placed_node});
+}
+
+drs_cluster& sim_engine::cluster_of(bb_id bb) {
+    expects(bb.valid() && static_cast<std::size_t>(bb.value()) < clusters_.size(),
+            "sim_engine::cluster_of: unknown building block");
+    return clusters_[static_cast<std::size_t>(bb.value())];
+}
+
+double sim_engine::bb_contention(bb_id bb) const {
+    const auto idx = static_cast<std::size_t>(bb.value());
+    return idx < bb_contention_ewma_.size() ? bb_contention_ewma_[idx] : 0.0;
+}
+
+}  // namespace sci

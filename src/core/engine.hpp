@@ -1,0 +1,191 @@
+#pragma once
+
+// The simulation engine: reproduces the measured system end to end.
+//
+//   workload generator ──► Nova conductor/scheduler ──► building block
+//                                  │                        │
+//                                  ▼                        ▼
+//                           placement API             DRS cluster (nodes)
+//                                                           │
+//   contention model ◄── per-VM demand at scrape time ◄─────┘
+//        │
+//        ▼
+//   exporters ──► metric_store (Prometheus/Thanos equivalent)
+//
+// run() places the initial population (pre-window history), then plays the
+// 30-day observation window: scrape events feed the exporters, DRS passes
+// rebalance clusters, churn events create/delete VMs, maintenance events
+// commission/decommission nodes (the heatmaps' white cells).
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "drs/drs.hpp"
+#include "drs/migration.hpp"
+#include "hypervisor/node_runtime.hpp"
+#include "infra/event_log.hpp"
+#include "infra/vm.hpp"
+#include "rebalancer/cross_bb.hpp"
+#include "sched/conductor.hpp"
+#include "simcore/event_queue.hpp"
+#include "telemetry/store.hpp"
+#include "workload/behavior.hpp"
+#include "workload/population.hpp"
+
+namespace sci {
+
+struct engine_config {
+    scenario_config scenario;
+    /// Scrape cadence (the paper's telemetry: 30–300 s; default 300 s).
+    sim_duration sampling_interval = 300;
+    /// DRS balancing pass cadence.
+    sim_duration drs_interval = 3600;
+    drs_config drs;
+    store_config store;
+    population_config population;  ///< initial_population overridden by scenario
+
+    // --- policy switches (ablations of DESIGN.md §3) ---------------------
+    /// Feed observed BB contention into the scheduler (Section 7 guidance).
+    bool contention_aware = false;
+    double contention_filter_threshold_pct = 15.0;
+    /// Holistic single-layer scheduler: place directly onto nodes,
+    /// collapsing the Nova→BB + DRS→node split (Section 7 guidance).
+    bool holistic = false;
+    /// Lifetime-aware placement: pack short-lived VMs (< 7 days), spread
+    /// long-lived ones (Section 7 "workload lifetime ... fragmentation").
+    bool lifetime_aware = false;
+    /// Fraction of nodes undergoing commission/decommission in-window.
+    double node_churn_fraction = 0.03;
+    /// Fraction of the population that resizes (grow or shrink to the
+    /// neighbouring flavor) per day — the "resize" events of Section 4.
+    /// Kept rare: resizes move VMs across the Table 1/2 size classes, and
+    /// the published class mix is stable.
+    double daily_resize_fraction = 0.0005;
+    /// Override the general-purpose vCPU:pCPU allocation ratio (ablation:
+    /// overcommit sweep, Section 7 "the overcommit factor should be
+    /// reconsidered").
+    std::optional<double> gp_cpu_allocation_ratio_override;
+    /// Cross-building-block rebalancing pass cadence; 0 disables it (the
+    /// paper's "external rebalancers", Section 3.1 / Section 7 guidance).
+    sim_duration cross_bb_interval = 0;
+    cross_bb_config cross_bb;
+    /// Cost model applied to every DRS / cross-BB migration.
+    migration_cost_config migration_cost;
+};
+
+/// Aggregate counters of one simulation run.
+struct run_stats {
+    std::uint64_t placements = 0;
+    std::uint64_t placement_failures = 0;
+    std::uint64_t scheduler_retries = 0;
+    std::uint64_t drs_migrations = 0;
+    std::uint64_t evacuations = 0;
+    /// Placements where the BB had aggregate space but no single node fit
+    /// under the ratios — intra-BB fragmentation made visible.
+    std::uint64_t forced_fits = 0;
+    std::uint64_t deletions = 0;
+    std::uint64_t scrapes = 0;
+    /// Cross-building-block rebalancer moves (0 unless enabled).
+    std::uint64_t cross_bb_moves = 0;
+    /// Successful flavor resizes (and attempts the fleet rejected).
+    std::uint64_t resizes = 0;
+    std::uint64_t resize_failures = 0;
+    /// Total estimated wall-clock spent in live migrations (seconds).
+    double migration_seconds = 0.0;
+    /// Worst estimated stop-and-copy downtime of any migration (ms).
+    double max_migration_downtime_ms = 0.0;
+};
+
+class sim_engine {
+public:
+    /// Build engine with a freshly constructed regional scenario.
+    explicit sim_engine(engine_config config);
+
+    /// Build engine over a caller-provided scenario.
+    sim_engine(engine_config config, scenario sc);
+
+    /// Place the initial population and play the full observation window.
+    void run();
+
+    /// Play only until `until` (for incremental inspection in tests).
+    void setup();
+    void run_until(sim_time until);
+
+    const metric_store& store() const { return store_; }
+    const vm_registry& vms() const { return vms_; }
+    const fleet& infrastructure() const { return scenario_.infrastructure; }
+    const flavor_catalog& catalog() const { return scenario_.catalog; }
+    const scenario& scn() const { return scenario_; }
+    const run_stats& stats() const { return stats_; }
+    const engine_config& config() const { return config_; }
+    const std::vector<drs_cluster>& clusters() const { return clusters_; }
+    const placement_service& placement() const { return placement_; }
+    const event_log& events() const { return events_; }
+
+    /// Behavior of a VM (sampled lazily, cached).
+    const vm_behavior& behavior_of(vm_id vm);
+
+    /// Instantaneous CPU demand (cores) of a VM at time t.
+    double vm_cpu_demand_cores(vm_id vm, sim_time t);
+
+private:
+    void setup_providers();
+    void setup_node_churn();
+    void build_population();
+    void place_initial_population();
+    void schedule_window_events();
+
+    bool place_vm(vm_id vm, sim_time when);
+    bool place_vm_holistic(vm_id vm, sim_time when);
+    void delete_vm(vm_id vm, sim_time when);
+    void scrape(sim_time t);
+    void drs_pass(sim_time t);
+    void cross_bb_pass(sim_time t);
+    void decommission_node(node_id node, sim_time t);
+    void schedule_resizes();
+    void resize_vm(vm_id vm, sim_time t);
+    void account_migration(vm_id vm, sim_time t);
+    void open_vm_series(const vm_record& rec);
+
+    placement_policy policy_for(vm_id vm, const flavor& f) const;
+    drs_cluster& cluster_of(bb_id bb);
+    double bb_contention(bb_id bb) const;
+
+    engine_config config_;
+    scenario scenario_;
+    vm_registry vms_;
+    behavior_model behaviors_;
+    lifetime_model lifetimes_;
+    placement_service placement_;
+    std::unique_ptr<conductor> conductor_;
+    std::vector<drs_cluster> clusters_;  ///< indexed by bb id value
+    metric_store store_;
+    event_queue queue_;
+    population population_plan_;
+    run_stats stats_;
+    event_log events_;
+    bool setup_done_ = false;
+
+    // caches (indexed by id values)
+    std::vector<vm_behavior> behavior_cache_;
+    std::vector<char> behavior_cached_;
+    std::vector<sim_duration> planned_lifetime_;  ///< for lifetime-aware policy
+    std::vector<series_id> vm_cpu_series_;
+    std::vector<series_id> vm_mem_series_;
+    struct node_series {
+        series_id cpu_util, contention, ready, mem, tx, rx, disk;
+    };
+    std::vector<node_series> node_series_;
+    struct bb_series {
+        series_id vcpus, vcpus_used, mem, mem_used;
+    };
+    std::vector<bb_series> bb_series_;
+    series_id instances_series_;
+    std::vector<double> bb_contention_ewma_;  ///< per bb id value
+    std::vector<node_demand> demand_scratch_;  ///< per node id value
+};
+
+}  // namespace sci

@@ -1,0 +1,29 @@
+#pragma once
+
+// Markdown report generator: renders the full paper-vs-measured comparison
+// (every Section 5 artifact) from a finished simulation run.  scisim's
+// `report --markdown` writes this; EXPERIMENTS.md is curated from it.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/engine.hpp"
+
+namespace sci {
+
+struct report_options {
+    /// Include the ASCII heatmap previews (large).
+    bool include_heatmaps = true;
+    /// Title line of the document.
+    std::string title = "SAP Cloud Infrastructure reproduction — measured vs. paper";
+};
+
+/// Write the markdown report for a *finished* engine run.
+void write_markdown_report(std::ostream& os, sim_engine& engine,
+                           const report_options& options = {});
+
+/// Convenience: report as a string.
+std::string markdown_report(sim_engine& engine,
+                            const report_options& options = {});
+
+}  // namespace sci

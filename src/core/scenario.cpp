@@ -1,0 +1,161 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <string>
+
+#include "simcore/error.hpp"
+#include "simcore/rng.hpp"
+#include "workload/calibration.hpp"
+
+namespace sci {
+
+namespace cal = calibration;
+
+namespace {
+
+/// Split a node budget into building blocks of a purpose, with sizes drawn
+/// from a clamped lognormal (the paper: BB sizes range from 2 to 128).
+void build_bbs(fleet& f, dc_id dc, bb_purpose purpose, int node_budget,
+               double size_mu, double size_sigma, int size_cap,
+               const hardware_profile& profile, rng_stream& rng,
+               int& name_counter) {
+    int remaining = node_budget;
+    int created = 0;
+    while (remaining >= cal::bb_min_nodes) {
+        int size = static_cast<int>(std::lround(rng.lognormal(size_mu, size_sigma)));
+        size = std::clamp(size, cal::bb_min_nodes, std::min(size_cap, remaining));
+        const std::string name = f.get(dc).name + "-" +
+                                 std::string(to_string(purpose)) + "-bb" +
+                                 std::to_string(name_counter++);
+        f.add_bb(dc, name, purpose, profile, size);
+        remaining -= size;
+        ++created;
+    }
+    // fold leftover single node into the last BB of this purpose, if any
+    if (remaining > 0 && created > 0) {
+        const auto& bbs = f.get(dc).bbs;
+        for (auto it = bbs.rbegin(); it != bbs.rend(); ++it) {
+            if (f.get(*it).purpose == purpose) {
+                for (int i = 0; i < remaining; ++i) f.add_node(*it);
+                break;
+            }
+        }
+    }
+}
+
+/// Populate one data center's building blocks from a hypervisor budget.
+void build_dc(fleet& f, dc_id dc, int hypervisors, rng_stream& rng,
+              const scenario_config& config) {
+    const int xl_nodes = std::max(
+        0, static_cast<int>(std::lround(static_cast<double>(hypervisors) *
+                                        config.dedicated_xl_node_fraction)));
+    const int hana_nodes = std::max(
+        0, static_cast<int>(std::lround(static_cast<double>(hypervisors) *
+                                        config.hana_node_fraction)));
+    const int reserve_nodes = std::max(
+        0, static_cast<int>(std::lround(static_cast<double>(hypervisors) *
+                                        config.reserve_node_fraction)));
+    const int general_nodes =
+        std::max(0, hypervisors - xl_nodes - hana_nodes - reserve_nodes);
+
+    // general purpose: medium-large BBs, two hardware generations
+    const int gen_a = general_nodes / 2;
+    const int gen_b = general_nodes - gen_a;
+    int general_counter = 0;
+    int hana_counter = 0;
+    int xl_counter = 0;
+    build_bbs(f, dc, bb_purpose::general, gen_a, /*mu=*/3.1, /*sigma=*/0.5,
+              cal::bb_max_nodes, profiles::general_purpose(), rng,
+              general_counter);
+    build_bbs(f, dc, bb_purpose::general, gen_b, 3.1, 0.5, cal::bb_max_nodes,
+              profiles::general_purpose_large(), rng, general_counter);
+    // hana: smaller clusters of large-memory hosts
+    build_bbs(f, dc, bb_purpose::hana, hana_nodes, 2.3, 0.5, 32,
+              profiles::hana_large_memory(), rng, hana_counter);
+    // dedicated XL: few small clusters of very large hosts
+    build_bbs(f, dc, bb_purpose::dedicated_xl, xl_nodes, 1.6, 0.4, 8,
+              profiles::hana_extra_large_memory(), rng, xl_counter);
+    // failover / scalability reserve (monitored, never scheduled)
+    int reserve_counter = 0;
+    build_bbs(f, dc, bb_purpose::reserve, reserve_nodes, 2.3, 0.4, 32,
+              profiles::general_purpose(), rng, reserve_counter);
+}
+
+}  // namespace
+
+scenario make_regional_scenario(const scenario_config& config) {
+    expects(config.scale > 0.0, "make_regional_scenario: scale must be positive");
+    fleet f;
+    rng_stream rng(config.seed, "scenario");
+
+    const region_id region = f.add_region("region-9");
+    // the studied region (Table 5, region 9): DC A 751 nodes, DC B 1072
+    const az_id az_a = f.add_az(region, "az-a");
+    const az_id az_b = f.add_az(region, "az-b");
+    const dc_id dc_a = f.add_dc(az_a, "dc-a");
+    const dc_id dc_b = f.add_dc(az_b, "dc-b");
+
+    const auto scaled = [&](int n) {
+        return std::max(cal::bb_min_nodes,
+                        static_cast<int>(std::lround(n * config.scale)));
+    };
+    build_dc(f, dc_a, scaled(751), rng, config);
+    build_dc(f, dc_b, scaled(1072), rng, config);
+
+    flavor_catalog catalog;
+    flavor_mix mix = flavor_mix::standard(catalog);
+    const int population = std::max(
+        1, static_cast<int>(std::lround(cal::regional_vms * config.scale)));
+    return scenario(std::move(f), std::move(catalog), std::move(mix), region,
+                    population);
+}
+
+std::span<const dc_spec> table5_datacenters() {
+    // Exact rows of Table 5 (Appendix D).
+    static constexpr std::array<dc_spec, 29> rows{{
+        {1, "A", 167, 4985},   {1, "B", 65, 375},     {2, "A", 244, 7913},
+        {2, "B", 112, 1284},   {3, "A", 202, 4475},   {3, "B", 89, 1353},
+        {4, "A", 191, 3977},   {5, "A", 42, 395},     {6, "A", 150, 5016},
+        {7, "A", 63, 1096},    {8, "A", 227, 5595},   {8, "B", 270, 4206},
+        {8, "D", 966, 34392},  {9, "A", 751, 19464},  {9, "B", 1072, 27652},
+        {10, "A", 65, 1186},   {10, "B", 152, 5713},  {11, "A", 60, 2877},
+        {12, "A", 62, 1996},   {12, "B", 43, 362},    {13, "A", 274, 7432},
+        {13, "B", 99, 1149},   {13, "D", 239, 3881},  {14, "A", 330, 3809},
+        {14, "B", 307, 5125},  {15, "A", 209, 5442},  {16, "A", 40, 504},
+        {16, "B", 28, 156},    {16, "D", 22, 78},
+    }};
+    return rows;
+}
+
+scenario make_global_scenario(std::uint64_t seed) {
+    fleet f;
+    rng_stream rng(seed, "global-scenario");
+    scenario_config config;
+
+    int current_region = -1;
+    region_id region;
+    int total_vms = 0;
+    for (const dc_spec& spec : table5_datacenters()) {
+        if (spec.region_id != current_region) {
+            current_region = spec.region_id;
+            region = f.add_region("region-" + std::to_string(spec.region_id));
+        }
+        const az_id az = f.add_az(
+            region, "region-" + std::to_string(spec.region_id) + "-az-" +
+                        spec.dc_name);
+        const dc_id dc =
+            f.add_dc(az, "region-" + std::to_string(spec.region_id) + "-dc-" +
+                             spec.dc_name);
+        build_dc(f, dc, spec.hypervisors, rng, config);
+        total_vms += spec.vms;
+    }
+
+    flavor_catalog catalog;
+    flavor_mix mix = flavor_mix::standard(catalog);
+    return scenario(std::move(f), std::move(catalog), std::move(mix),
+                    region_id(0), total_vms);
+}
+
+}  // namespace sci

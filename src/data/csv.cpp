@@ -1,0 +1,94 @@
+#include "data/csv.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+
+std::string csv_escape(std::string_view field) {
+    const bool needs_quotes =
+        field.find_first_of(",\"\n\r") != std::string_view::npos;
+    if (!needs_quotes) return std::string(field);
+    std::string out;
+    out.reserve(field.size() + 2);
+    out += '"';
+    for (char c : field) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::vector<std::string> csv_parse_line(std::string_view line) {
+    std::vector<std::string> fields;
+    std::string current;
+    bool in_quotes = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    current += '"';
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                current += c;
+            }
+        } else if (c == '"') {
+            if (!current.empty()) {
+                throw error("csv_parse_line: quote inside unquoted field");
+            }
+            in_quotes = true;
+        } else if (c == ',') {
+            fields.push_back(std::move(current));
+            current.clear();
+        } else if (c == '\r') {
+            // tolerate CRLF
+        } else {
+            current += c;
+        }
+    }
+    if (in_quotes) throw error("csv_parse_line: unterminated quoted field");
+    fields.push_back(std::move(current));
+    return fields;
+}
+
+void csv_writer::write_row(std::span<const std::string> fields) {
+    bool first = true;
+    for (const std::string& f : fields) {
+        if (!first) os_ << ',';
+        first = false;
+        os_ << csv_escape(f);
+    }
+    os_ << '\n';
+    ++rows_;
+}
+
+void csv_writer::write_row(std::initializer_list<std::string_view> fields) {
+    bool first = true;
+    for (std::string_view f : fields) {
+        if (!first) os_ << ',';
+        first = false;
+        os_ << csv_escape(f);
+    }
+    os_ << '\n';
+    ++rows_;
+}
+
+bool csv_reader::next_row(std::vector<std::string>& fields) {
+    std::string line;
+    while (std::getline(is_, line)) {
+        if (line.empty() || line == "\r") continue;
+        fields = csv_parse_line(line);
+        ++rows_;
+        return true;
+    }
+    return false;
+}
+
+}  // namespace sci

@@ -1,0 +1,57 @@
+#include "drs/migration.hpp"
+
+#include "simcore/error.hpp"
+
+namespace sci {
+
+migration_estimate estimate_live_migration(
+    mebibytes resident_mib, double dirty_mib_per_s,
+    const migration_cost_config& config) {
+    expects(resident_mib >= 0, "estimate_live_migration: negative memory");
+    expects(dirty_mib_per_s >= 0.0, "estimate_live_migration: negative rate");
+    expects(config.bandwidth_mib_per_s > 0.0,
+            "estimate_live_migration: bandwidth must be positive");
+    expects(config.max_precopy_rounds >= 0,
+            "estimate_live_migration: negative round budget");
+
+    migration_estimate est;
+    const double bw = config.bandwidth_mib_per_s;
+    double remaining = static_cast<double>(resident_mib);
+
+    if (dirty_mib_per_s >= bw) {
+        // pre-copy cannot catch up; a real system would throttle the guest
+        // or fall back to stop-and-copy of the full resident set
+        est.converges = false;
+        est.precopy_rounds = 0;
+        est.transferred_mib = remaining;
+        est.total_seconds = remaining / bw;
+        est.downtime_ms = est.total_seconds * 1000.0;
+        return est;
+    }
+
+    while (remaining > static_cast<double>(config.stop_and_copy_mib) &&
+           est.precopy_rounds < config.max_precopy_rounds) {
+        const double round_seconds = remaining / bw;
+        est.transferred_mib += remaining;
+        est.total_seconds += round_seconds;
+        remaining = dirty_mib_per_s * round_seconds;  // dirtied during copy
+        ++est.precopy_rounds;
+    }
+
+    // stop-and-copy of whatever is left
+    const double final_seconds = remaining / bw;
+    est.transferred_mib += remaining;
+    est.total_seconds += final_seconds;
+    est.downtime_ms = final_seconds * 1000.0;
+    return est;
+}
+
+double estimate_dirty_rate(double active_cores, bool memory_intensive) {
+    expects(active_cores >= 0.0, "estimate_dirty_rate: negative cores");
+    // Empirical ballpark: a busy general-purpose core dirties a few tens of
+    // MiB/s; in-memory database cores churn working sets far harder.
+    const double per_core = memory_intensive ? 180.0 : 40.0;
+    return active_cores * per_core;
+}
+
+}  // namespace sci

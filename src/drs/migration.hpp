@@ -1,0 +1,54 @@
+#pragma once
+
+// Live-migration cost model.
+//
+// Section 3.2 ("Avoiding migration of heavy VMs"): "When implementing a
+// seamless migration, either the (updated) memory pages or deltas need to
+// be copied from the original source to the new destination ... Different
+// solutions exist ... but introduce performance penalties.  Therefore, it
+// is preferred not to migrate but provide enough resources in advance."
+//
+// We model the standard iterative pre-copy algorithm (vMotion-style):
+// round 0 transfers the full resident memory; while pages are dirtied
+// faster than they can be re-sent, further rounds transfer the delta;
+// when the remaining dirty set falls below the stop-and-copy threshold
+// (or the round budget is exhausted) the VM is paused and the rest is
+// copied — that pause is the downtime.  A dirty rate at or above the
+// transfer bandwidth never converges.
+
+#include "simcore/units.hpp"
+
+namespace sci {
+
+struct migration_cost_config {
+    /// Migration (vMotion) network bandwidth per transfer, in MiB/s.
+    /// 10 Gbps dedicated link ≈ 1,192 MiB/s.
+    double bandwidth_mib_per_s = 1192.0;
+    /// Stop-and-copy threshold: pause the VM when the dirty set is below
+    /// this size.
+    mebibytes stop_and_copy_mib = 256;
+    /// Maximum pre-copy rounds before forcing stop-and-copy.
+    int max_precopy_rounds = 16;
+};
+
+struct migration_estimate {
+    bool converges = true;        ///< dirty rate < bandwidth
+    int precopy_rounds = 0;       ///< rounds before stop-and-copy
+    double total_seconds = 0.0;   ///< wall-clock duration of the migration
+    double downtime_ms = 0.0;     ///< stop-and-copy pause
+    double transferred_mib = 0.0; ///< total bytes moved (>= resident size)
+};
+
+/// Estimate one live migration.
+///   resident_mib       memory that must move (consumed, not flavor size)
+///   dirty_mib_per_s    rate at which the guest dirties pages
+migration_estimate estimate_live_migration(
+    mebibytes resident_mib, double dirty_mib_per_s,
+    const migration_cost_config& config = {});
+
+/// Rough dirty-page rate of a VM from its observable activity: CPU-active
+/// cores each touch memory at `dirty_mib_per_core_s`.  In-memory database
+/// workloads dirty more per core than general-purpose ones.
+double estimate_dirty_rate(double active_cores, bool memory_intensive);
+
+}  // namespace sci

@@ -1,0 +1,75 @@
+#include "hypervisor/node_runtime.hpp"
+
+#include <algorithm>
+
+#include "simcore/error.hpp"
+#include "simcore/units.hpp"
+
+namespace sci {
+
+node_snapshot evaluate_node(const hardware_profile& profile,
+                            const node_demand& demand, sim_duration interval) {
+    expects(interval > 0, "evaluate_node: interval must be positive");
+    expects(profile.pcpu_cores > 0 && profile.memory_mib > 0,
+            "evaluate_node: profile must have positive capacity");
+
+    node_snapshot snap;
+    const double capacity = static_cast<double>(profile.pcpu_cores);
+    // pinned-QoS VMs own dedicated cores; the shared pool shrinks
+    const double pinned = std::clamp(demand.pinned_cores, 0.0, capacity);
+    const double shared_capacity = capacity - pinned;
+    const double d = std::max(0.0, demand.cpu_cores);
+
+    snap.cpu_util_pct = clamp_percent(
+        (std::min(d, shared_capacity) + pinned) / capacity * 100.0);
+    if (d > shared_capacity && d > 0.0) {
+        const double ready_fraction = (d - shared_capacity) / d;
+        snap.cpu_contention_pct = clamp_percent(ready_fraction * 100.0);
+        snap.cpu_ready_ms = ready_fraction * static_cast<double>(interval) * 1000.0;
+    }
+
+    snap.mem_usage_pct = clamp_percent(
+        static_cast<double>(demand.mem_mib) /
+        static_cast<double>(profile.memory_mib) * 100.0);
+
+    snap.tx_kbps = std::clamp(demand.tx_kbps, 0.0, profile.nic_kbps);
+    snap.rx_kbps = std::clamp(demand.rx_kbps, 0.0, profile.nic_kbps);
+    snap.storage_used_gib =
+        std::clamp(demand.storage_gib, 0.0, profile.storage_gib);
+    return snap;
+}
+
+void node_runtime::place(vm_id vm, const flavor& f) {
+    expects(vm.valid(), "node_runtime::place: invalid vm id");
+    const auto [it, inserted] = residents_.insert(vm);
+    (void)it;
+    expects(inserted, "node_runtime::place: vm already resident");
+    reserved_vcpus_ += f.vcpus;
+    reserved_ram_ += f.ram_mib;
+    reserved_disk_ += f.disk_gib;
+}
+
+void node_runtime::remove(vm_id vm, const flavor& f) {
+    const std::size_t erased = residents_.erase(vm);
+    expects(erased == 1, "node_runtime::remove: vm not resident");
+    reserved_vcpus_ -= f.vcpus;
+    reserved_ram_ -= f.ram_mib;
+    reserved_disk_ -= f.disk_gib;
+    ensures(reserved_vcpus_ >= 0 && reserved_ram_ >= 0 && reserved_disk_ >= -1e-9,
+            "node_runtime::remove: reservation accounting went negative");
+}
+
+bool node_runtime::fits(const flavor& f, double cpu_allocation_ratio,
+                        double ram_allocation_ratio) const {
+    expects(cpu_allocation_ratio > 0.0 && ram_allocation_ratio > 0.0,
+            "node_runtime::fits: allocation ratios must be positive");
+    const double cpu_limit =
+        static_cast<double>(profile_.pcpu_cores) * cpu_allocation_ratio;
+    const double ram_limit =
+        static_cast<double>(profile_.memory_mib) * ram_allocation_ratio;
+    return static_cast<double>(reserved_vcpus_ + f.vcpus) <= cpu_limit &&
+           static_cast<double>(reserved_ram_ + f.ram_mib) <= ram_limit &&
+           reserved_disk_ + f.disk_gib <= profile_.storage_gib;
+}
+
+}  // namespace sci

@@ -1,0 +1,129 @@
+#pragma once
+
+// Per-node runtime state and the CPU contention model.
+//
+// node_runtime tracks which VMs reside on an ESXi node and the resources
+// they *reserve* (flavor-sized, i.e. what placement decisions see).
+// evaluate_node() converts instantaneous *demand* (what the workload model
+// says VMs want right now) into the observable host metrics of Table 4,
+// including the two contention signals the paper analyses:
+//
+//   CPU contention %  — share of time vCPUs were ready but not scheduled
+//                       (Figure 9; >40% observed on some hosts)
+//   CPU ready ms      — the same signal expressed as waiting time per
+//                       sampling interval (Figure 8; up to ~220 s per 300 s)
+//
+// The model is proportional-share: when aggregate demand D exceeds physical
+// capacity C, every vCPU gets scaled back by C/D and the unsatisfied
+// fraction (D-C)/D of the interval is spent in ready state.
+
+#include <unordered_set>
+#include <vector>
+
+#include "infra/flavor.hpp"
+#include "infra/hardware.hpp"
+#include "infra/ids.hpp"
+#include "simcore/time.hpp"
+#include "simcore/units.hpp"
+
+namespace sci {
+
+/// Aggregate instantaneous demand of the VMs on one node.
+struct node_demand {
+    double cpu_cores = 0.0;      ///< sum of active vCPU-cores demanded (shared pool)
+    double pinned_cores = 0.0;   ///< physical cores reserved by pinned-QoS VMs
+    mebibytes mem_mib = 0;       ///< sum of consumed memory
+    kbps tx_kbps = 0.0;          ///< transmitted traffic
+    kbps rx_kbps = 0.0;          ///< received traffic
+    gibibytes storage_gib = 0.0; ///< allocated datastore space
+    int vm_count = 0;
+
+    void add(double cores, mebibytes mem, kbps tx, kbps rx, gibibytes disk) {
+        cpu_cores += cores;
+        mem_mib += mem;
+        tx_kbps += tx;
+        rx_kbps += rx;
+        storage_gib += disk;
+        ++vm_count;
+    }
+};
+
+/// Observable host metrics for one sampling interval.
+struct node_snapshot {
+    double cpu_util_pct = 0.0;     ///< min(D, C) / C * 100
+    double cpu_contention_pct = 0.0;  ///< (D - C) / D * 100 when D > C
+    double cpu_ready_ms = 0.0;     ///< contention fraction * interval
+    double mem_usage_pct = 0.0;
+    kbps tx_kbps = 0.0;
+    kbps rx_kbps = 0.0;
+    gibibytes storage_used_gib = 0.0;
+};
+
+/// Evaluate the contention model for one node over one sampling interval.
+node_snapshot evaluate_node(const hardware_profile& profile,
+                            const node_demand& demand, sim_duration interval);
+
+/// Reservation-level state of one ESXi node: which VMs live here and what
+/// their flavors reserve.  This is what DRS and node-granular placement
+/// reason about (demand-level signals come from evaluate_node).
+class node_runtime {
+public:
+    node_runtime() = default;
+    node_runtime(node_id id, hardware_profile profile)
+        : id_(id), profile_(std::move(profile)) {}
+
+    node_id id() const { return id_; }
+    const hardware_profile& profile() const { return profile_; }
+
+    /// Place a VM; reserves its flavor's resources.  Throws if already here.
+    void place(vm_id vm, const flavor& f);
+
+    /// Remove a VM; releases its flavor's resources.  Throws if not here.
+    void remove(vm_id vm, const flavor& f);
+
+    bool hosts(vm_id vm) const { return residents_.contains(vm); }
+    const std::unordered_set<vm_id>& residents() const { return residents_; }
+    std::size_t vm_count() const { return residents_.size(); }
+
+    /// Whether the node accepts new placements (false while the host is
+    /// out of service / not yet commissioned — operational changes during
+    /// the observation window, Section 5 "white cells").
+    bool accepting() const { return accepting_; }
+    void set_accepting(bool accepting) { accepting_ = accepting; }
+
+    core_count reserved_vcpus() const { return reserved_vcpus_; }
+    mebibytes reserved_ram_mib() const { return reserved_ram_; }
+    gibibytes reserved_disk_gib() const { return reserved_disk_; }
+
+    /// vCPU:pCPU overcommit currently reserved on this node.
+    double cpu_overcommit() const {
+        return profile_.pcpu_cores == 0
+                   ? 0.0
+                   : static_cast<double>(reserved_vcpus_) /
+                         static_cast<double>(profile_.pcpu_cores);
+    }
+
+    /// Fraction of physical memory reserved by flavors.
+    double ram_reserved_ratio() const {
+        return profile_.memory_mib == 0
+                   ? 0.0
+                   : static_cast<double>(reserved_ram_) /
+                         static_cast<double>(profile_.memory_mib);
+    }
+
+    /// Whether a flavor fits under the given allocation ratios (the
+    /// placement-API admission rule).
+    bool fits(const flavor& f, double cpu_allocation_ratio,
+              double ram_allocation_ratio) const;
+
+private:
+    node_id id_;
+    hardware_profile profile_;
+    bool accepting_ = true;
+    std::unordered_set<vm_id> residents_;
+    core_count reserved_vcpus_ = 0;
+    mebibytes reserved_ram_ = 0;
+    gibibytes reserved_disk_ = 0.0;
+};
+
+}  // namespace sci

@@ -1,0 +1,64 @@
+#include "infra/event_log.hpp"
+
+#include <algorithm>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+
+std::string_view to_string(lifecycle_event_kind k) {
+    switch (k) {
+        case lifecycle_event_kind::create: return "create";
+        case lifecycle_event_kind::schedule_fail: return "schedule_fail";
+        case lifecycle_event_kind::migrate: return "migrate";
+        case lifecycle_event_kind::evacuate: return "evacuate";
+        case lifecycle_event_kind::resize: return "resize";
+        case lifecycle_event_kind::remove: return "delete";
+    }
+    return "unknown";
+}
+
+void event_log::record(lifecycle_event event) {
+    expects(events_.empty() || event.t >= events_.back().t,
+            "event_log::record: events must arrive in time order");
+    events_.push_back(event);
+}
+
+std::size_t event_log::count(lifecycle_event_kind kind) const {
+    return static_cast<std::size_t>(
+        std::count_if(events_.begin(), events_.end(),
+                      [kind](const lifecycle_event& e) { return e.kind == kind; }));
+}
+
+std::span<const lifecycle_event> event_log::between(sim_time from,
+                                                    sim_time to) const {
+    const auto lower = std::lower_bound(
+        events_.begin(), events_.end(), from,
+        [](const lifecycle_event& e, sim_time t) { return e.t < t; });
+    const auto upper = std::lower_bound(
+        lower, events_.end(), to,
+        [](const lifecycle_event& e, sim_time t) { return e.t < t; });
+    return {std::to_address(lower), static_cast<std::size_t>(upper - lower)};
+}
+
+std::vector<lifecycle_event> event_log::of_vm(vm_id vm) const {
+    std::vector<lifecycle_event> out;
+    for (const lifecycle_event& e : events_) {
+        if (e.vm == vm) out.push_back(e);
+    }
+    return out;
+}
+
+std::vector<int> event_log::daily_counts(lifecycle_event_kind kind,
+                                         int days) const {
+    expects(days > 0, "event_log::daily_counts: days must be positive");
+    std::vector<int> out(static_cast<std::size_t>(days), 0);
+    for (const lifecycle_event& e : events_) {
+        if (e.kind != kind) continue;
+        const std::int64_t day = day_index(e.t);
+        if (day >= 0 && day < days) ++out[static_cast<std::size_t>(day)];
+    }
+    return out;
+}
+
+}  // namespace sci

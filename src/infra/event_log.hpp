@@ -1,0 +1,70 @@
+#pragma once
+
+// Scheduling-relevant event log.
+//
+// The published dataset "includes ... scheduling-relevant events (if
+// occurring within the observation period), such as creation, migration,
+// resize, and deletion" (Section 4).  The engine records every lifecycle
+// transition here; the log is exportable alongside the telemetry CSVs and
+// feeds the churn analysis.
+
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "infra/ids.hpp"
+#include "simcore/time.hpp"
+
+namespace sci {
+
+enum class lifecycle_event_kind {
+    create,         ///< VM requested and placed
+    schedule_fail,  ///< NoValidHost
+    migrate,        ///< DRS balancing migration (node -> node)
+    evacuate,       ///< forced migration off a decommissioned node
+    resize,         ///< flavor change (grow or shrink)
+    remove,         ///< VM deleted
+};
+
+std::string_view to_string(lifecycle_event_kind k);
+
+struct lifecycle_event {
+    sim_time t = 0;
+    lifecycle_event_kind kind = lifecycle_event_kind::create;
+    vm_id vm;
+    bb_id bb;        ///< building block involved (if any)
+    node_id from;    ///< source node for migrations
+    node_id to;      ///< destination node (placement/migrations)
+};
+
+/// Append-only, time-ordered event log.
+class event_log {
+public:
+    /// Record an event.  Events must be appended in non-decreasing time
+    /// order (the simulation is causal).
+    void record(lifecycle_event event);
+
+    std::span<const lifecycle_event> all() const { return events_; }
+    std::size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+
+    /// Number of events of one kind.
+    std::size_t count(lifecycle_event_kind kind) const;
+
+    /// Events within [from, to).
+    std::span<const lifecycle_event> between(sim_time from, sim_time to) const;
+
+    /// All events of one VM (in time order).
+    std::vector<lifecycle_event> of_vm(vm_id vm) const;
+
+    /// Per-day counts of one kind over the observation window (the churn
+    /// series; index = day).
+    std::vector<int> daily_counts(lifecycle_event_kind kind,
+                                  int days = observation_days) const;
+
+private:
+    std::vector<lifecycle_event> events_;
+};
+
+}  // namespace sci

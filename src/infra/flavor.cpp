@@ -1,0 +1,89 @@
+#include "infra/flavor.hpp"
+
+#include <algorithm>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+
+std::string_view to_string(workload_class wc) {
+    switch (wc) {
+        case workload_class::general_purpose: return "general_purpose";
+        case workload_class::s4hana_app: return "s4hana_app";
+        case workload_class::hana_db: return "hana_db";
+    }
+    return "unknown";
+}
+
+std::string_view to_string(vcpu_class c) {
+    switch (c) {
+        case vcpu_class::small: return "Small";
+        case vcpu_class::medium: return "Medium";
+        case vcpu_class::large: return "Large";
+        case vcpu_class::extra_large: return "Extra Large";
+    }
+    return "unknown";
+}
+
+std::string_view to_string(ram_class c) {
+    switch (c) {
+        case ram_class::small: return "Small";
+        case ram_class::medium: return "Medium";
+        case ram_class::large: return "Large";
+        case ram_class::extra_large: return "Extra Large";
+    }
+    return "unknown";
+}
+
+vcpu_class classify_vcpu(core_count vcpus) {
+    if (vcpus <= 4) return vcpu_class::small;
+    if (vcpus <= 16) return vcpu_class::medium;
+    if (vcpus <= 64) return vcpu_class::large;
+    return vcpu_class::extra_large;
+}
+
+ram_class classify_ram(mebibytes ram_mib) {
+    if (ram_mib <= gib_to_mib(2)) return ram_class::small;
+    if (ram_mib <= gib_to_mib(64)) return ram_class::medium;
+    if (ram_mib <= gib_to_mib(128)) return ram_class::large;
+    return ram_class::extra_large;
+}
+
+flavor_id flavor_catalog::add(std::string name, core_count vcpus,
+                              mebibytes ram_mib, gibibytes disk_gib,
+                              workload_class wclass) {
+    expects(!name.empty(), "flavor_catalog::add: empty name");
+    expects(vcpus > 0, "flavor_catalog::add: vcpus must be positive");
+    expects(ram_mib > 0, "flavor_catalog::add: ram must be positive");
+    expects(disk_gib >= 0.0, "flavor_catalog::add: disk must be non-negative");
+    expects(!find(name).has_value(), "flavor_catalog::add: duplicate name");
+    const flavor_id id(static_cast<std::int32_t>(flavors_.size()));
+    flavors_.push_back(flavor{.id = id,
+                              .name = std::move(name),
+                              .vcpus = vcpus,
+                              .ram_mib = ram_mib,
+                              .disk_gib = disk_gib,
+                              .wclass = wclass});
+    return id;
+}
+
+void flavor_catalog::set_cpu_pinned(flavor_id id, bool pinned) {
+    expects(id.valid() && static_cast<std::size_t>(id.value()) < flavors_.size(),
+            "flavor_catalog::set_cpu_pinned: unknown flavor id");
+    flavors_[static_cast<std::size_t>(id.value())].cpu_pinned = pinned;
+}
+
+const flavor& flavor_catalog::get(flavor_id id) const {
+    expects(id.valid() && static_cast<std::size_t>(id.value()) < flavors_.size(),
+            "flavor_catalog::get: unknown flavor id");
+    return flavors_[static_cast<std::size_t>(id.value())];
+}
+
+std::optional<flavor_id> flavor_catalog::find(std::string_view name) const {
+    const auto it = std::find_if(flavors_.begin(), flavors_.end(),
+                                 [&](const flavor& f) { return f.name == name; });
+    if (it == flavors_.end()) return std::nullopt;
+    return it->id;
+}
+
+}  // namespace sci

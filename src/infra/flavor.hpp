@@ -1,0 +1,83 @@
+#pragma once
+
+// Flavors: predefined vCPU/memory/storage templates for VMs (Section 2.1).
+// The catalog also carries the paper's size taxonomy (Tables 1 and 2) and
+// workload classes used for policy decisions (general purpose is
+// load-balanced, SAP S/4HANA is memory bin-packed; Section 3.2).
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "infra/ids.hpp"
+#include "simcore/units.hpp"
+
+namespace sci {
+
+/// Broad workload class of the application running inside a flavor's VMs.
+enum class workload_class {
+    general_purpose,  ///< dev envs, CI/CD, Kubernetes infra, ...
+    s4hana_app,       ///< SAP ABAP application servers
+    hana_db,          ///< SAP HANA in-memory databases (memory intensive)
+};
+
+std::string_view to_string(workload_class wc);
+
+/// The paper's VM size categories by vCPU count (Table 1).
+enum class vcpu_class { small, medium, large, extra_large };
+
+/// The paper's VM size categories by RAM (Table 2).
+enum class ram_class { small, medium, large, extra_large };
+
+std::string_view to_string(vcpu_class c);
+std::string_view to_string(ram_class c);
+
+/// Classify per Table 1: small <= 4, medium <= 16, large <= 64, XL > 64.
+vcpu_class classify_vcpu(core_count vcpus);
+
+/// Classify per Table 2: small <= 2 GiB, medium <= 64, large <= 128, XL > 128.
+ram_class classify_ram(mebibytes ram_mib);
+
+/// A VM template: the resources Nova reserves when placing an instance.
+struct flavor {
+    flavor_id id;
+    std::string name;  ///< e.g. "g_c4_m32"
+    core_count vcpus = 0;
+    mebibytes ram_mib = 0;
+    gibibytes disk_gib = 0;
+    workload_class wclass = workload_class::general_purpose;
+    /// QoS: CPU pinning reserves dedicated physical cores on the host,
+    /// exempting the VM from contention (the paper's §8 future work:
+    /// "CPU-pinning ... ensures reduced latency to performance-sensitive
+    /// VMs by reserving dedicated CPU cores on hosts").
+    bool cpu_pinned = false;
+    /// Flavors with >= 3 TB memory require dedicated building blocks
+    /// (Section 3.1) and are placed with a max-placeable-VMs objective.
+    bool requires_dedicated_bb() const { return ram_mib >= gib_to_mib(3072); }
+
+    vcpu_class cpu_class() const { return classify_vcpu(vcpus); }
+    ram_class memory_class() const { return classify_ram(ram_mib); }
+};
+
+/// Immutable, indexed collection of flavors.
+class flavor_catalog {
+public:
+    /// Register a flavor; assigns and returns its id.  Names must be unique.
+    flavor_id add(std::string name, core_count vcpus, mebibytes ram_mib,
+                  gibibytes disk_gib, workload_class wclass);
+
+    /// Toggle the CPU-pinning QoS class of an existing flavor.
+    void set_cpu_pinned(flavor_id id, bool pinned);
+
+    const flavor& get(flavor_id id) const;
+    std::optional<flavor_id> find(std::string_view name) const;
+    std::span<const flavor> all() const { return flavors_; }
+    std::size_t size() const { return flavors_.size(); }
+
+private:
+    std::vector<flavor> flavors_;
+};
+
+}  // namespace sci

@@ -1,0 +1,143 @@
+#include "infra/fleet.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "simcore/error.hpp"
+#include "simcore/rng.hpp"
+
+namespace sci {
+
+namespace {
+
+template <class T>
+const T& at(const std::vector<T>& v, std::int32_t idx, std::string_view what) {
+    expects(idx >= 0 && static_cast<std::size_t>(idx) < v.size(),
+            std::string("fleet: unknown ") + std::string(what));
+    return v[static_cast<std::size_t>(idx)];
+}
+
+}  // namespace
+
+std::string_view to_string(bb_purpose p) {
+    switch (p) {
+        case bb_purpose::general: return "general";
+        case bb_purpose::hana: return "hana";
+        case bb_purpose::dedicated_xl: return "dedicated_xl";
+        case bb_purpose::gpu: return "gpu";
+        case bb_purpose::reserve: return "reserve";
+    }
+    return "unknown";
+}
+
+region_id fleet::add_region(std::string name) {
+    const region_id id(static_cast<std::int32_t>(regions_.size()));
+    regions_.push_back(region{.id = id, .name = std::move(name), .azs = {}});
+    return id;
+}
+
+az_id fleet::add_az(region_id region, std::string name) {
+    expects(region.valid() &&
+                static_cast<std::size_t>(region.value()) < regions_.size(),
+            "fleet::add_az: unknown region");
+    const az_id id(static_cast<std::int32_t>(azs_.size()));
+    azs_.push_back(availability_zone{
+        .id = id, .region = region, .name = std::move(name), .dcs = {}});
+    regions_[static_cast<std::size_t>(region.value())].azs.push_back(id);
+    return id;
+}
+
+dc_id fleet::add_dc(az_id az, std::string name) {
+    expects(az.valid() && static_cast<std::size_t>(az.value()) < azs_.size(),
+            "fleet::add_dc: unknown az");
+    const dc_id id(static_cast<std::int32_t>(dcs_.size()));
+    dcs_.push_back(datacenter{.id = id, .az = az, .name = std::move(name), .bbs = {}});
+    azs_[static_cast<std::size_t>(az.value())].dcs.push_back(id);
+    return id;
+}
+
+bb_id fleet::add_bb(dc_id dc, std::string name, bb_purpose purpose,
+                    hardware_profile profile, int node_count) {
+    expects(dc.valid() && static_cast<std::size_t>(dc.value()) < dcs_.size(),
+            "fleet::add_bb: unknown dc");
+    expects(node_count >= 0, "fleet::add_bb: negative node count");
+    expects(profile.pcpu_cores > 0 && profile.memory_mib > 0,
+            "fleet::add_bb: profile must have positive capacity");
+    const bb_id id(static_cast<std::int32_t>(bbs_.size()));
+    bbs_.push_back(building_block{.id = id,
+                                  .dc = dc,
+                                  .name = std::move(name),
+                                  .purpose = purpose,
+                                  .profile = std::move(profile),
+                                  .nodes = {}});
+    dcs_[static_cast<std::size_t>(dc.value())].bbs.push_back(id);
+    for (int i = 0; i < node_count; ++i) {
+        add_node(id);
+    }
+    return id;
+}
+
+node_id fleet::add_node(bb_id bb) {
+    expects(bb.valid() && static_cast<std::size_t>(bb.value()) < bbs_.size(),
+            "fleet::add_node: unknown building block");
+    const node_id id(static_cast<std::int32_t>(nodes_.size()));
+    nodes_.push_back(compute_node{
+        .id = id,
+        .bb = bb,
+        .name = anonymised_name("node", static_cast<std::uint64_t>(id.value()))});
+    bbs_[static_cast<std::size_t>(bb.value())].nodes.push_back(id);
+    return id;
+}
+
+const region& fleet::get(region_id id) const { return at(regions_, id.value(), "region"); }
+const availability_zone& fleet::get(az_id id) const { return at(azs_, id.value(), "az"); }
+const datacenter& fleet::get(dc_id id) const { return at(dcs_, id.value(), "dc"); }
+const building_block& fleet::get(bb_id id) const { return at(bbs_, id.value(), "building block"); }
+const compute_node& fleet::get(node_id id) const { return at(nodes_, id.value(), "node"); }
+
+compute_node& fleet::get_mutable(node_id id) {
+    return const_cast<compute_node&>(get(id));
+}
+
+const hardware_profile& fleet::node_profile(node_id id) const {
+    return get(get(id).bb).profile;
+}
+
+std::vector<node_id> fleet::nodes_of_dc(dc_id id) const {
+    std::vector<node_id> out;
+    for (bb_id bb : get(id).bbs) {
+        const auto& nodes = get(bb).nodes;
+        out.insert(out.end(), nodes.begin(), nodes.end());
+    }
+    return out;
+}
+
+std::vector<bb_id> fleet::bbs_of_az(az_id id) const {
+    std::vector<bb_id> out;
+    for (dc_id dc : get(id).dcs) {
+        const auto& bbs = get(dc).bbs;
+        out.insert(out.end(), bbs.begin(), bbs.end());
+    }
+    return out;
+}
+
+core_count fleet::bb_total_cores(bb_id id) const {
+    const building_block& bb = get(id);
+    return static_cast<core_count>(bb.nodes.size()) * bb.profile.pcpu_cores;
+}
+
+mebibytes fleet::bb_total_memory(bb_id id) const {
+    const building_block& bb = get(id);
+    return static_cast<mebibytes>(bb.nodes.size()) * bb.profile.memory_mib;
+}
+
+std::string anonymised_name(std::string_view kind, std::uint64_t index) {
+    const std::uint64_t digest = splitmix64(fnv1a(kind) ^ splitmix64(index));
+    std::array<char, 64> buf{};
+    std::snprintf(buf.data(), buf.size(), "%.*s-%08x",
+                  static_cast<int>(kind.size()), kind.data(),
+                  static_cast<std::uint32_t>(digest & 0xffffffffu));
+    return std::string(buf.data());
+}
+
+}  // namespace sci

@@ -1,0 +1,142 @@
+#pragma once
+
+// The infrastructure hierarchy of Figure 1: region → availability zone →
+// data center → building block (vSphere cluster) → compute node (ESXi).
+//
+// A fleet owns the whole hierarchy.  Entities are stored in flat vectors
+// indexed by their strong ids; cross-links are id lists, so the structure
+// is cheap to copy-free traverse in both directions.
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "infra/hardware.hpp"
+#include "infra/ids.hpp"
+#include "simcore/time.hpp"
+
+namespace sci {
+
+/// Purpose of a building block (Section 3.1): general-purpose BBs host the
+/// mixed workload; dedicated BBs are reserved for special flavors (>= 3 TB
+/// memory, GPU) where a max-placeable-VMs objective applies.
+enum class bb_purpose {
+    general,       ///< mixed general-purpose workload, load-balanced
+    hana,          ///< memory bin-packed SAP HANA workload
+    dedicated_xl,  ///< >= 3 TB flavors only
+    gpu,           ///< GPU flavors only
+    reserve,       ///< failover/scalability reserve: monitored, not scheduled
+                   ///< (Section 5.1: "capacities are intentionally reserved
+                   ///< in case of emergency failover, redundancy, and
+                   ///< scalability demands")
+};
+
+std::string_view to_string(bb_purpose p);
+
+struct region {
+    region_id id;
+    std::string name;
+    std::vector<az_id> azs;
+};
+
+struct availability_zone {
+    az_id id;
+    region_id region;
+    std::string name;
+    std::vector<dc_id> dcs;
+};
+
+struct datacenter {
+    dc_id id;
+    az_id az;
+    std::string name;
+    std::vector<bb_id> bbs;
+};
+
+struct building_block {
+    bb_id id;
+    dc_id dc;
+    std::string name;
+    bb_purpose purpose = bb_purpose::general;
+    hardware_profile profile;  ///< homogeneous across the BB's nodes
+    std::vector<node_id> nodes;
+};
+
+/// One ESXi hypervisor.  Hardware comes from the owning building block's
+/// profile.  available_from/until model hosts added or removed during the
+/// observation window (the white heatmap cells of Section 5).
+struct compute_node {
+    node_id id;
+    bb_id bb;
+    std::string name;  ///< anonymised, e.g. "node-1a2b3c4d"
+    sim_time available_from = std::numeric_limits<sim_time>::min();
+    sim_time available_until = std::numeric_limits<sim_time>::max();
+
+    bool available_at(sim_time t) const {
+        return t >= available_from && t < available_until;
+    }
+};
+
+/// Owning container for the full hierarchy, with builder and lookups.
+class fleet {
+public:
+    region_id add_region(std::string name);
+    az_id add_az(region_id region, std::string name);
+    dc_id add_dc(az_id az, std::string name);
+    bb_id add_bb(dc_id dc, std::string name, bb_purpose purpose,
+                 hardware_profile profile, int node_count);
+    /// Add one node to an existing building block.
+    node_id add_node(bb_id bb);
+
+    const region& get(region_id id) const;
+    const availability_zone& get(az_id id) const;
+    const datacenter& get(dc_id id) const;
+    const building_block& get(bb_id id) const;
+    const compute_node& get(node_id id) const;
+    compute_node& get_mutable(node_id id);
+
+    std::span<const region> regions() const { return regions_; }
+    std::span<const availability_zone> azs() const { return azs_; }
+    std::span<const datacenter> dcs() const { return dcs_; }
+    std::span<const building_block> bbs() const { return bbs_; }
+    std::span<const compute_node> nodes() const { return nodes_; }
+
+    std::size_t region_count() const { return regions_.size(); }
+    std::size_t az_count() const { return azs_.size(); }
+    std::size_t dc_count() const { return dcs_.size(); }
+    std::size_t bb_count() const { return bbs_.size(); }
+    std::size_t node_count() const { return nodes_.size(); }
+
+    /// Hardware profile of a node (resolved via its building block).
+    const hardware_profile& node_profile(node_id id) const;
+
+    /// Data center that contains the given building block / node.
+    dc_id dc_of(bb_id id) const { return get(id).dc; }
+    dc_id dc_of(node_id id) const { return get(get(id).bb).dc; }
+
+    /// All node ids within a data center (across its building blocks).
+    std::vector<node_id> nodes_of_dc(dc_id id) const;
+
+    /// All building block ids within an availability zone.
+    std::vector<bb_id> bbs_of_az(az_id id) const;
+
+    /// Total physical core / memory capacity of a building block.
+    core_count bb_total_cores(bb_id id) const;
+    mebibytes bb_total_memory(bb_id id) const;
+
+private:
+    std::vector<region> regions_;
+    std::vector<availability_zone> azs_;
+    std::vector<datacenter> dcs_;
+    std::vector<building_block> bbs_;
+    std::vector<compute_node> nodes_;
+};
+
+/// Anonymised host name in the style of the published dataset (hashed
+/// hostnames, Appendix A): deterministic hex digest of a seed + index.
+std::string anonymised_name(std::string_view kind, std::uint64_t index);
+
+}  // namespace sci

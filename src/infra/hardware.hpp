@@ -1,0 +1,59 @@
+#pragma once
+
+// Hardware profiles of compute nodes.  Within a building block all nodes
+// share one profile (the paper: "hosts exhibit homogeneous hardware
+// capabilities within a given building block"), but profiles differ across
+// building blocks within an availability zone (Section 3.2).
+
+#include <string>
+
+#include "simcore/units.hpp"
+
+namespace sci {
+
+/// Physical capabilities of one ESXi compute node.
+struct hardware_profile {
+    std::string name;          ///< e.g. "gp-small", "hana-3tb"
+    core_count pcpu_cores = 0; ///< physical cores
+    mebibytes memory_mib = 0;  ///< installed RAM
+    gibibytes storage_gib = 0; ///< local datastore capacity
+    kbps nic_kbps = node_nic_capacity_kbps;  ///< NIC capacity (200 Gbps)
+};
+
+/// Standard profiles used by the scenario presets.  Modelled after common
+/// enterprise virtualization nodes: dual-socket general purpose hosts and
+/// large-memory hosts for in-memory databases (≥3 TB flavors get dedicated
+/// building blocks per Section 3.1 "Support of high user demands").
+namespace profiles {
+
+inline hardware_profile general_purpose() {
+    return {.name = "gp-96c-1024g",
+            .pcpu_cores = 96,
+            .memory_mib = gib_to_mib(1024),
+            .storage_gib = 7'680.0};
+}
+
+inline hardware_profile general_purpose_large() {
+    return {.name = "gp-128c-2048g",
+            .pcpu_cores = 128,
+            .memory_mib = gib_to_mib(2048),
+            .storage_gib = 15'360.0};
+}
+
+inline hardware_profile hana_large_memory() {
+    return {.name = "hana-224c-8tb",
+            .pcpu_cores = 224,
+            .memory_mib = gib_to_mib(8192),
+            .storage_gib = 30'720.0};
+}
+
+inline hardware_profile hana_extra_large_memory() {
+    return {.name = "hana-448c-16tb",
+            .pcpu_cores = 448,
+            .memory_mib = gib_to_mib(16384),
+            .storage_gib = 61'440.0};
+}
+
+}  // namespace profiles
+
+}  // namespace sci

@@ -1,0 +1,55 @@
+#pragma once
+
+// Strong identifier types for the infrastructure hierarchy.  A strong_id is
+// an index into the owning container (fleet / vm_registry), wrapped so that
+// e.g. a node_id cannot be passed where a vm_id is expected.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace sci {
+
+template <class Tag>
+class strong_id {
+public:
+    constexpr strong_id() = default;
+    constexpr explicit strong_id(std::int32_t value) : value_(value) {}
+
+    constexpr std::int32_t value() const { return value_; }
+    constexpr bool valid() const { return value_ >= 0; }
+
+    friend constexpr auto operator<=>(strong_id, strong_id) = default;
+
+private:
+    std::int32_t value_ = -1;
+};
+
+struct region_tag {};
+struct az_tag {};
+struct dc_tag {};
+struct bb_tag {};
+struct node_tag {};
+struct vm_tag {};
+struct flavor_tag {};
+struct project_tag {};
+struct group_tag {};
+
+using region_id = strong_id<region_tag>;
+using az_id = strong_id<az_tag>;
+using dc_id = strong_id<dc_tag>;
+using bb_id = strong_id<bb_tag>;      ///< building block == vSphere cluster
+using node_id = strong_id<node_tag>;  ///< ESXi hypervisor (compute node)
+using vm_id = strong_id<vm_tag>;
+using flavor_id = strong_id<flavor_tag>;
+using project_id = strong_id<project_tag>;  ///< tenant
+using group_id = strong_id<group_tag>;      ///< server group (affinity)
+
+}  // namespace sci
+
+template <class Tag>
+struct std::hash<sci::strong_id<Tag>> {
+    std::size_t operator()(sci::strong_id<Tag> id) const noexcept {
+        return std::hash<std::int32_t>{}(id.value());
+    }
+};

@@ -1,0 +1,56 @@
+#include "infra/vm.hpp"
+
+#include <algorithm>
+
+#include "infra/fleet.hpp"
+
+namespace sci {
+
+std::string_view to_string(vm_state s) {
+    switch (s) {
+        case vm_state::pending: return "pending";
+        case vm_state::active: return "active";
+        case vm_state::deleted: return "deleted";
+        case vm_state::error: return "error";
+    }
+    return "unknown";
+}
+
+vm_id vm_registry::create(flavor_id flavor, project_id project,
+                          sim_time created_at) {
+    expects(flavor.valid(), "vm_registry::create: invalid flavor");
+    const vm_id id(static_cast<std::int32_t>(vms_.size()));
+    vms_.push_back(vm_record{
+        .id = id,
+        .name = anonymised_name("vm", static_cast<std::uint64_t>(id.value())),
+        .flavor = flavor,
+        .project = project,
+        .created_at = created_at});
+    return id;
+}
+
+const vm_record& vm_registry::get(vm_id id) const {
+    expects(id.valid() && static_cast<std::size_t>(id.value()) < vms_.size(),
+            "vm_registry::get: unknown vm id");
+    return vms_[static_cast<std::size_t>(id.value())];
+}
+
+vm_record& vm_registry::get_mutable(vm_id id) {
+    return const_cast<vm_record&>(get(id));
+}
+
+std::size_t vm_registry::count_in_state(vm_state s) const {
+    return static_cast<std::size_t>(
+        std::count_if(vms_.begin(), vms_.end(),
+                      [s](const vm_record& vm) { return vm.state == s; }));
+}
+
+std::vector<vm_id> vm_registry::alive_at(sim_time t) const {
+    std::vector<vm_id> out;
+    for (const vm_record& vm : vms_) {
+        if (vm.state != vm_state::pending && vm.alive_at(t)) out.push_back(vm.id);
+    }
+    return out;
+}
+
+}  // namespace sci

@@ -1,0 +1,82 @@
+#pragma once
+
+// Virtual machine records and their lifecycle.
+//
+// A VM is requested against a flavor, placed by the Nova scheduler onto a
+// building block, assigned to a concrete node by DRS (initial node choice +
+// later migrations), and eventually deleted.  The registry keeps the whole
+// population including deleted VMs, because lifetime analysis (Figure 15)
+// needs terminated instances too.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "infra/flavor.hpp"
+#include "infra/ids.hpp"
+#include "simcore/error.hpp"
+#include "simcore/time.hpp"
+
+namespace sci {
+
+enum class vm_state {
+    pending,   ///< requested, not yet placed
+    active,    ///< placed and running
+    deleted,   ///< terminated
+    error,     ///< placement failed (no valid host)
+};
+
+std::string_view to_string(vm_state s);
+
+struct vm_record {
+    vm_id id;
+    std::string name;  ///< anonymised instance name
+    flavor_id flavor;
+    project_id project;
+    vm_state state = vm_state::pending;
+    sim_time created_at = 0;
+    /// Set when the VM is deleted; unset for instances alive at window end.
+    std::optional<sim_time> deleted_at;
+    /// Building block chosen by the Nova scheduler (invalid until placed).
+    bb_id placed_bb;
+    /// Node chosen by DRS within the building block (invalid until placed).
+    node_id placed_node;
+    /// Number of DRS / rebalancer migrations this VM underwent.
+    int migration_count = 0;
+
+    bool alive_at(sim_time t) const {
+        return state != vm_state::error && t >= created_at &&
+               (!deleted_at.has_value() || t < *deleted_at);
+    }
+
+    /// Lifetime as of `now` (deleted VMs use their deletion instant).
+    sim_duration lifetime(sim_time now) const {
+        const sim_time end = deleted_at.value_or(now);
+        return end > created_at ? end - created_at : 0;
+    }
+};
+
+/// Owning collection of every VM ever requested in a simulation run.
+class vm_registry {
+public:
+    /// Create a pending VM record; the scheduler fills in placement.
+    vm_id create(flavor_id flavor, project_id project, sim_time created_at);
+
+    const vm_record& get(vm_id id) const;
+    vm_record& get_mutable(vm_id id);
+
+    std::span<const vm_record> all() const { return vms_; }
+    std::size_t size() const { return vms_.size(); }
+
+    /// Count of VMs in a given state.
+    std::size_t count_in_state(vm_state s) const;
+
+    /// Ids of VMs alive at time t.
+    std::vector<vm_id> alive_at(sim_time t) const;
+
+private:
+    std::vector<vm_record> vms_;
+};
+
+}  // namespace sci

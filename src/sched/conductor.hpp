@@ -1,0 +1,69 @@
+#pragma once
+
+// The Nova conductor (Figure 2, step 2): orchestrates one placement —
+// builds the scheduler's host view from fleet + placement data, asks the
+// scheduler for ranked candidates, claims greedily with retries (the
+// paper: "Nova implements a greedy approach with retries reapplying
+// filters and weighers, which yields multiple suitable candidates").
+
+#include <functional>
+#include <vector>
+
+#include "infra/fleet.hpp"
+#include "infra/flavor.hpp"
+#include "sched/placement.hpp"
+#include "sched/scheduler.hpp"
+
+namespace sci {
+
+struct placement_outcome {
+    bool success = false;
+    bb_id bb;          ///< chosen building block when success
+    int attempts = 0;  ///< claim attempts (1 = first candidate worked)
+};
+
+/// Per-provider allocation ratios; defaults applied per BB purpose.
+struct allocation_ratios {
+    double cpu = 1.0;
+    double ram = 1.0;
+};
+
+/// Allocation ratios used in the SAP-like deployment (calibration.hpp).
+allocation_ratios default_ratios_for(bb_purpose purpose);
+
+class conductor {
+public:
+    conductor(const fleet& fleet, const flavor_catalog& catalog,
+              placement_service& placement, filter_scheduler scheduler);
+
+    /// Schedule and claim one VM.  Does not mutate the vm_registry; the
+    /// caller applies the outcome (and assigns a node via DRS).
+    placement_outcome schedule_and_claim(const schedule_request& request);
+
+    /// Optional telemetry feed: average CPU contention per BB, consumed by
+    /// contention-aware filters/weighers.
+    void set_contention_feed(std::function<double(bb_id)> feed) {
+        contention_feed_ = std::move(feed);
+    }
+
+    /// Current scheduler view of every registered provider.
+    std::vector<host_state> build_host_states() const;
+
+    /// Cumulative counters.
+    std::uint64_t scheduled_count() const { return scheduled_; }
+    std::uint64_t no_valid_host_count() const { return no_valid_host_; }
+    std::uint64_t retry_count() const { return retries_; }
+
+private:
+    const fleet& fleet_;
+    const flavor_catalog& catalog_;
+    placement_service& placement_;
+    filter_scheduler scheduler_;
+    std::function<double(bb_id)> contention_feed_;
+
+    std::uint64_t scheduled_ = 0;
+    std::uint64_t no_valid_host_ = 0;
+    std::uint64_t retries_ = 0;
+};
+
+}  // namespace sci

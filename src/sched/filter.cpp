@@ -1,0 +1,74 @@
+#include "sched/filter.hpp"
+
+#include "simcore/error.hpp"
+
+namespace sci {
+
+bool compute_filter::passes(const host_state& host,
+                            const request_context& ctx) const {
+    const flavor& f = ctx.requested_flavor;
+    return host.free_vcpus() >= static_cast<double>(f.vcpus) &&
+           host.free_ram_mib() >= static_cast<double>(f.ram_mib);
+}
+
+bool availability_zone_filter::passes(const host_state& host,
+                                      const request_context& ctx) const {
+    return !ctx.request.az.has_value() || host.az == *ctx.request.az;
+}
+
+bool datacenter_filter::passes(const host_state& host,
+                               const request_context& ctx) const {
+    return !ctx.request.dc.has_value() || host.dc == *ctx.request.dc;
+}
+
+bool disk_filter::passes(const host_state& host,
+                         const request_context& ctx) const {
+    return host.free_disk_gib() >= ctx.requested_flavor.disk_gib;
+}
+
+bool bb_purpose_filter::passes(const host_state& host,
+                               const request_context& ctx) const {
+    const flavor& f = ctx.requested_flavor;
+    // >= 3 TB flavors may only land on dedicated XL building blocks, and
+    // those BBs accept nothing else (Section 3.1).
+    if (host.purpose == bb_purpose::reserve) return false;  // failover reserve
+    if (f.requires_dedicated_bb()) return host.purpose == bb_purpose::dedicated_xl;
+    if (host.purpose == bb_purpose::dedicated_xl) return false;
+    if (host.purpose == bb_purpose::gpu) return false;  // no GPU flavors here
+    if (f.wclass == workload_class::hana_db) return host.purpose == bb_purpose::hana;
+    // application servers and general purpose share the general BB pool
+    return host.purpose == bb_purpose::general;
+}
+
+num_instances_filter::num_instances_filter(int max_instances)
+    : max_instances_(max_instances) {
+    expects(max_instances > 0, "num_instances_filter: limit must be positive");
+}
+
+bool num_instances_filter::passes(const host_state& host,
+                                  const request_context&) const {
+    return host.instances < max_instances_;
+}
+
+contention_filter::contention_filter(double max_contention_pct)
+    : max_contention_pct_(max_contention_pct) {
+    expects(max_contention_pct >= 0.0,
+            "contention_filter: threshold must be non-negative");
+}
+
+bool contention_filter::passes(const host_state& host,
+                               const request_context&) const {
+    return host.avg_cpu_contention_pct <= max_contention_pct_;
+}
+
+std::vector<std::unique_ptr<host_filter>> make_default_filters() {
+    std::vector<std::unique_ptr<host_filter>> filters;
+    filters.push_back(std::make_unique<datacenter_filter>());
+    filters.push_back(std::make_unique<availability_zone_filter>());
+    filters.push_back(std::make_unique<bb_purpose_filter>());
+    filters.push_back(std::make_unique<compute_filter>());
+    filters.push_back(std::make_unique<disk_filter>());
+    return filters;
+}
+
+}  // namespace sci

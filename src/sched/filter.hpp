@@ -1,0 +1,94 @@
+#pragma once
+
+// The Nova filter pipeline (Figure 3, first stage): each filter eliminates
+// hosts that cannot satisfy the request.  Filters are stateless and
+// composable; the scheduler runs them in order and keeps survivors.
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "infra/flavor.hpp"
+#include "sched/host_state.hpp"
+#include "sched/request.hpp"
+
+namespace sci {
+
+/// Context handed to filters/weighers: the request plus resolved flavor.
+struct request_context {
+    const schedule_request& request;
+    const flavor& requested_flavor;
+};
+
+class host_filter {
+public:
+    virtual ~host_filter() = default;
+    virtual std::string_view name() const = 0;
+    virtual bool passes(const host_state& host, const request_context& ctx) const = 0;
+};
+
+/// ComputeFilter: enough free vCPU and memory under the allocation ratios.
+class compute_filter final : public host_filter {
+public:
+    std::string_view name() const override { return "ComputeFilter"; }
+    bool passes(const host_state& host, const request_context& ctx) const override;
+};
+
+/// AvailabilityZoneFilter: request's AZ constraint, if any.
+class availability_zone_filter final : public host_filter {
+public:
+    std::string_view name() const override { return "AvailabilityZoneFilter"; }
+    bool passes(const host_state& host, const request_context& ctx) const override;
+};
+
+/// Single-DC scheduling domain (Section 3.1): the request's DC, if any.
+class datacenter_filter final : public host_filter {
+public:
+    std::string_view name() const override { return "DatacenterFilter"; }
+    bool passes(const host_state& host, const request_context& ctx) const override;
+};
+
+/// DiskFilter: enough free local datastore capacity.
+class disk_filter final : public host_filter {
+public:
+    std::string_view name() const override { return "DiskFilter"; }
+    bool passes(const host_state& host, const request_context& ctx) const override;
+};
+
+/// AggregateInstanceExtraSpecsFilter equivalent: building-block purpose
+/// must match the flavor (>= 3 TB flavors need dedicated_xl BBs; HANA DB
+/// flavors go to hana BBs; general purpose must not land on reserved BBs).
+/// Section 3.1 "Support of high user demands".
+class bb_purpose_filter final : public host_filter {
+public:
+    std::string_view name() const override { return "BBPurposeFilter"; }
+    bool passes(const host_state& host, const request_context& ctx) const override;
+};
+
+/// NumInstancesFilter: cap on instances per compute host.
+class num_instances_filter final : public host_filter {
+public:
+    explicit num_instances_filter(int max_instances);
+    std::string_view name() const override { return "NumInstancesFilter"; }
+    bool passes(const host_state& host, const request_context& ctx) const override;
+
+private:
+    int max_instances_;
+};
+
+/// Contention guard (paper Section 7, "contention-aware algorithms"):
+/// reject hosts whose observed CPU contention exceeds a threshold.
+class contention_filter final : public host_filter {
+public:
+    explicit contention_filter(double max_contention_pct);
+    std::string_view name() const override { return "ContentionFilter"; }
+    bool passes(const host_state& host, const request_context& ctx) const override;
+
+private:
+    double max_contention_pct_;
+};
+
+/// The default SAP-like pipeline: DC + AZ + purpose + compute + disk.
+std::vector<std::unique_ptr<host_filter>> make_default_filters();
+
+}  // namespace sci

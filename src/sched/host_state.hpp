@@ -1,0 +1,56 @@
+#pragma once
+
+// The scheduler's view of one compute host.
+//
+// In this deployment a Nova "compute host" is a whole vSphere cluster
+// (building block); the scheduler never sees individual ESXi nodes
+// (Section 3.1) — that abstraction is the root of the intra-BB imbalance
+// the paper measures, and exactly what the holistic-scheduler ablation
+// removes.
+
+#include "infra/fleet.hpp"
+#include "infra/ids.hpp"
+#include "simcore/units.hpp"
+
+namespace sci {
+
+struct host_state {
+    bb_id bb;
+    az_id az;
+    dc_id dc;
+    bb_purpose purpose = bb_purpose::general;
+    int node_count = 0;
+
+    // capacity (physical) and allocation ratios (overcommit)
+    core_count total_pcpus = 0;
+    mebibytes total_ram_mib = 0;
+    gibibytes total_disk_gib = 0.0;
+    double cpu_allocation_ratio = 1.0;
+    double ram_allocation_ratio = 1.0;
+
+    // current reservations
+    core_count vcpus_used = 0;
+    mebibytes ram_used_mib = 0;
+    gibibytes disk_used_gib = 0.0;
+    int instances = 0;
+
+    // optional live telemetry (contention-aware scheduling, Section 7)
+    double avg_cpu_contention_pct = 0.0;
+
+    /// vCPU capacity under the allocation ratio.
+    double vcpu_capacity() const {
+        return static_cast<double>(total_pcpus) * cpu_allocation_ratio;
+    }
+    double free_vcpus() const {
+        return vcpu_capacity() - static_cast<double>(vcpus_used);
+    }
+    double ram_capacity_mib() const {
+        return static_cast<double>(total_ram_mib) * ram_allocation_ratio;
+    }
+    double free_ram_mib() const {
+        return ram_capacity_mib() - static_cast<double>(ram_used_mib);
+    }
+    double free_disk_gib() const { return total_disk_gib - disk_used_gib; }
+};
+
+}  // namespace sci

@@ -1,0 +1,83 @@
+#pragma once
+
+// The Placement API (Figure 2, step 5): authoritative inventory and
+// allocation records per resource provider.  In this deployment each
+// building block (vSphere cluster) is one resource provider.
+//
+// claim() is atomic at the provider level: it re-checks capacity under the
+// allocation ratios and either records the allocation or throws
+// capacity_error — modelling the race the Nova retry loop exists for.
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "infra/flavor.hpp"
+#include "infra/ids.hpp"
+#include "simcore/units.hpp"
+
+namespace sci {
+
+/// What a provider offers (physical capacity + overcommit ratios).
+struct provider_inventory {
+    core_count total_pcpus = 0;
+    mebibytes total_ram_mib = 0;
+    gibibytes total_disk_gib = 0.0;
+    double cpu_allocation_ratio = 1.0;
+    double ram_allocation_ratio = 1.0;
+};
+
+/// What is currently allocated from a provider.
+struct provider_usage {
+    core_count vcpus_used = 0;
+    mebibytes ram_used_mib = 0;
+    gibibytes disk_used_gib = 0.0;
+    int instances = 0;
+};
+
+class placement_service {
+public:
+    /// Register a building block as a resource provider.
+    void register_provider(bb_id bb, provider_inventory inventory);
+
+    bool has_provider(bb_id bb) const;
+    const provider_inventory& inventory(bb_id bb) const;
+    const provider_usage& usage(bb_id bb) const;
+
+    /// Would the flavor fit right now (under the allocation ratios)?
+    bool can_fit(bb_id bb, const flavor& f) const;
+
+    /// Record an allocation for a VM.  Throws capacity_error when the
+    /// provider no longer fits the flavor, not_found_error for unknown
+    /// providers, precondition_error if the VM already holds an allocation.
+    void claim(vm_id vm, bb_id bb, const flavor& f);
+
+    /// Release a VM's allocation.  Throws if the VM holds none.
+    void release(vm_id vm, const flavor& f);
+
+    /// Move a VM's allocation between providers (cross-BB migration).
+    void move(vm_id vm, bb_id to, const flavor& f);
+
+    /// Provider currently holding the VM's allocation, if any.
+    std::optional<bb_id> allocation_of(vm_id vm) const;
+
+    /// All registered providers (deterministic registration order).
+    const std::vector<bb_id>& providers() const { return order_; }
+
+    std::size_t allocation_count() const { return allocations_.size(); }
+
+private:
+    struct provider_record {
+        provider_inventory inventory;
+        provider_usage usage;
+    };
+
+    provider_record& record(bb_id bb);
+    const provider_record& record(bb_id bb) const;
+
+    std::unordered_map<bb_id, provider_record> providers_;
+    std::vector<bb_id> order_;
+    std::unordered_map<vm_id, bb_id> allocations_;
+};
+
+}  // namespace sci

@@ -1,0 +1,39 @@
+#pragma once
+
+// A scheduling request: what the Nova API hands to the scheduler when a
+// user asks for a VM (Figure 2, steps 1–4).
+
+#include <optional>
+
+#include "infra/flavor.hpp"
+#include "infra/ids.hpp"
+
+namespace sci {
+
+/// Placement policy applied to a request.  The paper (Section 3.2): the
+/// default strategy load-balances general-purpose workloads, whereas SAP
+/// S/4HANA workloads are explicitly bin-packed to maximize memory
+/// utilization.
+enum class placement_policy {
+    spread,  ///< prefer emptier hosts (load balance)
+    pack,    ///< prefer fuller hosts (bin packing)
+};
+
+struct schedule_request {
+    vm_id vm;
+    flavor_id flavor;
+    project_id project;
+    /// Optional AZ constraint (AvailabilityZoneFilter).
+    std::optional<az_id> az;
+    /// Optional DC constraint: the paper treats a single DC as the
+    /// placement and scheduling domain (Section 3.1).
+    std::optional<dc_id> dc;
+    placement_policy policy = placement_policy::spread;
+    /// Optional server group (affinity / anti-affinity, see
+    /// sched/server_group.hpp).
+    std::optional<group_id> group;
+    /// Maximum scheduler retries after failed claims (greedy retry loop).
+    int max_retries = 3;
+};
+
+}  // namespace sci

@@ -1,0 +1,73 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+
+filter_scheduler::filter_scheduler(
+    std::vector<std::unique_ptr<host_filter>> filters,
+    std::vector<weighted_weigher> spread_weighers,
+    std::vector<weighted_weigher> pack_weighers)
+    : filters_(std::move(filters)),
+      spread_weighers_(std::move(spread_weighers)),
+      pack_weighers_(std::move(pack_weighers)) {}
+
+std::vector<bb_id> filter_scheduler::select_destinations(
+    const request_context& ctx, std::span<const host_state> hosts,
+    std::size_t max_candidates, filter_trace* trace) const {
+    expects(max_candidates > 0, "select_destinations: need max_candidates >= 1");
+
+    // --- filter stage ----------------------------------------------------
+    std::vector<const host_state*> survivors;
+    survivors.reserve(hosts.size());
+    for (const host_state& h : hosts) survivors.push_back(&h);
+
+    for (const auto& filter : filters_) {
+        const std::size_t before = survivors.size();
+        std::erase_if(survivors, [&](const host_state* h) {
+            return !filter->passes(*h, ctx);
+        });
+        if (trace != nullptr) {
+            trace->eliminated.emplace_back(filter->name(),
+                                           before - survivors.size());
+        }
+        if (survivors.empty()) break;
+    }
+    if (trace != nullptr) trace->survivors = survivors.size();
+    if (survivors.empty()) return {};
+
+    // --- weighing stage ----------------------------------------------------
+    std::vector<host_state> candidate_states;
+    candidate_states.reserve(survivors.size());
+    for (const host_state* h : survivors) candidate_states.push_back(*h);
+
+    const auto& weighers = ctx.request.policy == placement_policy::pack
+                               ? pack_weighers_
+                               : spread_weighers_;
+    const std::vector<double> scores =
+        score_hosts(candidate_states, ctx, weighers);
+
+    std::vector<std::size_t> order(survivors.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (scores[a] != scores[b]) return scores[a] > scores[b];
+        return candidate_states[a].bb < candidate_states[b].bb;  // determinism
+    });
+
+    std::vector<bb_id> out;
+    out.reserve(std::min(max_candidates, order.size()));
+    for (std::size_t i = 0; i < order.size() && out.size() < max_candidates; ++i) {
+        out.push_back(candidate_states[order[i]].bb);
+    }
+    return out;
+}
+
+filter_scheduler make_default_scheduler() {
+    return filter_scheduler(make_default_filters(), make_spread_weighers(),
+                            make_pack_weighers());
+}
+
+}  // namespace sci

@@ -1,0 +1,46 @@
+#pragma once
+
+// The filter scheduler (Figure 3): filters eliminate unsuitable hosts,
+// weighers rank the survivors, and the scheduler returns the ranked
+// candidate list.  Stateless with respect to allocations — the conductor
+// claims against the placement API and retries on races.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sched/filter.hpp"
+#include "sched/weigher.hpp"
+
+namespace sci {
+
+/// Per-filter elimination counters for one scheduling decision — useful
+/// for diagnosing NoValidHost outcomes.
+struct filter_trace {
+    std::vector<std::pair<std::string_view, std::size_t>> eliminated;
+    std::size_t survivors = 0;
+};
+
+class filter_scheduler {
+public:
+    filter_scheduler(std::vector<std::unique_ptr<host_filter>> filters,
+                     std::vector<weighted_weigher> spread_weighers,
+                     std::vector<weighted_weigher> pack_weighers);
+
+    /// Rank all eligible hosts for the request, best first.  Empty result
+    /// means NoValidHost.  `trace` (optional) receives per-filter stats.
+    std::vector<bb_id> select_destinations(const request_context& ctx,
+                                           std::span<const host_state> hosts,
+                                           std::size_t max_candidates,
+                                           filter_trace* trace = nullptr) const;
+
+private:
+    std::vector<std::unique_ptr<host_filter>> filters_;
+    std::vector<weighted_weigher> spread_weighers_;
+    std::vector<weighted_weigher> pack_weighers_;
+};
+
+/// Scheduler with the default SAP-like configuration.
+filter_scheduler make_default_scheduler();
+
+}  // namespace sci

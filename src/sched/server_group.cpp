@@ -1,0 +1,110 @@
+#include "sched/server_group.hpp"
+
+#include "simcore/error.hpp"
+
+namespace sci {
+
+std::string_view to_string(group_policy p) {
+    switch (p) {
+        case group_policy::affinity: return "affinity";
+        case group_policy::anti_affinity: return "anti-affinity";
+        case group_policy::soft_anti_affinity: return "soft-anti-affinity";
+    }
+    return "unknown";
+}
+
+group_id server_group_registry::create(std::string name, group_policy policy) {
+    expects(!name.empty(), "server_group_registry::create: empty name");
+    const group_id id(static_cast<std::int32_t>(groups_.size()));
+    groups_.push_back(group_record{std::move(name), policy, {}});
+    return id;
+}
+
+const server_group_registry::group_record& server_group_registry::record(
+    group_id group) const {
+    expects(group.valid() &&
+                static_cast<std::size_t>(group.value()) < groups_.size(),
+            "server_group_registry: unknown group");
+    return groups_[static_cast<std::size_t>(group.value())];
+}
+
+void server_group_registry::add_member(group_id group, vm_id vm) {
+    expects(vm.valid(), "server_group_registry::add_member: invalid vm");
+    expects(!membership_.contains(vm),
+            "server_group_registry::add_member: vm already in a group");
+    record(group);  // validates
+    groups_[static_cast<std::size_t>(group.value())].members.push_back(vm);
+    membership_.emplace(vm, group);
+}
+
+void server_group_registry::remove_member(vm_id vm) {
+    const auto it = membership_.find(vm);
+    expects(it != membership_.end(),
+            "server_group_registry::remove_member: vm not in any group");
+    auto& members =
+        groups_[static_cast<std::size_t>(it->second.value())].members;
+    std::erase(members, vm);
+    membership_.erase(it);
+}
+
+group_policy server_group_registry::policy_of(group_id group) const {
+    return record(group).policy;
+}
+
+const std::string& server_group_registry::name_of(group_id group) const {
+    return record(group).name;
+}
+
+const std::vector<vm_id>& server_group_registry::members(group_id group) const {
+    return record(group).members;
+}
+
+std::optional<group_id> server_group_registry::group_of(vm_id vm) const {
+    const auto it = membership_.find(vm);
+    if (it == membership_.end()) return std::nullopt;
+    return it->second;
+}
+
+server_group_filter::server_group_filter(const server_group_registry& groups,
+                                         const placement_service& placement)
+    : groups_(groups), placement_(placement) {}
+
+bool server_group_filter::passes(const host_state& host,
+                                 const request_context& ctx) const {
+    if (!ctx.request.group.has_value()) return true;
+    const group_id group = *ctx.request.group;
+    const group_policy policy = groups_.policy_of(group);
+    if (policy == group_policy::soft_anti_affinity) return true;
+
+    bool any_member_placed = false;
+    bool member_on_host = false;
+    for (vm_id member : groups_.members(group)) {
+        if (member == ctx.request.vm) continue;
+        const auto bb = placement_.allocation_of(member);
+        if (!bb.has_value()) continue;
+        any_member_placed = true;
+        if (*bb == host.bb) member_on_host = true;
+    }
+    if (policy == group_policy::anti_affinity) return !member_on_host;
+    // affinity: first member goes anywhere; later members must co-locate
+    return !any_member_placed || member_on_host;
+}
+
+server_group_weigher::server_group_weigher(const server_group_registry& groups,
+                                           const placement_service& placement)
+    : groups_(groups), placement_(placement) {}
+
+double server_group_weigher::raw(const host_state& host,
+                                 const request_context& ctx) const {
+    if (!ctx.request.group.has_value()) return 0.0;
+    int members_here = 0;
+    for (vm_id member : groups_.members(*ctx.request.group)) {
+        if (member == ctx.request.vm) continue;
+        if (placement_.allocation_of(member) == std::optional<bb_id>(host.bb)) {
+            ++members_here;
+        }
+    }
+    return -static_cast<double>(members_here);  // fewer members preferred
+}
+
+}  // namespace sci

@@ -1,0 +1,91 @@
+#pragma once
+
+// Server groups: affinity / anti-affinity scheduling.
+//
+// Nova server groups let tenants pin related instances together
+// (affinity) or apart (anti-affinity).  Anti-affinity is the standard HA
+// pattern for the redundant S/4HANA application servers the paper's
+// infrastructure hosts (Section 2.1 "ensure high-availability scenarios"):
+// replicas must not share a failure domain, here a building block.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "infra/ids.hpp"
+#include "sched/filter.hpp"
+#include "sched/placement.hpp"
+#include "sched/weigher.hpp"
+
+namespace sci {
+
+enum class group_policy {
+    affinity,           ///< members must share a host
+    anti_affinity,      ///< members must not share a host (hard)
+    soft_anti_affinity, ///< spread best-effort (weigher, not filter)
+};
+
+std::string_view to_string(group_policy p);
+
+/// Registry of server groups and their membership.
+class server_group_registry {
+public:
+    group_id create(std::string name, group_policy policy);
+
+    void add_member(group_id group, vm_id vm);
+    void remove_member(vm_id vm);
+
+    group_policy policy_of(group_id group) const;
+    const std::string& name_of(group_id group) const;
+    const std::vector<vm_id>& members(group_id group) const;
+    std::optional<group_id> group_of(vm_id vm) const;
+    std::size_t size() const { return groups_.size(); }
+
+private:
+    struct group_record {
+        std::string name;
+        group_policy policy;
+        std::vector<vm_id> members;
+    };
+
+    const group_record& record(group_id group) const;
+
+    std::vector<group_record> groups_;
+    std::unordered_map<vm_id, group_id> membership_;
+};
+
+/// ServerGroupAffinityFilter / ServerGroupAntiAffinityFilter equivalent.
+/// Reads the requesting VM's group from the registry; hosts violating the
+/// group policy are rejected.  Soft anti-affinity is not enforced here
+/// (use server_group_weigher).
+class server_group_filter final : public host_filter {
+public:
+    server_group_filter(const server_group_registry& groups,
+                        const placement_service& placement);
+
+    std::string_view name() const override { return "ServerGroupFilter"; }
+    bool passes(const host_state& host, const request_context& ctx) const override;
+
+private:
+    const server_group_registry& groups_;
+    const placement_service& placement_;
+};
+
+/// ServerGroupSoftAntiAffinityWeigher equivalent: prefer hosts with fewer
+/// members of the requesting VM's group.
+class server_group_weigher final : public host_weigher {
+public:
+    server_group_weigher(const server_group_registry& groups,
+                         const placement_service& placement);
+
+    std::string_view name() const override { return "ServerGroupWeigher"; }
+    double raw(const host_state& host, const request_context& ctx) const override;
+
+private:
+    const server_group_registry& groups_;
+    const placement_service& placement_;
+};
+
+}  // namespace sci

@@ -1,0 +1,51 @@
+#include "sched/weigher.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+
+std::vector<double> score_hosts(std::span<const host_state> hosts,
+                                const request_context& ctx,
+                                std::span<const weighted_weigher> weighers) {
+    std::vector<double> totals(hosts.size(), 0.0);
+    std::vector<double> raws(hosts.size());
+    for (const weighted_weigher& ww : weighers) {
+        expects(ww.weigher != nullptr, "score_hosts: null weigher");
+        double lo = std::numeric_limits<double>::infinity();
+        double hi = -std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < hosts.size(); ++i) {
+            raws[i] = ww.weigher->raw(hosts[i], ctx);
+            lo = std::min(lo, raws[i]);
+            hi = std::max(hi, raws[i]);
+        }
+        const double range = hi - lo;
+        for (std::size_t i = 0; i < hosts.size(); ++i) {
+            // Nova semantics: if all hosts tie, the weigher contributes 0.
+            const double norm = range > 0.0 ? (raws[i] - lo) / range : 0.0;
+            totals[i] += ww.multiplier * norm;
+        }
+    }
+    return totals;
+}
+
+std::vector<weighted_weigher> make_spread_weighers() {
+    std::vector<weighted_weigher> ws;
+    ws.push_back({std::make_unique<cpu_weigher>(), 1.0});
+    ws.push_back({std::make_unique<ram_weigher>(), 1.0});
+    ws.push_back({std::make_unique<num_instances_weigher>(), 0.25});
+    return ws;
+}
+
+std::vector<weighted_weigher> make_pack_weighers() {
+    std::vector<weighted_weigher> ws;
+    // negative multipliers: prefer the *fullest* host that still fits,
+    // maximizing the number of placeable VMs per flavor (Section 3.2)
+    ws.push_back({std::make_unique<ram_weigher>(), -1.0});
+    ws.push_back({std::make_unique<cpu_weigher>(), -0.25});
+    return ws;
+}
+
+}  // namespace sci

@@ -1,0 +1,96 @@
+#pragma once
+
+// The Nova weigher pipeline (Figure 3, second stage): surviving hosts get
+// a score; the scheduler ranks them.  As in Nova, each weigher produces a
+// raw value per host which is min-max normalized over the candidate set,
+// multiplied by the weigher's multiplier, and summed:
+//
+//     weight(h) = Σ_w  multiplier_w · norm_w(raw_w(h))
+//
+// A *positive* RAM multiplier prefers hosts with more free memory
+// (spreading); a *negative* one prefers fuller hosts (bin packing — the
+// policy SAP applies to S/4HANA per Section 3.2).
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "sched/filter.hpp"
+#include "sched/host_state.hpp"
+
+namespace sci {
+
+class host_weigher {
+public:
+    virtual ~host_weigher() = default;
+    virtual std::string_view name() const = 0;
+    /// Raw (un-normalized) value; higher means more preferred at
+    /// multiplier +1.
+    virtual double raw(const host_state& host, const request_context& ctx) const = 0;
+};
+
+/// CPUWeigher: free vCPU capacity.
+class cpu_weigher final : public host_weigher {
+public:
+    std::string_view name() const override { return "CPUWeigher"; }
+    double raw(const host_state& host, const request_context&) const override {
+        return host.free_vcpus();
+    }
+};
+
+/// RAMWeigher: free memory.
+class ram_weigher final : public host_weigher {
+public:
+    std::string_view name() const override { return "RAMWeigher"; }
+    double raw(const host_state& host, const request_context&) const override {
+        return host.free_ram_mib();
+    }
+};
+
+/// DiskWeigher: free local storage.
+class disk_weigher final : public host_weigher {
+public:
+    std::string_view name() const override { return "DiskWeigher"; }
+    double raw(const host_state& host, const request_context&) const override {
+        return host.free_disk_gib();
+    }
+};
+
+/// NumInstancesWeigher: fewer instances preferred (at positive multiplier).
+class num_instances_weigher final : public host_weigher {
+public:
+    std::string_view name() const override { return "NumInstancesWeigher"; }
+    double raw(const host_state& host, const request_context&) const override {
+        return -static_cast<double>(host.instances);
+    }
+};
+
+/// Contention weigher (Section 7 guidance): prefer hosts with low observed
+/// CPU contention.  Only meaningful when the engine feeds telemetry into
+/// host_state.
+class contention_weigher final : public host_weigher {
+public:
+    std::string_view name() const override { return "ContentionWeigher"; }
+    double raw(const host_state& host, const request_context&) const override {
+        return -host.avg_cpu_contention_pct;
+    }
+};
+
+struct weighted_weigher {
+    std::unique_ptr<host_weigher> weigher;
+    double multiplier = 1.0;
+};
+
+/// Normalized total score per candidate (same order as `hosts`).
+std::vector<double> score_hosts(std::span<const host_state> hosts,
+                                const request_context& ctx,
+                                std::span<const weighted_weigher> weighers);
+
+/// Default spreading pipeline (general purpose): CPU + RAM positive.
+std::vector<weighted_weigher> make_spread_weighers();
+
+/// Packing pipeline (S/4HANA / HANA): RAM negative — fill hosts up.
+std::vector<weighted_weigher> make_pack_weighers();
+
+}  // namespace sci

@@ -1,0 +1,53 @@
+#pragma once
+
+// Error handling primitives for the sci library.
+//
+// Public API boundaries validate their inputs with expects()/ensures(),
+// which throw sci::error on violation (Core Guidelines I.5/I.7: state and
+// check preconditions).  Internal invariants use assert().
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace sci {
+
+/// Base exception for every error raised by the sci library.
+class error : public std::runtime_error {
+public:
+    explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an argument violates a documented precondition.
+class precondition_error : public error {
+public:
+    explicit precondition_error(const std::string& what) : error(what) {}
+};
+
+/// Raised when a requested entity (host, series, flavor, ...) is unknown.
+class not_found_error : public error {
+public:
+    explicit not_found_error(const std::string& what) : error(what) {}
+};
+
+/// Raised when a resource request cannot be satisfied (e.g. no valid host).
+class capacity_error : public error {
+public:
+    explicit capacity_error(const std::string& what) : error(what) {}
+};
+
+/// Check a precondition at an API boundary; throws precondition_error.
+inline void expects(bool condition, std::string_view message) {
+    if (!condition) {
+        throw precondition_error(std::string(message));
+    }
+}
+
+/// Check a postcondition / internal consistency result visible to callers.
+inline void ensures(bool condition, std::string_view message) {
+    if (!condition) {
+        throw error("postcondition violated: " + std::string(message));
+    }
+}
+
+}  // namespace sci

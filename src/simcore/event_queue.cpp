@@ -1,0 +1,66 @@
+#include "simcore/event_queue.hpp"
+
+#include <utility>
+
+namespace sci {
+
+event_handle event_queue::schedule_at(sim_time at, callback fn) {
+    expects(at >= now_, "event_queue::schedule_at: cannot schedule in the past");
+    expects(static_cast<bool>(fn), "event_queue::schedule_at: null callback");
+    const event_handle handle = next_handle_++;
+    heap_.push(entry{at, next_seq_++, handle});
+    callbacks_.emplace(handle, std::move(fn));
+    ++live_events_;
+    return handle;
+}
+
+event_handle event_queue::schedule_after(sim_duration delay, callback fn) {
+    expects(delay >= 0, "event_queue::schedule_after: negative delay");
+    return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool event_queue::cancel(event_handle handle) {
+    const auto it = callbacks_.find(handle);
+    if (it == callbacks_.end()) return false;
+    callbacks_.erase(it);
+    --live_events_;
+    return true;
+}
+
+bool event_queue::step() {
+    while (!heap_.empty()) {
+        const entry top = heap_.top();
+        heap_.pop();
+        const auto it = callbacks_.find(top.handle);
+        if (it == callbacks_.end()) continue;  // cancelled: skip stale entry
+        callback fn = std::move(it->second);
+        callbacks_.erase(it);
+        --live_events_;
+        now_ = top.at;
+        ++executed_;
+        fn(now_);
+        return true;
+    }
+    return false;
+}
+
+void event_queue::run_until(sim_time until) {
+    expects(until >= now_, "event_queue::run_until: target in the past");
+    while (!heap_.empty()) {
+        const entry& top = heap_.top();
+        if (callbacks_.find(top.handle) == callbacks_.end()) {
+            heap_.pop();  // stale cancelled entry
+            continue;
+        }
+        if (top.at > until) break;
+        step();
+    }
+    now_ = until;
+}
+
+void event_queue::run() {
+    while (step()) {
+    }
+}
+
+}  // namespace sci

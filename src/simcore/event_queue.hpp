@@ -1,0 +1,85 @@
+#pragma once
+
+// Discrete-event simulation core: a simulated clock plus a time-ordered
+// queue of events.  Events scheduled for the same instant fire in
+// scheduling order (FIFO), which keeps runs deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "simcore/error.hpp"
+#include "simcore/time.hpp"
+
+namespace sci {
+
+/// Handle identifying a scheduled event; usable for cancellation.
+using event_handle = std::uint64_t;
+
+/// Min-heap driven discrete-event loop.
+class event_queue {
+public:
+    using callback = std::function<void(sim_time)>;
+
+    /// Schedule `fn` at absolute time `at` (must not be in the past).
+    event_handle schedule_at(sim_time at, callback fn);
+
+    /// Schedule `fn` after `delay` seconds (delay >= 0).
+    event_handle schedule_after(sim_duration delay, callback fn);
+
+    /// Cancel a previously scheduled event.  Returns false if the event
+    /// already fired or was already cancelled.
+    bool cancel(event_handle handle);
+
+    /// Current simulated time.
+    sim_time now() const { return now_; }
+
+    /// True when no live events remain.
+    bool empty() const { return live_events_ == 0; }
+
+    /// Number of live (scheduled, not cancelled, not fired) events.
+    std::size_t size() const { return live_events_; }
+
+    /// Run the next event; returns false if the queue is empty.
+    bool step();
+
+    /// Run events until the queue is empty or the clock passes `until`.
+    /// Events at exactly `until` are executed.  The clock is advanced to
+    /// `until` even if the queue drains earlier.
+    void run_until(sim_time until);
+
+    /// Run until the queue is empty.
+    void run();
+
+    /// Total number of events executed so far.
+    std::uint64_t executed_count() const { return executed_; }
+
+private:
+    struct entry {
+        sim_time at;
+        std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+        event_handle handle;
+    };
+
+    struct entry_later {
+        bool operator()(const entry& a, const entry& b) const {
+            if (a.at != b.at) return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<entry, std::vector<entry>, entry_later> heap_;
+    // callbacks keyed by handle; erased on fire/cancel.  A cancelled event
+    // leaves a stale heap entry that is skipped lazily.
+    std::unordered_map<event_handle, callback> callbacks_;
+
+    sim_time now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    event_handle next_handle_ = 1;
+    std::size_t live_events_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+}  // namespace sci

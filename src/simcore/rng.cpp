@@ -1,0 +1,35 @@
+#include "simcore/rng.hpp"
+
+#include <cmath>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+
+double rng_stream::bounded_pareto(double alpha, double lo, double hi) {
+    expects(alpha > 0.0, "bounded_pareto: alpha must be positive");
+    expects(lo > 0.0 && hi > lo, "bounded_pareto: need 0 < lo < hi");
+    // Inverse-CDF sampling of the truncated Pareto distribution.
+    const double u = uniform(0.0, 1.0);
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+std::size_t rng_stream::pick_weighted(std::span<const double> weights) {
+    expects(!weights.empty(), "pick_weighted: weights must be non-empty");
+    double total = 0.0;
+    for (double w : weights) {
+        expects(w >= 0.0, "pick_weighted: weights must be non-negative");
+        total += w;
+    }
+    expects(total > 0.0, "pick_weighted: at least one weight must be positive");
+    double r = uniform(0.0, total);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (r < weights[i]) return i;
+        r -= weights[i];
+    }
+    return weights.size() - 1;  // numeric edge: fall back to last bucket
+}
+
+}  // namespace sci

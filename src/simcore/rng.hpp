@@ -1,0 +1,116 @@
+#pragma once
+
+// Deterministic random number generation.
+//
+// Every stochastic component draws from a named rng_stream derived from a
+// single master seed, so the whole simulation — and therefore every
+// reproduced figure — is exactly reproducible (DESIGN.md §4 "Determinism").
+// Stream derivation hashes (master_seed, name) with splitmix64 so adding a
+// new consumer never perturbs existing streams.
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <string_view>
+
+namespace sci {
+
+/// splitmix64 step; good avalanche, used for seed derivation.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// FNV-1a hash of a string, for stream-name derivation.
+constexpr std::uint64_t fnv1a(std::string_view s) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : s) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/// A named, independently seeded random stream.
+class rng_stream {
+public:
+    rng_stream(std::uint64_t master_seed, std::string_view name)
+        : rng_stream(splitmix64(master_seed ^ splitmix64(fnv1a(name)))) {}
+
+    /// Derive an independent child stream, e.g. one per VM: child(vm_index).
+    /// Children are a pure function of (this stream's seed, index), so the
+    /// order in which they are created does not matter.
+    rng_stream child(std::uint64_t index) const {
+        return rng_stream(splitmix64(seed_ ^ splitmix64(index + 1)));
+    }
+
+    std::mt19937_64& engine() { return engine_; }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    }
+
+    /// Bernoulli trial.
+    bool chance(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+    /// Normal draw.
+    double normal(double mean, double stddev) {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /// Normal draw truncated to [lo, hi] by clamping.
+    double clamped_normal(double mean, double stddev, double lo, double hi) {
+        const double v = normal(mean, stddev);
+        if (v < lo) return lo;
+        if (v > hi) return hi;
+        return v;
+    }
+
+    /// Log-normal draw parameterised by the *underlying* normal.
+    double lognormal(double mu, double sigma) {
+        return std::lognormal_distribution<double>(mu, sigma)(engine_);
+    }
+
+    /// Exponential draw with the given mean.
+    double exponential_mean(double mean) {
+        return std::exponential_distribution<double>(1.0 / mean)(engine_);
+    }
+
+    /// Bounded Pareto draw (heavy tail for lifetimes/spikes).
+    double bounded_pareto(double alpha, double lo, double hi);
+
+    /// Pick an index from a discrete distribution given non-negative weights.
+    std::size_t pick_weighted(std::span<const double> weights);
+
+private:
+    explicit rng_stream(std::uint64_t derived_seed)
+        : seed_(derived_seed), engine_(derived_seed) {}
+
+    std::uint64_t seed_;
+    std::mt19937_64 engine_;
+};
+
+/// A registry handing out named streams from one master seed.
+class rng_registry {
+public:
+    explicit rng_registry(std::uint64_t master_seed) : master_seed_(master_seed) {}
+
+    rng_stream stream(std::string_view name) const {
+        return rng_stream(master_seed_, name);
+    }
+
+    std::uint64_t master_seed() const { return master_seed_; }
+
+private:
+    std::uint64_t master_seed_;
+};
+
+}  // namespace sci

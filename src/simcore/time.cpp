@@ -1,0 +1,81 @@
+#include "simcore/time.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace sci {
+
+namespace {
+
+// Days from civil date algorithm (Howard Hinnant's public-domain method).
+constexpr std::int64_t days_from_civil(int y, int m, int d) {
+    y -= m <= 2;
+    const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+    const unsigned yoe = static_cast<unsigned>(y - era * 400);
+    const unsigned doy =
+        (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
+        static_cast<unsigned>(d) - 1u;
+    const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+constexpr calendar_date civil_from_days(std::int64_t z) {
+    z += 719468;
+    const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+    const unsigned doe = static_cast<unsigned>(z - era * 146097);
+    const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+    const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    const unsigned mp = (5 * doy + 2) / 153;
+    const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+    const unsigned m = mp < 10 ? mp + 3 : mp - 9;
+    return calendar_date{static_cast<int>(y + (m <= 2 ? 1 : 0)),
+                         static_cast<int>(m), static_cast<int>(d)};
+}
+
+constexpr std::int64_t observation_start_days = days_from_civil(2024, 7, 31);
+
+}  // namespace
+
+calendar_date to_calendar_date(sim_time t) {
+    return civil_from_days(observation_start_days + day_index(t));
+}
+
+std::string format_timestamp(sim_time t) {
+    const calendar_date date = to_calendar_date(t);
+    const std::int64_t s = second_of_day(t);
+    std::array<char, 32> buf{};
+    std::snprintf(buf.data(), buf.size(), "%04d-%02d-%02d %02d:%02d:%02d",
+                  date.year, date.month, date.day,
+                  static_cast<int>(s / seconds_per_hour),
+                  static_cast<int>((s / seconds_per_minute) % 60),
+                  static_cast<int>(s % 60));
+    return std::string(buf.data());
+}
+
+std::string format_date(sim_time t) {
+    const calendar_date date = to_calendar_date(t);
+    std::array<char, 16> buf{};
+    std::snprintf(buf.data(), buf.size(), "%04d-%02d-%02d", date.year,
+                  date.month, date.day);
+    return std::string(buf.data());
+}
+
+std::string format_duration(sim_duration d) {
+    const double secs = static_cast<double>(d);
+    std::array<char, 32> buf{};
+    if (secs < 90.0) {
+        std::snprintf(buf.data(), buf.size(), "%.0f s", secs);
+    } else if (secs < 90.0 * 60.0) {
+        std::snprintf(buf.data(), buf.size(), "%.1f min", secs / 60.0);
+    } else if (secs < 36.0 * 3600.0) {
+        std::snprintf(buf.data(), buf.size(), "%.1f h", secs / 3600.0);
+    } else if (secs < 400.0 * 86400.0) {
+        std::snprintf(buf.data(), buf.size(), "%.1f d", secs / 86400.0);
+    } else {
+        std::snprintf(buf.data(), buf.size(), "%.1f y", secs / (365.0 * 86400.0));
+    }
+    return std::string(buf.data());
+}
+
+}  // namespace sci

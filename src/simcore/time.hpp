@@ -1,0 +1,86 @@
+#pragma once
+
+// Simulated time.
+//
+// The paper's observation window starts 2024-07-31 00:00:00 UTC and spans
+// 30 days (Section 4).  Simulated time is a count of seconds since the
+// observation start; negative values denote events before the window
+// (e.g. VMs created long before measurement began, cf. Figure 15 where
+// lifetimes reach multiple years).
+
+#include <cstdint>
+#include <string>
+
+namespace sci {
+
+using sim_time = std::int64_t;      ///< seconds relative to observation start
+using sim_duration = std::int64_t;  ///< seconds
+
+constexpr sim_duration seconds_per_minute = 60;
+constexpr sim_duration seconds_per_hour = 3600;
+constexpr sim_duration seconds_per_day = 86400;
+
+/// Length of the paper's observation window: 30 days.
+constexpr sim_duration observation_window = 30 * seconds_per_day;
+
+/// Number of observed days (rows of every heatmap in Section 5).
+constexpr int observation_days = 30;
+
+constexpr sim_duration minutes(std::int64_t n) { return n * seconds_per_minute; }
+constexpr sim_duration hours(std::int64_t n) { return n * seconds_per_hour; }
+constexpr sim_duration days(std::int64_t n) { return n * seconds_per_day; }
+
+/// Day index within the observation window; negative before the window.
+constexpr std::int64_t day_index(sim_time t) {
+    // floor division so that t = -1 maps to day -1, not 0.
+    std::int64_t d = t / seconds_per_day;
+    if (t < 0 && t % seconds_per_day != 0) --d;
+    return d;
+}
+
+/// Second-of-day in [0, 86400).
+constexpr std::int64_t second_of_day(sim_time t) {
+    std::int64_t s = t % seconds_per_day;
+    if (s < 0) s += seconds_per_day;
+    return s;
+}
+
+/// Hour-of-day in [0, 24).
+constexpr int hour_of_day(sim_time t) {
+    return static_cast<int>(second_of_day(t) / seconds_per_hour);
+}
+
+/// Day of week, 0 = Monday ... 6 = Sunday.
+/// 2024-07-31 (observation start) was a Wednesday.
+constexpr int day_of_week(sim_time t) {
+    constexpr int start_weekday = 2;  // Wednesday
+    std::int64_t dow = (day_index(t) + start_weekday) % 7;
+    if (dow < 0) dow += 7;
+    return static_cast<int>(dow);
+}
+
+constexpr bool is_weekend(sim_time t) { return day_of_week(t) >= 5; }
+
+/// Calendar date of a simulated instant (proleptic Gregorian, UTC).
+struct calendar_date {
+    int year;
+    int month;  ///< 1..12
+    int day;    ///< 1..31
+
+    friend bool operator==(const calendar_date&, const calendar_date&) = default;
+};
+
+/// Calendar date for a simulated time (observation start = 2024-07-31).
+calendar_date to_calendar_date(sim_time t);
+
+/// "YYYY-MM-DD HH:MM:SS" rendering of a simulated instant.
+std::string format_timestamp(sim_time t);
+
+/// "YYYY-MM-DD" rendering of the day containing t.
+std::string format_date(sim_time t);
+
+/// Human-readable duration, e.g. "2.5 h", "3.1 d", "1.2 y" (used by the
+/// Figure 15 lifetime rendering).
+std::string format_duration(sim_duration d);
+
+}  // namespace sci

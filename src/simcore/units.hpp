@@ -1,0 +1,49 @@
+#pragma once
+
+// Resource units used throughout the simulator.
+//
+// Conventions (matching the metric catalog in Table 4 of the paper):
+//   - memory is tracked in MiB (openstack_compute_nodes_memory_mb_*)
+//   - CPU capacity is tracked in vCPU / pCPU core counts
+//   - network bandwidth in kbps (vrops_hostsystem_network_bytes_*_kbps)
+//   - storage in GiB (vrops_hostsystem_diskspace_usage_gigabytes)
+//   - ratios / percentages as double in [0, 100] for "percentage" metrics
+//     and [0, 1] for "ratio" metrics.
+
+#include <cstdint>
+
+namespace sci {
+
+using mebibytes = std::int64_t;  ///< memory size in MiB
+using gibibytes = double;        ///< storage size in GiB
+using kbps = double;             ///< bandwidth in kilobits per second
+using core_count = std::int32_t; ///< number of (virtual or physical) cores
+
+constexpr mebibytes mib_per_gib = 1024;
+
+constexpr mebibytes gib_to_mib(double gib) {
+    return static_cast<mebibytes>(gib * static_cast<double>(mib_per_gib));
+}
+
+constexpr double mib_to_gib(mebibytes mib) {
+    return static_cast<double>(mib) / static_cast<double>(mib_per_gib);
+}
+
+/// 200 Gbps NIC capacity per compute node (Section 5.3 of the paper).
+constexpr kbps node_nic_capacity_kbps = 200.0 * 1000.0 * 1000.0;
+
+/// Clamp a percentage to the displayable [0, 100] range.
+constexpr double clamp_percent(double value) {
+    if (value < 0.0) return 0.0;
+    if (value > 100.0) return 100.0;
+    return value;
+}
+
+/// Clamp a ratio to [0, 1].
+constexpr double clamp_ratio(double value) {
+    if (value < 0.0) return 0.0;
+    if (value > 1.0) return 1.0;
+    return value;
+}
+
+}  // namespace sci

@@ -1,0 +1,62 @@
+#include "telemetry/labels.hpp"
+
+#include <algorithm>
+
+#include "simcore/rng.hpp"  // fnv1a / splitmix64
+
+namespace sci {
+
+label_set::label_set(
+    std::initializer_list<std::pair<std::string, std::string>> kvs) {
+    for (const auto& [k, v] : kvs) set(k, v);
+}
+
+void label_set::set(std::string key, std::string value) {
+    const auto it = std::lower_bound(
+        kvs_.begin(), kvs_.end(), key,
+        [](const auto& kv, const std::string& k) { return kv.first < k; });
+    if (it != kvs_.end() && it->first == key) {
+        it->second = std::move(value);
+    } else {
+        kvs_.insert(it, {std::move(key), std::move(value)});
+    }
+}
+
+std::optional<std::string_view> label_set::get(std::string_view key) const {
+    const auto it = std::lower_bound(
+        kvs_.begin(), kvs_.end(), key,
+        [](const auto& kv, std::string_view k) { return kv.first < k; });
+    if (it != kvs_.end() && it->first == key) return std::string_view(it->second);
+    return std::nullopt;
+}
+
+bool label_set::contains(std::string_view key, std::string_view value) const {
+    const auto v = get(key);
+    return v.has_value() && *v == value;
+}
+
+std::string label_set::to_string() const {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [k, v] : kvs_) {
+        if (!first) out += ",";
+        first = false;
+        out += k;
+        out += "=\"";
+        out += v;
+        out += "\"";
+    }
+    out += "}";
+    return out;
+}
+
+std::uint64_t label_set::hash() const {
+    std::uint64_t h = 0x2545f4914f6cdd1dULL;
+    for (const auto& [k, v] : kvs_) {
+        h = splitmix64(h ^ fnv1a(k));
+        h = splitmix64(h ^ fnv1a(v));
+    }
+    return h;
+}
+
+}  // namespace sci

@@ -1,0 +1,57 @@
+#pragma once
+
+// Prometheus-style label sets.  A series is identified by its metric name
+// plus a label set, e.g.
+//   vrops_hostsystem_cpu_contention_percentage{node="node-1a2b", bb="bb-3",
+//                                              dc="dc-a", az="az-1"}
+// Label sets are kept sorted by key so equality/hash are canonical.
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sci {
+
+class label_set {
+public:
+    label_set() = default;
+    label_set(std::initializer_list<std::pair<std::string, std::string>> kvs);
+
+    /// Add or replace a label.
+    void set(std::string key, std::string value);
+
+    /// Value for a key, if present.
+    std::optional<std::string_view> get(std::string_view key) const;
+
+    bool contains(std::string_view key, std::string_view value) const;
+
+    std::size_t size() const { return kvs_.size(); }
+    bool empty() const { return kvs_.empty(); }
+
+    const std::vector<std::pair<std::string, std::string>>& pairs() const {
+        return kvs_;
+    }
+
+    /// Canonical rendering: {a="1",b="2"}.
+    std::string to_string() const;
+
+    std::uint64_t hash() const;
+
+    friend bool operator==(const label_set&, const label_set&) = default;
+
+private:
+    std::vector<std::pair<std::string, std::string>> kvs_;  // sorted by key
+};
+
+}  // namespace sci
+
+template <>
+struct std::hash<sci::label_set> {
+    std::size_t operator()(const sci::label_set& ls) const noexcept {
+        return static_cast<std::size_t>(ls.hash());
+    }
+};

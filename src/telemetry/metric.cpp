@@ -1,0 +1,114 @@
+#include "telemetry/metric.hpp"
+
+#include <algorithm>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+
+std::string_view to_string(metric_subsystem s) {
+    switch (s) {
+        case metric_subsystem::compute_host: return "Compute host";
+        case metric_subsystem::vm: return "VM";
+        case metric_subsystem::region: return "Region";
+    }
+    return "unknown";
+}
+
+std::string_view to_string(metric_resource r) {
+    switch (r) {
+        case metric_resource::cpu: return "CPU";
+        case metric_resource::memory: return "Memory";
+        case metric_resource::network: return "Network";
+        case metric_resource::storage: return "Storage";
+        case metric_resource::count: return "Count";
+    }
+    return "unknown";
+}
+
+std::string_view to_string(metric_unit u) {
+    switch (u) {
+        case metric_unit::percentage: return "percent";
+        case metric_unit::ratio: return "ratio";
+        case metric_unit::milliseconds: return "ms";
+        case metric_unit::mib: return "MiB";
+        case metric_unit::gib: return "GiB";
+        case metric_unit::kbps: return "kbps";
+        case metric_unit::cores: return "cores";
+        case metric_unit::instances: return "instances";
+    }
+    return "unknown";
+}
+
+metric_registry metric_registry::standard_catalog() {
+    using namespace metric_names;
+    metric_registry reg;
+    reg.add({std::string(host_cpu_core_utilization), metric_subsystem::compute_host,
+             metric_resource::cpu, metric_unit::percentage,
+             "Utilization of CPU per compute host"});
+    reg.add({std::string(host_cpu_contention), metric_subsystem::compute_host,
+             metric_resource::cpu, metric_unit::percentage,
+             "Observed CPU contention per compute host"});
+    reg.add({std::string(host_cpu_ready), metric_subsystem::compute_host,
+             metric_resource::cpu, metric_unit::milliseconds,
+             "Duration a VM is ready but waits for scheduling",
+             /*hourly=*/true});
+    reg.add({std::string(host_memory_usage), metric_subsystem::compute_host,
+             metric_resource::memory, metric_unit::percentage,
+             "Utilization of compute host memory"});
+    reg.add({std::string(host_network_tx), metric_subsystem::compute_host,
+             metric_resource::network, metric_unit::kbps,
+             "Transmitted network traffic"});
+    reg.add({std::string(host_network_rx), metric_subsystem::compute_host,
+             metric_resource::network, metric_unit::kbps,
+             "Received network traffic"});
+    reg.add({std::string(host_diskspace_usage), metric_subsystem::compute_host,
+             metric_resource::storage, metric_unit::gib,
+             "Utilization of local storage"});
+    reg.add({std::string(vm_cpu_usage_ratio), metric_subsystem::vm,
+             metric_resource::cpu, metric_unit::ratio,
+             "Percentage of requested and used CPU"});
+    reg.add({std::string(vm_memory_consumed_ratio), metric_subsystem::vm,
+             metric_resource::memory, metric_unit::ratio,
+             "Percentage of requested and used memory"});
+    reg.add({std::string(os_nodes_vcpus), metric_subsystem::compute_host,
+             metric_resource::cpu, metric_unit::cores,
+             "Number of vCPUs per compute host"});
+    reg.add({std::string(os_nodes_vcpus_used), metric_subsystem::compute_host,
+             metric_resource::cpu, metric_unit::cores,
+             "Number of used vCPUs per compute host"});
+    reg.add({std::string(os_nodes_memory_mb), metric_subsystem::compute_host,
+             metric_resource::memory, metric_unit::mib,
+             "Amount of memory in MB per compute host"});
+    reg.add({std::string(os_nodes_memory_mb_used), metric_subsystem::compute_host,
+             metric_resource::memory, metric_unit::mib,
+             "Amount of utilized memory in MB per compute host"});
+    reg.add({std::string(os_instances_total), metric_subsystem::region,
+             metric_resource::count, metric_unit::instances,
+             "Total number of VMs within the regional deployment"});
+    return reg;
+}
+
+void metric_registry::add(metric_def def) {
+    expects(!def.name.empty(), "metric_registry::add: empty metric name");
+    expects(!find(def.name).has_value(), "metric_registry::add: duplicate metric");
+    defs_.push_back(std::move(def));
+}
+
+const metric_def& metric_registry::get(std::string_view name) const {
+    const auto idx = find(name);
+    if (!idx.has_value()) {
+        throw not_found_error("metric_registry::get: unknown metric '" +
+                              std::string(name) + "'");
+    }
+    return defs_[*idx];
+}
+
+std::optional<std::size_t> metric_registry::find(std::string_view name) const {
+    const auto it = std::find_if(defs_.begin(), defs_.end(),
+                                 [&](const metric_def& d) { return d.name == name; });
+    if (it == defs_.end()) return std::nullopt;
+    return static_cast<std::size_t>(it - defs_.begin());
+}
+
+}  // namespace sci

@@ -1,0 +1,107 @@
+#pragma once
+
+// Metric catalog (Table 4 of the paper).
+//
+// Metric names follow the production naming convention: the vROps exporter
+// contributes the vrops_* metrics, the Nova MySQL exporter contributes the
+// openstack_compute_* metrics (Section 4).  metric_registry pre-registers
+// the full Table 4 catalog; tab4_metric_catalog dumps it.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sci {
+
+/// Which layer the metric is measured at.
+enum class metric_subsystem { compute_host, vm, region };
+
+/// The resource the metric describes.
+enum class metric_resource { cpu, memory, network, storage, count };
+
+/// Unit of the metric values.
+enum class metric_unit {
+    percentage,    ///< [0, 100]
+    ratio,         ///< [0, 1]
+    milliseconds,
+    mib,
+    gib,
+    kbps,
+    cores,
+    instances,
+};
+
+std::string_view to_string(metric_subsystem s);
+std::string_view to_string(metric_resource r);
+std::string_view to_string(metric_unit u);
+
+struct metric_def {
+    std::string name;
+    metric_subsystem subsystem;
+    metric_resource resource;
+    metric_unit unit;
+    std::string description;
+    /// Keep hourly compaction for this metric (needed by sub-daily plots
+    /// such as the CPU ready time series of Figure 8).
+    bool hourly = false;
+};
+
+/// Canonical metric names (exactly the Table 4 identifiers).
+namespace metric_names {
+
+// vROps exporter — compute host (ESXi node) level
+inline constexpr std::string_view host_cpu_core_utilization =
+    "vrops_hostsystem_cpu_core_utilization_percentage";
+inline constexpr std::string_view host_cpu_contention =
+    "vrops_hostsystem_cpu_contention_percentage";
+inline constexpr std::string_view host_cpu_ready =
+    "vrops_hostsystem_cpu_ready_milliseconds";
+inline constexpr std::string_view host_memory_usage =
+    "vrops_hostsystem_memory_usage_percentage";
+inline constexpr std::string_view host_network_tx =
+    "vrops_hostsystem_network_bytes_tx_kbps";
+inline constexpr std::string_view host_network_rx =
+    "vrops_hostsystem_network_bytes_rx_kbps";
+inline constexpr std::string_view host_diskspace_usage =
+    "vrops_hostsystem_diskspace_usage_gigabytes";
+
+// vROps exporter — VM level
+inline constexpr std::string_view vm_cpu_usage_ratio =
+    "vrops_virtualmachine_cpu_usage_ratio";
+inline constexpr std::string_view vm_memory_consumed_ratio =
+    "vrops_virtualmachine_memory_consumed_ratio";
+
+// Nova MySQL exporter — OpenStack compute (building-block) level
+inline constexpr std::string_view os_nodes_vcpus =
+    "openstack_compute_nodes_vcpus_gauge";
+inline constexpr std::string_view os_nodes_vcpus_used =
+    "openstack_compute_nodes_vcpus_used_gauge";
+inline constexpr std::string_view os_nodes_memory_mb =
+    "openstack_compute_nodes_memory_mb_gauge";
+inline constexpr std::string_view os_nodes_memory_mb_used =
+    "openstack_compute_nodes_memory_mb_used_gauge";
+inline constexpr std::string_view os_instances_total =
+    "openstack_compute_instances_total";
+
+}  // namespace metric_names
+
+/// Registry of metric definitions; usually constructed via
+/// metric_registry::standard_catalog().
+class metric_registry {
+public:
+    /// The full Table 4 catalog.
+    static metric_registry standard_catalog();
+
+    void add(metric_def def);
+    const metric_def& get(std::string_view name) const;
+    std::optional<std::size_t> find(std::string_view name) const;
+    std::span<const metric_def> all() const { return defs_; }
+    std::size_t size() const { return defs_.size(); }
+
+private:
+    std::vector<metric_def> defs_;
+};
+
+}  // namespace sci

@@ -1,0 +1,209 @@
+#include "telemetry/query.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+
+namespace {
+
+constexpr double nan_value = std::numeric_limits<double>::quiet_NaN();
+
+double read_stat(const running_stats& agg, bucket_stat s) {
+    switch (s) {
+        case bucket_stat::mean: return agg.mean();
+        case bucket_stat::min: return agg.min();
+        case bucket_stat::max: return agg.max();
+        case bucket_stat::sum: return agg.sum();
+        case bucket_stat::count: return static_cast<double>(agg.count());
+    }
+    return nan_value;
+}
+
+}  // namespace
+
+double aggregate_values(std::span<const double> values, agg_op op, double q) {
+    std::vector<double> present;
+    present.reserve(values.size());
+    for (double v : values) {
+        if (!std::isnan(v)) present.push_back(v);
+    }
+    if (present.empty()) return nan_value;
+    switch (op) {
+        case agg_op::sum: {
+            double total = 0.0;
+            for (double v : present) total += v;
+            return total;
+        }
+        case agg_op::avg: {
+            double total = 0.0;
+            for (double v : present) total += v;
+            return total / static_cast<double>(present.size());
+        }
+        case agg_op::min:
+            return *std::min_element(present.begin(), present.end());
+        case agg_op::max:
+            return *std::max_element(present.begin(), present.end());
+        case agg_op::count:
+            return static_cast<double>(present.size());
+        case agg_op::quantile:
+            expects(q > 0.0 && q < 1.0, "aggregate_values: quantile in (0,1)");
+            return exact_quantile(present, q);
+    }
+    return nan_value;
+}
+
+query_series query_matrix::aggregate(agg_op op, double q) const {
+    query_series out;
+    out.values.assign(steps(), nan_value);
+    std::vector<double> column(series.size());
+    for (std::size_t t = 0; t < steps(); ++t) {
+        for (std::size_t s = 0; s < series.size(); ++s) {
+            column[s] = series[s].values[t];
+        }
+        out.values[t] = aggregate_values(column, op, q);
+    }
+    return out;
+}
+
+query_matrix query_matrix::aggregate_by(std::string_view label, agg_op op,
+                                        double q) const {
+    std::map<std::string, std::vector<const query_series*>> groups;
+    for (const query_series& s : series) {
+        const auto value = s.labels.get(label);
+        if (!value.has_value()) continue;
+        groups[std::string(*value)].push_back(&s);
+    }
+    query_matrix out;
+    out.step = step;
+    for (const auto& [value, members] : groups) {
+        query_series grouped;
+        grouped.labels.set(std::string(label), value);
+        grouped.values.assign(steps(), nan_value);
+        std::vector<double> column(members.size());
+        for (std::size_t t = 0; t < steps(); ++t) {
+            for (std::size_t m = 0; m < members.size(); ++m) {
+                column[m] = members[m]->values[t];
+            }
+            grouped.values[t] = aggregate_values(column, op, q);
+        }
+        out.series.push_back(std::move(grouped));
+    }
+    return out;
+}
+
+query_matrix query_matrix::map(const std::function<double(double)>& fn) const {
+    expects(static_cast<bool>(fn), "query_matrix::map: null function");
+    query_matrix out;
+    out.step = step;
+    out.series.reserve(series.size());
+    for (const query_series& s : series) {
+        query_series mapped;
+        mapped.labels = s.labels;
+        mapped.values.reserve(s.values.size());
+        for (double v : s.values) {
+            mapped.values.push_back(std::isnan(v) ? v : fn(v));
+        }
+        out.series.push_back(std::move(mapped));
+    }
+    return out;
+}
+
+query_matrix query_matrix::filter(
+    const std::function<bool(const label_set&)>& predicate) const {
+    expects(static_cast<bool>(predicate), "query_matrix::filter: null predicate");
+    query_matrix out;
+    out.step = step;
+    for (const query_series& s : series) {
+        if (predicate(s.labels)) out.series.push_back(s);
+    }
+    return out;
+}
+
+std::vector<std::pair<label_set, double>> query_matrix::reduce_time(
+    agg_op op, double q) const {
+    std::vector<std::pair<label_set, double>> out;
+    out.reserve(series.size());
+    for (const query_series& s : series) {
+        out.emplace_back(s.labels, aggregate_values(s.values, op, q));
+    }
+    return out;
+}
+
+query_matrix query_matrix::top_k(std::size_t k, agg_op op) const {
+    std::vector<std::pair<double, const query_series*>> ranked;
+    ranked.reserve(series.size());
+    for (const query_series& s : series) {
+        const double score = aggregate_values(s.values, op, 0.5);
+        ranked.emplace_back(std::isnan(score)
+                                ? -std::numeric_limits<double>::infinity()
+                                : score,
+                            &s);
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto& a, const auto& b) { return a.first > b.first; });
+    query_matrix out;
+    out.step = step;
+    for (std::size_t i = 0; i < ranked.size() && i < k; ++i) {
+        out.series.push_back(*ranked[i].second);
+    }
+    return out;
+}
+
+query& query::metric(std::string_view name) {
+    metric_ = std::string(name);
+    return *this;
+}
+
+query& query::where(std::string key, std::string value) {
+    label_eq_.emplace_back(std::move(key), std::move(value));
+    return *this;
+}
+
+query_matrix query::run() const {
+    expects(!metric_.empty(), "query::run: no metric selected");
+    query_matrix out;
+    const int days = store_->config().days;
+    out.step = hourly_ ? seconds_per_hour : seconds_per_day;
+    const std::size_t steps =
+        hourly_ ? static_cast<std::size_t>(days) * 24
+                : static_cast<std::size_t>(days);
+    for (series_id id : store_->select(metric_, label_eq_)) {
+        query_series s;
+        s.labels = store_->labels_of(id);
+        s.values.assign(steps, nan_value);
+        for (std::size_t t = 0; t < steps; ++t) {
+            const running_stats* agg =
+                hourly_ ? store_->hourly(id, static_cast<int>(t))
+                        : store_->daily(id, static_cast<int>(t));
+            if (agg != nullptr) s.values[t] = read_stat(*agg, stat_);
+        }
+        out.series.push_back(std::move(s));
+    }
+    return out;
+}
+
+query_matrix query::daily_mean() const {
+    query copy = *this;
+    copy.hourly_ = false;
+    copy.stat_ = bucket_stat::mean;
+    return copy.run();
+}
+
+std::vector<std::pair<label_set, double>> query::window(bucket_stat s) const {
+    expects(!metric_.empty(), "query::window: no metric selected");
+    std::vector<std::pair<label_set, double>> out;
+    for (series_id id : store_->select(metric_, label_eq_)) {
+        const running_stats agg = store_->window_aggregate(id);
+        out.emplace_back(store_->labels_of(id),
+                         agg.empty() ? std::numeric_limits<double>::quiet_NaN()
+                                     : read_stat(agg, s));
+    }
+    return out;
+}
+
+}  // namespace sci

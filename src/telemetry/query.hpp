@@ -1,0 +1,125 @@
+#pragma once
+
+// A PromQL-inspired query layer over the metric store.
+//
+// The paper's measurement pipeline queries Prometheus/Thanos (Section 4);
+// this module provides the equivalent for the reproduced store.  It
+// operates on the compacted aggregates, so "range functions" take a day
+// (or hour, where retained) granularity:
+//
+//   query q(store);
+//   auto v = q.metric("vrops_hostsystem_cpu_contention_percentage")
+//             .where("dc", "dc-a")
+//             .daily_mean()            // -> matrix: one series per node
+//             .aggregate(agg_op::max)  // -> vector over days
+//
+// Results are small value matrices (series x days), cheap to combine.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simcore/stats.hpp"
+#include "telemetry/store.hpp"
+
+namespace sci {
+
+/// Aggregation operators over series (per time step).
+enum class agg_op { sum, avg, min, max, count, quantile };
+
+/// Which statistic of each compacted bucket to read.
+enum class bucket_stat { mean, min, max, sum, count };
+
+/// One output series: labels + one value per time step (NaN = no data).
+struct query_series {
+    label_set labels;
+    std::vector<double> values;
+};
+
+/// A set of aligned series (the PromQL "range matrix" analogue).
+struct query_matrix {
+    /// Time step of `values` entries, in seconds (86400 = daily).
+    sim_duration step = seconds_per_day;
+    std::vector<query_series> series;
+
+    std::size_t steps() const {
+        return series.empty() ? 0 : series.front().values.size();
+    }
+
+    /// Aggregate across series into a single series (labels dropped).
+    /// For agg_op::quantile supply q in (0,1).
+    query_series aggregate(agg_op op, double q = 0.5) const;
+
+    /// Aggregate across series grouped by one label key ("by (bb)").
+    query_matrix aggregate_by(std::string_view label, agg_op op,
+                              double q = 0.5) const;
+
+    /// Element-wise map of every value.
+    query_matrix map(const std::function<double(double)>& fn) const;
+
+    /// Keep only series whose labels satisfy the predicate.
+    query_matrix filter(
+        const std::function<bool(const label_set&)>& predicate) const;
+
+    /// Reduce each series over time to one scalar (NaN-skipping).
+    std::vector<std::pair<label_set, double>> reduce_time(agg_op op,
+                                                          double q = 0.5) const;
+
+    /// The k series with the largest time-reduction under `op`.
+    query_matrix top_k(std::size_t k, agg_op op = agg_op::sum) const;
+};
+
+/// Fluent query builder.
+class query {
+public:
+    explicit query(const metric_store& store) : store_(&store) {}
+
+    /// Select a metric (resets previous selection).
+    query& metric(std::string_view name);
+
+    /// Require an exact label match (conjunctive).
+    query& where(std::string key, std::string value);
+
+    /// Read daily buckets (default).
+    query& daily() {
+        hourly_ = false;
+        return *this;
+    }
+
+    /// Read hourly buckets (only metrics flagged hourly in the registry).
+    query& hourly() {
+        hourly_ = true;
+        return *this;
+    }
+
+    /// Which statistic of each bucket to extract (default mean).
+    query& stat(bucket_stat s) {
+        stat_ = s;
+        return *this;
+    }
+
+    /// Execute; returns the matrix of matching series.
+    query_matrix run() const;
+
+    // --- conveniences -----------------------------------------------------
+
+    /// run() with stat=mean at daily step.
+    query_matrix daily_mean() const;
+
+    /// Whole-window scalar per series (merged running_stats statistic).
+    std::vector<std::pair<label_set, double>> window(bucket_stat s) const;
+
+private:
+    const metric_store* store_;
+    std::string metric_;
+    std::vector<std::pair<std::string, std::string>> label_eq_;
+    bool hourly_ = false;
+    bucket_stat stat_ = bucket_stat::mean;
+};
+
+/// Scalar aggregation helper shared with the matrix ops; NaNs skipped.
+double aggregate_values(std::span<const double> values, agg_op op, double q);
+
+}  // namespace sci

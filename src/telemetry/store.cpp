@@ -1,0 +1,140 @@
+#include "telemetry/store.hpp"
+
+#include <algorithm>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+
+metric_store::metric_store(metric_registry registry, store_config config)
+    : registry_(std::move(registry)), config_(config) {
+    expects(config_.days > 0, "metric_store: days must be positive");
+    index_.resize(registry_.size());
+}
+
+series_id metric_store::open_series(std::string_view metric, label_set labels) {
+    const auto metric_index = registry_.find(metric);
+    if (!metric_index.has_value()) {
+        throw not_found_error("metric_store::open_series: unknown metric '" +
+                              std::string(metric) + "'");
+    }
+    auto& by_labels = index_[*metric_index];
+    const auto it = by_labels.find(labels);
+    if (it != by_labels.end()) return it->second;
+
+    const series_id id(static_cast<std::int32_t>(series_.size()));
+    series_data data;
+    data.metric_index = *metric_index;
+    data.labels = labels;
+    data.daily.resize(static_cast<std::size_t>(config_.days));
+    if (registry_.all()[*metric_index].hourly) {
+        data.hourly.resize(static_cast<std::size_t>(config_.days) * 24);
+    }
+    series_.push_back(std::move(data));
+    by_labels.emplace(std::move(labels), id);
+    return id;
+}
+
+std::optional<series_id> metric_store::find_series(std::string_view metric,
+                                                   const label_set& labels) const {
+    const auto metric_index = registry_.find(metric);
+    if (!metric_index.has_value()) return std::nullopt;
+    const auto& by_labels = index_[*metric_index];
+    const auto it = by_labels.find(labels);
+    if (it == by_labels.end()) return std::nullopt;
+    return it->second;
+}
+
+void metric_store::append(series_id id, sim_time t, double value) {
+    expects(id.valid() && static_cast<std::size_t>(id.value()) < series_.size(),
+            "metric_store::append: unknown series");
+    series_data& s = series_[static_cast<std::size_t>(id.value())];
+    ++appended_;
+    const std::int64_t day = day_index(t);
+    if (day < 0 || day >= config_.days) {
+        ++dropped_;
+        return;
+    }
+    s.daily[static_cast<std::size_t>(day)].add(value);
+    if (!s.hourly.empty()) {
+        const std::int64_t hour = t / seconds_per_hour;
+        s.hourly[static_cast<std::size_t>(hour)].add(value);
+    }
+    if (config_.keep_raw) {
+        s.raw.push_back(sample{t, value});
+    }
+}
+
+void metric_store::merge_daily(series_id id, int day,
+                               const running_stats& aggregate) {
+    expects(id.valid() && static_cast<std::size_t>(id.value()) < series_.size(),
+            "metric_store::merge_daily: unknown series");
+    expects(day >= 0 && day < config_.days,
+            "metric_store::merge_daily: day out of range");
+    series_[static_cast<std::size_t>(id.value())]
+        .daily[static_cast<std::size_t>(day)]
+        .merge(aggregate);
+    appended_ += aggregate.count();
+}
+
+const metric_store::series_data& metric_store::series_at(series_id id) const {
+    expects(id.valid() && static_cast<std::size_t>(id.value()) < series_.size(),
+            "metric_store: unknown series");
+    return series_[static_cast<std::size_t>(id.value())];
+}
+
+const metric_def& metric_store::metric_of(series_id id) const {
+    return registry_.all()[series_at(id).metric_index];
+}
+
+const label_set& metric_store::labels_of(series_id id) const {
+    return series_at(id).labels;
+}
+
+std::vector<series_id> metric_store::select(
+    std::string_view metric,
+    std::span<const std::pair<std::string, std::string>> label_eq) const {
+    std::vector<series_id> out;
+    const auto metric_index = registry_.find(metric);
+    if (!metric_index.has_value()) return out;
+    for (const auto& [labels, id] : index_[*metric_index]) {
+        const bool match = std::all_of(
+            label_eq.begin(), label_eq.end(), [&](const auto& kv) {
+                return labels.contains(kv.first, kv.second);
+            });
+        if (match) out.push_back(id);
+    }
+    // deterministic order regardless of hash-map iteration
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+const running_stats* metric_store::daily(series_id id, int day) const {
+    const series_data& s = series_at(id);
+    expects(day >= 0 && day < config_.days, "metric_store::daily: day out of range");
+    const running_stats& agg = s.daily[static_cast<std::size_t>(day)];
+    return agg.empty() ? nullptr : &agg;
+}
+
+const running_stats* metric_store::hourly(series_id id, int hour) const {
+    const series_data& s = series_at(id);
+    expects(!s.hourly.empty(),
+            "metric_store::hourly: metric not configured for hourly compaction");
+    expects(hour >= 0 && hour < config_.days * 24,
+            "metric_store::hourly: hour out of range");
+    const running_stats& agg = s.hourly[static_cast<std::size_t>(hour)];
+    return agg.empty() ? nullptr : &agg;
+}
+
+running_stats metric_store::window_aggregate(series_id id) const {
+    const series_data& s = series_at(id);
+    running_stats total;
+    for (const running_stats& day : s.daily) total.merge(day);
+    return total;
+}
+
+std::span<const sample> metric_store::raw(series_id id) const {
+    return series_at(id).raw;
+}
+
+}  // namespace sci

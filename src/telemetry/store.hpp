@@ -1,0 +1,118 @@
+#pragma once
+
+// Time-series store.
+//
+// Mirrors the production pipeline of Section 4 (Prometheus ingest + Thanos
+// long-term downsampling): samples are appended at scrape cadence
+// (30–300 s) and compacted *streamingly* into per-hour and per-day
+// aggregates.  Analyses read the compacted aggregates; raw samples are
+// retained only when the store is configured for it (tests, small runs).
+//
+// This keeps a full-scale region (1,800 nodes, 48,000 VMs, 30 days) within
+// a laptop's memory: a day-aggregate is one running_stats per series-day.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "infra/ids.hpp"
+#include "simcore/stats.hpp"
+#include "simcore/time.hpp"
+#include "telemetry/labels.hpp"
+#include "telemetry/metric.hpp"
+
+namespace sci {
+
+struct series_tag {};
+using series_id = strong_id<series_tag>;
+
+/// One raw scrape sample.
+struct sample {
+    sim_time t;
+    double value;
+};
+
+struct store_config {
+    /// Compaction horizon in days (rows of the Section 5 heatmaps).
+    int days = observation_days;
+    /// Retain raw samples per series (memory-heavy; tests & small runs).
+    bool keep_raw = false;
+};
+
+/// Labelled multi-series store with streaming hour/day compaction.
+class metric_store {
+public:
+    explicit metric_store(metric_registry registry, store_config config = {});
+
+    const metric_registry& registry() const { return registry_; }
+    const store_config& config() const { return config_; }
+
+    /// Get-or-create the series for (metric, labels).
+    series_id open_series(std::string_view metric, label_set labels);
+
+    /// Find an existing series; nullopt if never opened.
+    std::optional<series_id> find_series(std::string_view metric,
+                                         const label_set& labels) const;
+
+    /// Append one sample.  Samples outside [0, days*86400) are counted as
+    /// dropped (they fall outside the observation window) but do not throw.
+    void append(series_id id, sim_time t, double value);
+
+    /// Merge a pre-computed day aggregate into a series (Thanos-style
+    /// block ingestion; used when importing an exported dataset).
+    void merge_daily(series_id id, int day, const running_stats& aggregate);
+
+    std::size_t series_count() const { return series_.size(); }
+    std::uint64_t dropped_samples() const { return dropped_; }
+    std::uint64_t total_samples() const { return appended_; }
+
+    /// Metric definition of a series.
+    const metric_def& metric_of(series_id id) const;
+
+    /// Label set of a series.
+    const label_set& labels_of(series_id id) const;
+
+    /// All series of a metric, optionally filtered by required label
+    /// equalities.
+    std::vector<series_id> select(
+        std::string_view metric,
+        std::span<const std::pair<std::string, std::string>> label_eq = {}) const;
+
+    /// Day aggregate (nullptr when no sample fell into that day — the
+    /// "white cells" of the paper's heatmaps).
+    const running_stats* daily(series_id id, int day) const;
+
+    /// Hour aggregate for metrics flagged hourly in the registry.
+    const running_stats* hourly(series_id id, int hour) const;
+
+    /// Whole-window aggregate of a series (merged over days).
+    running_stats window_aggregate(series_id id) const;
+
+    /// Raw samples (empty unless keep_raw).
+    std::span<const sample> raw(series_id id) const;
+
+private:
+    struct series_data {
+        std::size_t metric_index;
+        label_set labels;
+        std::vector<running_stats> daily;   // size == config.days
+        std::vector<running_stats> hourly;  // size == days*24 if hourly metric
+        std::vector<sample> raw;
+    };
+
+    const series_data& series_at(series_id id) const;
+
+    metric_registry registry_;
+    store_config config_;
+    std::vector<series_data> series_;
+    // per metric-index: labels -> series
+    std::vector<std::unordered_map<label_set, series_id>> index_;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t appended_ = 0;
+};
+
+}  // namespace sci

@@ -1,0 +1,89 @@
+#pragma once
+
+// Per-VM workload behavior.
+//
+// Each VM gets a behavior sampled deterministically from its id: a mean
+// CPU utilization ratio (calibrated to the Figure 14a CDF), a mean memory
+// residency ratio (Figure 14b), diurnal/weekly modulation (the weekday
+// effect of Figures 8/9), multiplicative hash-noise, and optional
+// heavy-tailed bursts (the ready-time spikes of Figure 8).
+//
+// Demand evaluation is *stateless*: cpu_ratio_at(t) is a pure function of
+// (vm seed, t), so any instant can be sampled in any order — replays,
+// resumed runs and parallel evaluation all see identical traces.
+
+#include <cstdint>
+
+#include "infra/flavor.hpp"
+#include "infra/ids.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/time.hpp"
+#include "simcore/units.hpp"
+
+namespace sci {
+
+/// Smooth deterministic value noise in [0, 1): linear interpolation of
+/// per-bucket hashes.  `pos` is a continuous bucket coordinate.
+double smooth_hash_noise(std::uint64_t seed, double pos);
+
+/// Behavioral parameters of one VM (fixed at creation).
+struct vm_behavior {
+    std::uint64_t seed = 0;      ///< drives all per-instant noise
+    double cpu_mean_ratio = 0.2; ///< target average of cpu usage ratio
+    double mem_mean_ratio = 0.8; ///< target average of memory consumed ratio
+    double diurnal_amplitude = 0.0;
+    bool bursty = false;         ///< heavy-tailed spikes (CI/CD-like)
+    /// False for batch/CI tenants that run nights and weekends too; their
+    /// load does not follow the business-hours curve, which keeps the
+    /// contention *maximum* persistent across the week (Figure 9: "does
+    /// not show temporal effects, implying a persistent problem").
+    bool business_hours = true;
+    /// Seed of the burst process.  Derived from the owning *project*, so
+    /// VMs of one tenant spike together — the "time-synchronous events"
+    /// the paper names as a contention root cause (Section 7).
+    std::uint64_t burst_seed = 0;
+    double mem_growth_per_day = 0.0;  ///< slow residency growth (some VMs)
+    kbps tx_kbps_mean = 0.0;
+    kbps rx_kbps_mean = 0.0;
+    double disk_fill = 0.5;      ///< fraction of flavor disk allocated
+
+    /// Instantaneous CPU usage ratio in [0, 1] (fraction of allocated vCPU).
+    double cpu_ratio_at(sim_time t) const;
+
+    /// Instantaneous memory consumed ratio in [0, 1].
+    /// `age` is time since the VM's creation (drives slow growth).
+    double mem_ratio_at(sim_time t, sim_duration age) const;
+
+    /// Instantaneous NIC traffic.
+    kbps tx_at(sim_time t) const;
+    kbps rx_at(sim_time t) const;
+};
+
+/// Samples vm_behavior deterministically per VM id, calibrated per
+/// workload class (see workload/calibration.hpp).
+class behavior_model {
+public:
+    explicit behavior_model(std::uint64_t master_seed);
+
+    /// Behavior for a VM of the given flavor owned by the given project.
+    /// Pure in (vm, flavor, project).
+    vm_behavior sample(vm_id vm, const flavor& f,
+                       project_id project = project_id(0)) const;
+
+private:
+    std::uint64_t master_seed_;
+};
+
+/// Lifetime sampler (Figure 15): lognormal per workload class, clamped to
+/// [2 min, 6 y].  Pure in (vm, flavor).
+class lifetime_model {
+public:
+    explicit lifetime_model(std::uint64_t master_seed);
+
+    sim_duration sample(vm_id vm, const flavor& f) const;
+
+private:
+    std::uint64_t master_seed_;
+};
+
+}  // namespace sci

@@ -1,0 +1,132 @@
+#pragma once
+
+// Calibration constants for the synthetic workload generator.
+//
+// We do not have SAP's proprietary telemetry, so every distribution here is
+// pinned to a *published* statistic of the paper (the comment names it).
+// EXPERIMENTS.md reports paper-vs-measured for each one.  Keeping the
+// numbers in one header makes the calibration auditable and easy to sweep.
+
+#include <cstdint>
+
+namespace sci::calibration {
+
+// ---------------------------------------------------------------------------
+// Fleet sizing (Section 3, Appendix D)
+// ---------------------------------------------------------------------------
+
+/// The studied regional deployment: ~1,800 hypervisors, ~48,000 VMs.
+inline constexpr int regional_nodes = 1800;
+inline constexpr int regional_vms = 48000;
+
+/// Building block sizes "range from 2 to 128 active compute nodes".
+inline constexpr int bb_min_nodes = 2;
+inline constexpr int bb_max_nodes = 128;
+
+// ---------------------------------------------------------------------------
+// VM CPU utilization ratio (Figure 14a)
+//
+// Paper: "over 80% of VMs using less than 70% of the provided resources";
+// Figure 14a: most VMs overprovisioned, small optimal band, tiny over band.
+// Mixture over the mean utilization of a VM: weights of the four bands.
+// ---------------------------------------------------------------------------
+
+inline constexpr double cpu_low_band_weight = 0.80;   ///< mean in [0.02, 0.55)
+inline constexpr double cpu_mid_band_weight = 0.08;   ///< mean in [0.55, 0.70)
+inline constexpr double cpu_optimal_band_weight = 0.07;  ///< [0.70, 0.85)
+inline constexpr double cpu_over_band_weight = 0.05;  ///< [0.85, 0.98)
+
+// ---------------------------------------------------------------------------
+// VM memory consumed ratio (Figure 14b)
+//
+// Paper: ~38% of VMs < 70% (underutilized), ~10% in 70–85%, ~52% > 85%.
+// HANA DB VMs sit almost entirely in the high band (in-memory databases
+// keep data resident); general purpose is mixed.
+// ---------------------------------------------------------------------------
+
+inline constexpr double mem_low_band_weight = 0.38;
+inline constexpr double mem_optimal_band_weight = 0.10;
+inline constexpr double mem_high_band_weight = 0.52;
+
+/// HANA DB VMs: memory residency band [lo, hi).
+inline constexpr double hana_mem_ratio_lo = 0.85;
+inline constexpr double hana_mem_ratio_hi = 0.98;
+
+// ---------------------------------------------------------------------------
+// Diurnal / weekly modulation (Figures 8, 9: "less workload and thus less
+// contention on weekends and more during the working days")
+// ---------------------------------------------------------------------------
+
+/// Peak-to-mean amplitude of the workday business-hours curve for general
+/// purpose workloads (HANA DB is much steadier).
+inline constexpr double gp_diurnal_amplitude = 0.45;
+inline constexpr double hana_diurnal_amplitude = 0.10;
+inline constexpr double weekend_activity_factor = 0.65;
+
+/// Multiplicative hash-noise band around the deterministic curve.
+inline constexpr double noise_amplitude = 0.30;
+
+/// Probability per VM of being a "bursty" tenant (CI/CD-like) whose load
+/// shows heavy-tailed spikes; drives the ready-time outliers of Figure 8.
+inline constexpr double bursty_vm_fraction = 0.08;
+inline constexpr double burst_spike_multiplier_max = 8.0;
+
+// ---------------------------------------------------------------------------
+// Overcommit (Section 7 "the overcommit factor should be reconsidered")
+// ---------------------------------------------------------------------------
+
+/// Default Nova allocation ratios per BB purpose.  General purpose BBs run
+/// a high vCPU:pCPU ratio (industry practice; the source of contention),
+/// HANA BBs are kept near 1:1 on memory.
+inline constexpr double gp_cpu_allocation_ratio = 3.5;
+inline constexpr double gp_ram_allocation_ratio = 1.0;
+inline constexpr double hana_cpu_allocation_ratio = 2.0;
+inline constexpr double hana_ram_allocation_ratio = 1.0;
+
+// ---------------------------------------------------------------------------
+// Lifetimes (Figure 15: minutes to multiple years; weak size correlation)
+// ---------------------------------------------------------------------------
+
+/// Lognormal (of seconds) parameters per coarse class; chosen so medians
+/// land in the hours–months range with tails from minutes to years.
+inline constexpr double gp_lifetime_mu = 15.3;     ///< median ~ 51 d
+inline constexpr double gp_lifetime_sigma = 2.5;
+inline constexpr double hana_lifetime_mu = 16.6;   ///< median ~ 188 d
+inline constexpr double hana_lifetime_sigma = 1.7;
+inline constexpr double s4app_lifetime_mu = 16.0;  ///< median ~ 103 d
+inline constexpr double s4app_lifetime_sigma = 2.0;
+
+/// Clamp lifetimes into [2 min, 6 years].
+inline constexpr double lifetime_min_seconds = 120.0;
+inline constexpr double lifetime_max_seconds = 6.0 * 365.0 * 86400.0;
+
+// ---------------------------------------------------------------------------
+// Network / storage (Sections 5.3, 5.4)
+// ---------------------------------------------------------------------------
+
+/// Paper: network load "notably below" the 200 Gbps NIC capacity.  Mean
+/// per-VM traffic in kbps per vCPU; heavy tail via lognormal.
+inline constexpr double net_tx_kbps_per_vcpu_mu = 9.2;   ///< lognormal mu
+inline constexpr double net_tx_kbps_per_vcpu_sigma = 1.4;
+inline constexpr double net_rx_asymmetry = 1.25;  ///< rx slightly above tx
+
+/// Storage (Figure 13): "18% of hosts show more than 90% free storage, and
+/// 7% ... more than 30%"; VM disk fill ratio band.
+inline constexpr double disk_fill_lo = 0.15;
+inline constexpr double disk_fill_hi = 0.95;
+
+// ---------------------------------------------------------------------------
+// Churn
+// ---------------------------------------------------------------------------
+
+/// Fraction of the steady-state population that also turns over per day;
+/// chosen so in-window arrivals roughly balance the departures implied by
+/// the residual-lifetime sampling (~1.7%/day), keeping the standing
+/// population's Tables 1-2 composition stable.
+inline constexpr double daily_churn_fraction = 0.018;
+
+/// Fraction of nodes that undergo an operational change (added/removed)
+/// during the window — the white cells of the heatmaps.
+inline constexpr double node_churn_fraction = 0.03;
+
+}  // namespace sci::calibration

@@ -1,0 +1,86 @@
+#include "workload/flavor_mix.hpp"
+
+#include "simcore/error.hpp"
+
+namespace sci {
+
+flavor_mix flavor_mix::standard(flavor_catalog& catalog) {
+    using wc = workload_class;
+    struct spec {
+        const char* name;
+        core_count vcpus;
+        double ram_gib;
+        double disk_gib;
+        wc cls;
+        double weight;  // percent of population
+    };
+    // Joint (vCPU class, RAM class) cell targets (percent):
+    //   (S,S)=2.19 (S,M)=60.53 (M,M)=30.00 (M,L)=1.00 (M,XL)=0.62
+    //   (L,M)=0.73 (L,L)=0.74 (L,XL)=2.57 (XL,XL)=1.63
+    // -> vCPU marginals 62.72/31.62/4.04/1.63, RAM 2.19/91.26/1.74/4.82.
+    static const spec specs[] = {
+        // (S,S): tiny utility VMs
+        {"g_c1_m2", 1, 2, 20, wc::general_purpose, 1.10},
+        {"g_c2_m2", 2, 2, 20, wc::general_purpose, 1.09},
+        // (S,M): the bulk of the general-purpose fleet
+        {"g_c2_m8", 2, 8, 50, wc::general_purpose, 12.53},
+        {"g_c2_m16", 2, 16, 50, wc::general_purpose, 18.00},
+        {"g_c4_m16", 4, 16, 100, wc::general_purpose, 10.00},
+        {"g_c4_m32", 4, 32, 100, wc::general_purpose, 20.00},
+        // (M,M): medium general purpose + small S/4 app servers
+        {"g_c8_m32", 8, 32, 200, wc::general_purpose, 8.00},
+        {"g_c8_m64", 8, 64, 200, wc::general_purpose, 12.00},
+        {"a_c16_m64", 16, 64, 200, wc::s4hana_app, 10.00},
+        // (M,L)/(M,XL): larger S/4 application servers
+        {"a_c16_m128", 16, 128, 400, wc::s4hana_app, 1.00},
+        {"a_c16_m256", 16, 256, 400, wc::s4hana_app, 0.62},
+        // (L,M)/(L,L): compute-heavy general purpose
+        {"g_c32_m64", 32, 64, 400, wc::general_purpose, 0.73},
+        {"g_c32_m128", 32, 128, 400, wc::general_purpose, 0.74},
+        // (L,XL): mid-size HANA databases
+        {"hana_c32_m512", 32, 512, 1024, wc::hana_db, 1.40},
+        {"hana_c64_m1024", 64, 1024, 2048, wc::hana_db, 1.17},
+        // (XL,XL): large HANA, up to the 12 TB per-VM maximum of Table 3
+        {"hana_c96_m2048", 96, 2048, 4096, wc::hana_db, 0.80},
+        {"hana_c112_m3072", 112, 3072, 6144, wc::hana_db, 0.40},
+        {"hana_c224_m6144", 224, 6144, 12288, wc::hana_db, 0.30},
+        {"hana_c224_m12288", 224, 12288, 24576, wc::hana_db, 0.13},
+    };
+
+    std::vector<flavor_weight> weights;
+    weights.reserve(std::size(specs));
+    for (const spec& s : specs) {
+        const flavor_id id = catalog.add(s.name, s.vcpus, gib_to_mib(s.ram_gib),
+                                         s.disk_gib, s.cls);
+        weights.push_back(flavor_weight{id, s.weight / 100.0});
+    }
+    return flavor_mix(std::move(weights));
+}
+
+flavor_mix::flavor_mix(std::vector<flavor_weight> weights)
+    : weights_(std::move(weights)) {
+    expects(!weights_.empty(), "flavor_mix: need at least one flavor");
+    raw_weights_.reserve(weights_.size());
+    for (const flavor_weight& w : weights_) {
+        expects(w.weight > 0.0, "flavor_mix: weights must be positive");
+        raw_weights_.push_back(w.weight);
+    }
+}
+
+flavor_id flavor_mix::sample(rng_stream& rng) const {
+    return weights_[rng.pick_weighted(raw_weights_)].id;
+}
+
+std::vector<std::pair<flavor_id, double>> flavor_mix::expected_counts(
+    double n) const {
+    double total = 0.0;
+    for (const flavor_weight& w : weights_) total += w.weight;
+    std::vector<std::pair<flavor_id, double>> out;
+    out.reserve(weights_.size());
+    for (const flavor_weight& w : weights_) {
+        out.emplace_back(w.id, n * w.weight / total);
+    }
+    return out;
+}
+
+}  // namespace sci

@@ -1,0 +1,48 @@
+#pragma once
+
+// The standard flavor catalog and its population mix.
+//
+// The mix is a joint distribution over (vCPU class, RAM class) whose
+// marginals reproduce Table 1 (vCPU: 62.7% small / 31.6% medium / 4.0%
+// large / 1.6% extra large) and Table 2 (RAM: 2.2% small / 91.3% medium /
+// 1.7% large / 4.8% extra large) of the paper.  Within each joint cell we
+// spread mass over a handful of realistic flavors: general purpose
+// (g_*), S/4HANA application servers (a_*), and HANA in-memory databases
+// (hana_*, up to the paper's 12 TB maximum).
+
+#include <span>
+#include <vector>
+
+#include "infra/flavor.hpp"
+#include "simcore/rng.hpp"
+
+namespace sci {
+
+struct flavor_weight {
+    flavor_id id;
+    double weight;  ///< population fraction (weights sum to ~1)
+};
+
+/// A sampling distribution over a flavor catalog.
+class flavor_mix {
+public:
+    /// Register the standard flavors into `catalog` and return their mix.
+    static flavor_mix standard(flavor_catalog& catalog);
+
+    /// Construct from explicit weights (weights must be positive).
+    explicit flavor_mix(std::vector<flavor_weight> weights);
+
+    /// Sample one flavor according to the weights.
+    flavor_id sample(rng_stream& rng) const;
+
+    std::span<const flavor_weight> weights() const { return weights_; }
+
+    /// Expected number of VMs of each flavor in a population of n.
+    std::vector<std::pair<flavor_id, double>> expected_counts(double n) const;
+
+private:
+    std::vector<flavor_weight> weights_;
+    std::vector<double> raw_weights_;  // cache for pick_weighted
+};
+
+}  // namespace sci

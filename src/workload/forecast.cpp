@@ -1,0 +1,71 @@
+#include "workload/forecast.hpp"
+
+#include <cmath>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+
+demand_forecaster::demand_forecaster(forecaster_config config)
+    : config_(config) {
+    expects(config_.level_alpha > 0.0 && config_.level_alpha <= 1.0,
+            "demand_forecaster: level_alpha in (0,1]");
+    expects(config_.seasonal_alpha > 0.0 && config_.seasonal_alpha <= 1.0,
+            "demand_forecaster: seasonal_alpha in (0,1]");
+    seasonal_.fill(1.0);
+}
+
+void demand_forecaster::observe(sim_time t, double value) {
+    expects(std::isfinite(value), "demand_forecaster::observe: non-finite value");
+    abs_error_sum_ += std::abs(value - forecast(t));
+
+    const std::size_t slot = season_slot(t);
+    if (count_ == 0) {
+        level_ = value;
+    } else {
+        const double factor = seasonal_[slot];
+        const double deseasonalized = factor > 1e-9 ? value / factor : value;
+        level_ = (1.0 - config_.level_alpha) * level_ +
+                 config_.level_alpha * deseasonalized;
+    }
+    if (level_ > 1e-9) {
+        const double observed_factor = value / level_;
+        if (!seasonal_seen_[slot]) {
+            seasonal_[slot] = observed_factor;
+            seasonal_seen_[slot] = true;
+        } else {
+            seasonal_[slot] = (1.0 - config_.seasonal_alpha) * seasonal_[slot] +
+                              config_.seasonal_alpha * observed_factor;
+        }
+    }
+    ++count_;
+
+    // keep level and season identifiable: the seasonal template must stay
+    // mean-1 (level shifts otherwise leak into the factors and linger)
+    if (count_ % 168 == 0) {
+        double sum = 0.0;
+        int seen = 0;
+        for (std::size_t i = 0; i < seasonal_.size(); ++i) {
+            if (seasonal_seen_[i]) {
+                sum += seasonal_[i];
+                ++seen;
+            }
+        }
+        if (seen > 0 && sum > 1e-9) {
+            const double mean = sum / static_cast<double>(seen);
+            for (std::size_t i = 0; i < seasonal_.size(); ++i) {
+                if (seasonal_seen_[i]) seasonal_[i] /= mean;
+            }
+            level_ *= mean;
+        }
+    }
+}
+
+double demand_forecaster::forecast(sim_time t) const {
+    if (count_ < static_cast<std::uint64_t>(config_.warmup_observations)) {
+        return level_;
+    }
+    return level_ * seasonal_[season_slot(t)];
+}
+
+}  // namespace sci

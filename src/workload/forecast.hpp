@@ -1,0 +1,74 @@
+#pragma once
+
+// Demand forecasting.
+//
+// Section 7: "Our observations indicate that combining placement decisions
+// with dynamic rescheduling mechanisms may help to achieve more balanced
+// utilization.  Such a unified, ideally even proactive, approach may also
+// reduce the number of required workload migrations."
+//
+// The forecaster learns, per observed entity (a building block, a node),
+// an hour-of-week seasonal template plus an EWMA level — exactly the
+// structure the workloads of Figures 8/9 exhibit (business-hours diurnal
+// cycle, weekend dip, slowly drifting level).  forecast(t) extrapolates to
+// any future instant; the proactive-scheduler ablation feeds it into the
+// placement pipeline in place of the instantaneous contention signal.
+
+#include <array>
+#include <cstdint>
+
+#include "simcore/time.hpp"
+
+namespace sci {
+
+struct forecaster_config {
+    /// EWMA smoothing of the level (per observation).
+    double level_alpha = 0.05;
+    /// EWMA smoothing of each hour-of-week seasonal factor.
+    double seasonal_alpha = 0.15;
+    /// Observations required before forecasts leave the warm-up value.
+    int warmup_observations = 24;
+};
+
+/// Holt-Winters-style multiplicative seasonal forecaster with a
+/// 168-hour (hour-of-week) season.
+class demand_forecaster {
+public:
+    explicit demand_forecaster(forecaster_config config = {});
+
+    /// Feed one observation taken at time t.
+    void observe(sim_time t, double value);
+
+    /// Predict the value at (future or past) time t.
+    double forecast(sim_time t) const;
+
+    /// Smoothed deseasonalized level.
+    double level() const { return level_; }
+
+    std::uint64_t observation_count() const { return count_; }
+
+    /// Mean absolute error of one-step-ahead forecasts so far (computed
+    /// against each observation before it is absorbed).
+    double mean_absolute_error() const {
+        return count_ == 0 ? 0.0
+                           : abs_error_sum_ / static_cast<double>(count_);
+    }
+
+private:
+    static std::size_t season_slot(sim_time t) {
+        // hour-of-week in [0, 168)
+        const std::int64_t hours_since_start = t / seconds_per_hour;
+        std::int64_t slot = (hours_since_start + 2 * 24) % 168;  // start = Wed
+        if (slot < 0) slot += 168;
+        return static_cast<std::size_t>(slot);
+    }
+
+    forecaster_config config_;
+    double level_ = 0.0;
+    std::array<double, 168> seasonal_{};
+    std::array<bool, 168> seasonal_seen_{};
+    std::uint64_t count_ = 0;
+    double abs_error_sum_ = 0.0;
+};
+
+}  // namespace sci

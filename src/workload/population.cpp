@@ -1,0 +1,93 @@
+#include "workload/population.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+
+namespace {
+
+project_id sample_project(rng_stream& rng, int project_count) {
+    // Zipf-like tenant sizes via a bounded Pareto over project indices.
+    const double raw = rng.bounded_pareto(0.8, 1.0, static_cast<double>(project_count) + 0.999);
+    return project_id(static_cast<std::int32_t>(raw) - 1);
+}
+
+}  // namespace
+
+population build_population(const population_config& config,
+                            const flavor_catalog& catalog,
+                            const flavor_mix& mix,
+                            const lifetime_model& lifetimes,
+                            vm_registry& registry) {
+    expects(config.initial_population >= 0,
+            "build_population: negative population");
+    expects(config.daily_churn_fraction >= 0.0,
+            "build_population: negative churn");
+    expects(config.project_count > 0, "build_population: need >= 1 project");
+
+    rng_stream rng(config.seed, "population");
+    population pop;
+    pop.initial.reserve(static_cast<std::size_t>(config.initial_population));
+
+    // ---- standing population at t = 0 ---------------------------------
+    for (int i = 0; i < config.initial_population; ++i) {
+        const flavor_id fid = mix.sample(rng);
+        const flavor& f = catalog.get(fid);
+        const project_id project = sample_project(rng, config.project_count);
+
+        // Draw a placeholder id first to keep lifetime/behavior pure in the
+        // final vm_id: create the record, then derive everything from it.
+        const vm_id vm = registry.create(fid, project, /*created_at=*/0);
+        const sim_duration lifetime = lifetimes.sample(vm, f);
+        const auto age = static_cast<sim_duration>(
+            rng.uniform(0.0, 1.0) * static_cast<double>(lifetime));
+        const sim_time created_at = -age;
+        const sim_time dies_at = created_at + lifetime;
+
+        vm_record& rec = registry.get_mutable(vm);
+        rec.created_at = created_at;
+
+        vm_plan plan{.vm = vm, .created_at = created_at};
+        if (dies_at < observation_window) {
+            plan.deleted_at = std::max<sim_time>(dies_at, 1);
+        }
+        pop.initial.push_back(plan);
+    }
+
+    // ---- churn inside the window ---------------------------------------
+    const double arrivals_per_day =
+        static_cast<double>(config.initial_population) *
+        config.daily_churn_fraction;
+    const double expected_arrivals =
+        arrivals_per_day * static_cast<double>(observation_days);
+    // homogeneous Poisson process: exponential inter-arrival times
+    const double mean_gap =
+        expected_arrivals > 0.0
+            ? static_cast<double>(observation_window) / expected_arrivals
+            : 0.0;
+    if (mean_gap > 0.0) {
+        double t = rng.exponential_mean(mean_gap);
+        while (t < static_cast<double>(observation_window)) {
+            const flavor_id fid = mix.sample(rng);
+            const flavor& f = catalog.get(fid);
+            const project_id project = sample_project(rng, config.project_count);
+            const auto created_at = static_cast<sim_time>(t);
+            const vm_id vm = registry.create(fid, project, created_at);
+            const sim_duration lifetime = lifetimes.sample(vm, f);
+
+            vm_plan plan{.vm = vm, .created_at = created_at};
+            const sim_time dies_at = created_at + lifetime;
+            if (dies_at < observation_window) {
+                plan.deleted_at = dies_at;
+            }
+            pop.arrivals.push_back(plan);
+            t += rng.exponential_mean(mean_gap);
+        }
+    }
+    return pop;
+}
+
+}  // namespace sci

@@ -1,0 +1,57 @@
+#pragma once
+
+// Population construction: the VM fleet alive at observation start plus
+// churn (creations/deletions) inside the 30-day window.
+//
+// Initial VMs are given ages by residual sampling: lifetime L is drawn
+// from the lifetime model and the VM has already lived U·L of it
+// (U uniform), so the age distribution is consistent with a population in
+// steady state and Figure 15's "minutes to years" lifetimes appear
+// naturally.  Churn arrivals follow a homogeneous Poisson process at
+// daily_churn_fraction of the standing population per day.
+
+#include <optional>
+#include <vector>
+
+#include "infra/flavor.hpp"
+#include "infra/ids.hpp"
+#include "infra/vm.hpp"
+#include "simcore/time.hpp"
+#include "workload/behavior.hpp"
+#include "workload/flavor_mix.hpp"
+
+namespace sci {
+
+struct population_config {
+    /// VMs alive at window start (the paper's region: ~48,000).
+    int initial_population = 48000;
+    /// Arrivals per day as a fraction of the standing population.
+    double daily_churn_fraction = 0.018;
+    /// Number of tenants; VM→tenant assignment is Zipf-like.
+    int project_count = 200;
+    std::uint64_t seed = 42;
+};
+
+/// One VM lifecycle computed ahead of simulation: when it appears, and —
+/// if its sampled lifetime ends inside the window — when it disappears.
+struct vm_plan {
+    vm_id vm;
+    sim_time created_at;                 ///< may be far before the window
+    std::optional<sim_time> deleted_at;  ///< inside the window, if any
+};
+
+/// A fully drawn population: registry entries exist (state pending);
+/// plans tell the engine when to place/delete each instance.
+struct population {
+    std::vector<vm_plan> initial;   ///< alive at t = 0 (placed before start)
+    std::vector<vm_plan> arrivals;  ///< created inside the window
+};
+
+/// Draw a population.  Creates pending records in `registry`.
+population build_population(const population_config& config,
+                            const flavor_catalog& catalog,
+                            const flavor_mix& mix,
+                            const lifetime_model& lifetimes,
+                            vm_registry& registry);
+
+}  // namespace sci

@@ -1,0 +1,117 @@
+// Tests for analysis/advisor: the overcommit recommendation engine (§7).
+
+#include "analysis/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/conductor.hpp"
+#include "simcore/error.hpp"
+
+namespace sci {
+namespace {
+
+struct advisor_fixture {
+    fleet f;
+    placement_service placement;
+    metric_store store{metric_registry::standard_catalog()};
+    bb_id cold_bb;
+    bb_id hot_bb;
+
+    advisor_fixture() {
+        const region_id r = f.add_region("r");
+        const dc_id dc = f.add_dc(f.add_az(r, "az"), "dc");
+        cold_bb = f.add_bb(dc, "cold", bb_purpose::general,
+                           profiles::general_purpose(), 2);
+        hot_bb = f.add_bb(dc, "hot", bb_purpose::general,
+                          profiles::general_purpose(), 2);
+        for (const building_block& bb : f.bbs()) {
+            placement.register_provider(
+                bb.id, provider_inventory{f.bb_total_cores(bb.id),
+                                          f.bb_total_memory(bb.id), 1000.0,
+                                          4.0, 1.0});
+        }
+    }
+
+    void feed(bb_id bb, double util_pct, double contention_pct) {
+        for (node_id node : f.get(bb).nodes) {
+            const label_set labels{{"node", f.get(node).name},
+                                   {"bb", f.get(bb).name}};
+            const series_id u = store.open_series(
+                metric_names::host_cpu_core_utilization, labels);
+            const series_id c =
+                store.open_series(metric_names::host_cpu_contention, labels);
+            for (int day = 0; day < 5; ++day) {
+                store.append(u, days(day) + 100, util_pct);
+                store.append(c, days(day) + 100, contention_pct);
+            }
+        }
+    }
+};
+
+TEST(AdvisorTest, UnderutilizedBbGetsHigherRatio) {
+    advisor_fixture fx;
+    fx.feed(fx.cold_bb, 20.0, 0.0);  // 20% utilized, no contention
+    const auto recs =
+        recommend_cpu_overcommit(fx.store, fx.f, fx.placement, {});
+    ASSERT_EQ(recs.size(), 1u);  // hot bb has no telemetry -> skipped
+    EXPECT_EQ(recs[0].bb, fx.cold_bb);
+    EXPECT_DOUBLE_EQ(recs[0].current_ratio, 4.0);
+    EXPECT_NEAR(recs[0].observed_p95_util_pct, 20.0, 1e-9);
+    // 4.0 * 70 / 20 = 14 -> clamped to max_ratio 8
+    EXPECT_DOUBLE_EQ(recs[0].recommended_ratio, 8.0);
+}
+
+TEST(AdvisorTest, HotBbGetsLowerRatio) {
+    advisor_fixture fx;
+    fx.feed(fx.hot_bb, 95.0, 2.0);
+    const auto recs =
+        recommend_cpu_overcommit(fx.store, fx.f, fx.placement, {});
+    ASSERT_EQ(recs.size(), 1u);
+    // 4.0 * 70 / 95 ~ 2.95: recommend lowering the overcommit
+    EXPECT_LT(recs[0].recommended_ratio, 4.0);
+    EXPECT_GT(recs[0].recommended_ratio, 1.0);
+}
+
+TEST(AdvisorTest, ContentionGuardPreventsRaising) {
+    advisor_fixture fx;
+    // low mean utilization but heavy contention spikes: never raise
+    fx.feed(fx.cold_bb, 30.0, 25.0);
+    const auto recs =
+        recommend_cpu_overcommit(fx.store, fx.f, fx.placement, {});
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_DOUBLE_EQ(recs[0].recommended_ratio, 4.0);  // capped at current
+    EXPECT_DOUBLE_EQ(recs[0].observed_max_contention_pct, 25.0);
+}
+
+TEST(AdvisorTest, RatioBoundsRespected) {
+    advisor_fixture fx;
+    fx.feed(fx.cold_bb, 1.0, 0.0);
+    advisor_config config;
+    config.max_ratio = 6.0;
+    const auto recs =
+        recommend_cpu_overcommit(fx.store, fx.f, fx.placement, config);
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_DOUBLE_EQ(recs[0].recommended_ratio, 6.0);
+}
+
+TEST(AdvisorTest, BbsWithoutTelemetrySkipped) {
+    advisor_fixture fx;
+    EXPECT_TRUE(
+        recommend_cpu_overcommit(fx.store, fx.f, fx.placement, {}).empty());
+}
+
+TEST(AdvisorTest, ValidatesConfig) {
+    advisor_fixture fx;
+    advisor_config bad;
+    bad.target_util_pct = 0.0;
+    EXPECT_THROW(recommend_cpu_overcommit(fx.store, fx.f, fx.placement, bad),
+                 precondition_error);
+    bad = advisor_config{};
+    bad.min_ratio = 5.0;
+    bad.max_ratio = 2.0;
+    EXPECT_THROW(recommend_cpu_overcommit(fx.store, fx.f, fx.placement, bad),
+                 precondition_error);
+}
+
+}  // namespace
+}  // namespace sci

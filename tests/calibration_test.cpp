@@ -1,0 +1,221 @@
+// Calibration regression tests: the reproduced region must keep matching
+// the paper's published statistics (the whole point of the repository).
+// Each test pins one Section 5 finding with a tolerance band; if a code
+// change drifts the workload model, these fail before EXPERIMENTS.md lies.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/figures.hpp"
+#include "core/engine.hpp"
+
+namespace sci {
+namespace {
+
+/// One shared medium-scale run.  Scale 0.1 (~180 nodes, ~4,800 VMs): the
+/// contention outliers of Figure 9 are an extreme-tail statistic and only
+/// emerge with enough general-purpose nodes.
+sim_engine& calibrated() {
+    static sim_engine* engine = [] {
+        engine_config config;
+        config.scenario.scale = 0.1;
+        config.scenario.seed = 42;
+        auto* e = new sim_engine(config);
+        e->run();
+        return e;
+    }();
+    return *engine;
+}
+
+TEST(CalibrationTest, PlacementSucceedsForWholePopulation) {
+    sim_engine& e = calibrated();
+    const double failure_rate =
+        static_cast<double>(e.stats().placement_failures) /
+        static_cast<double>(e.stats().placements + e.stats().placement_failures);
+    EXPECT_LT(failure_rate, 0.01);
+}
+
+// Figure 14a: "over 80% of VMs using less than 70% of the provided
+// [CPU] resources"; only a small optimal band and an even smaller over band.
+TEST(CalibrationTest, Figure14aCpuUnderutilization) {
+    const auto cdf = fig14a_cpu_utilization(calibrated().store());
+    EXPECT_GT(cdf.classes.under_pct, 80.0);
+    EXPECT_LT(cdf.classes.under_pct, 95.0);
+    EXPECT_GT(cdf.classes.optimal_pct, 2.0);
+    EXPECT_LT(cdf.classes.optimal_pct, 20.0);
+    EXPECT_LT(cdf.classes.over_pct, cdf.classes.optimal_pct);
+}
+
+// Figure 14b: ~38% under, ~10% optimal, large share above 85%.
+TEST(CalibrationTest, Figure14bMemoryBands) {
+    const auto cdf = fig14b_memory_utilization(calibrated().store());
+    EXPECT_NEAR(cdf.classes.under_pct, 38.0, 7.0);
+    EXPECT_NEAR(cdf.classes.optimal_pct, 10.0, 5.0);
+    EXPECT_GT(cdf.classes.over_pct, 45.0);
+}
+
+// Figure 9: daily mean below 5%, several nodes above 40% at peak,
+// persistent over the whole window.
+TEST(CalibrationTest, Figure9ContentionEnvelope) {
+    const auto by_day = fig9_contention_by_day(calibrated().store());
+    double worst_mean = 0.0, worst_max = 0.0;
+    int days_above_20 = 0;
+    for (const contention_day& d : by_day) {
+        worst_mean = std::max(worst_mean, d.mean_pct);
+        worst_max = std::max(worst_max, d.max_pct);
+        if (d.max_pct > 20.0) ++days_above_20;
+    }
+    EXPECT_LT(worst_mean, 5.0);
+    EXPECT_GT(worst_max, 40.0);
+    EXPECT_LT(worst_max, 75.0);
+    EXPECT_GT(days_above_20, observation_days / 2);  // persistent
+}
+
+// Figure 8: ready time exceeds the 30 s baseline repeatedly; weekday
+// load exceeds weekend load.
+TEST(CalibrationTest, Figure8ReadyTimeBaselineAndWeekendEffect) {
+    const auto top = fig8_top_ready_nodes(calibrated().store(), 10);
+    ASSERT_FALSE(top.empty());
+    int hours_above_baseline = 0;
+    double weekday_sum = 0.0, weekend_sum = 0.0;
+    int weekday_n = 0, weekend_n = 0;
+    for (const ready_time_series& s : top) {
+        for (std::size_t h = 0; h < s.hourly_ms.size(); ++h) {
+            if (std::isnan(s.hourly_ms[h])) continue;
+            if (s.hourly_ms[h] > 30'000.0) ++hours_above_baseline;
+            const sim_time t = static_cast<sim_time>(h) * seconds_per_hour;
+            if (is_weekend(t)) {
+                weekend_sum += s.hourly_ms[h];
+                ++weekend_n;
+            } else {
+                weekday_sum += s.hourly_ms[h];
+                ++weekday_n;
+            }
+        }
+    }
+    EXPECT_GT(hours_above_baseline, 10);
+    ASSERT_GT(weekday_n, 0);
+    ASSERT_GT(weekend_n, 0);
+    EXPECT_GT(weekday_sum / weekday_n, 1.5 * (weekend_sum / weekend_n));
+}
+
+// Figure 5: same-day spread across nodes from <20% free to >90% free.
+TEST(CalibrationTest, Figure5SameDaySpread) {
+    sim_engine& e = calibrated();
+    const dc_id dc = e.infrastructure().dcs().front().id;
+    const heatmap hm = fig5_free_cpu_per_node(e.store(), e.infrastructure(), dc);
+    int days_with_both_extremes = 0;
+    for (int day = 0; day < hm.days; ++day) {
+        bool low = false, high = false;
+        for (std::size_t c = 0; c < hm.columns.size(); ++c) {
+            const double v = hm.cell(day, c);
+            if (heatmap::missing(v)) continue;
+            if (v < 30.0) low = true;
+            if (v > 85.0) high = true;
+        }
+        if (low && high) ++days_with_both_extremes;
+    }
+    EXPECT_GT(days_with_both_extremes, observation_days / 2);
+}
+
+// Figure 10: bimodal memory — a sizable share of node-days nearly full
+// (<20% free) while another sizable share is mostly free.
+TEST(CalibrationTest, Figure10MemoryBimodality) {
+    sim_engine& e = calibrated();
+    const dc_id dc = e.infrastructure().dcs().front().id;
+    const heatmap hm =
+        fig10_free_memory_per_node(e.store(), e.infrastructure(), dc);
+    std::size_t nearly_full = 0, mostly_free = 0, present = 0;
+    for (int day = 0; day < hm.days; ++day) {
+        for (std::size_t c = 0; c < hm.columns.size(); ++c) {
+            const double v = hm.cell(day, c);
+            if (heatmap::missing(v)) continue;
+            ++present;
+            if (v < 20.0) ++nearly_full;
+            if (v > 60.0) ++mostly_free;
+        }
+    }
+    ASSERT_GT(present, 0u);
+    EXPECT_GT(static_cast<double>(nearly_full) / present, 0.10);
+    EXPECT_GT(static_cast<double>(mostly_free) / present, 0.15);
+}
+
+// Sections 5.3: network clearly below the 200 Gbps NIC everywhere.
+TEST(CalibrationTest, NetworkWellBelowCapacity) {
+    sim_engine& e = calibrated();
+    const dc_id dc = e.infrastructure().dcs().front().id;
+    for (const heatmap& hm :
+         {fig11_free_net_tx(e.store(), e.infrastructure(), dc),
+          fig12_free_net_rx(e.store(), e.infrastructure(), dc)}) {
+        EXPECT_GT(hm.min_value(), 50.0);  // never above half the NIC
+    }
+}
+
+// Tables 1-2: the realized population reproduces the class proportions.
+TEST(CalibrationTest, Table1And2Proportions) {
+    sim_engine& e = calibrated();
+    const auto t1 = table1_vcpu_classes(e.vms(), e.catalog());
+    double t1_total = 0.0;
+    for (const auto& row : t1) t1_total += row.average_vms;
+    ASSERT_GT(t1_total, 0.0);
+    // paper: 62.7% / 31.6% / 4.0% / 1.6%.  Tolerances allow the standing
+    // population's composition drift: short-lived (small) VMs die faster
+    // than churn arrivals replenish them over the 30-day window.
+    EXPECT_NEAR(t1[0].average_vms / t1_total, 0.627, 0.05);
+    EXPECT_NEAR(t1[1].average_vms / t1_total, 0.316, 0.05);
+    EXPECT_NEAR(t1[2].average_vms / t1_total, 0.040, 0.02);
+    EXPECT_NEAR(t1[3].average_vms / t1_total, 0.016, 0.01);
+
+    const auto t2 = table2_ram_classes(e.vms(), e.catalog());
+    double t2_total = 0.0;
+    for (const auto& row : t2) t2_total += row.average_vms;
+    // paper: 2.2% / 91.3% / 1.7% / 4.8%
+    EXPECT_NEAR(t2[0].average_vms / t2_total, 0.022, 0.01);
+    EXPECT_NEAR(t2[1].average_vms / t2_total, 0.913, 0.03);
+    // resizes move a few VMs across the 64/128 GiB class boundary
+    EXPECT_NEAR(t2[2].average_vms / t2_total, 0.017, 0.012);
+    EXPECT_NEAR(t2[3].average_vms / t2_total, 0.048, 0.02);
+}
+
+// Figure 15: lifetimes span minutes to years; memory-intensive flavors
+// live long; every flavor with >= 30 instances appears.
+TEST(CalibrationTest, Figure15LifetimeShape) {
+    sim_engine& e = calibrated();
+    const auto rows = fig15_lifetime_per_flavor(e.vms(), e.catalog(), 30);
+    ASSERT_GE(rows.size(), 8u);
+    double global_min = 1e18, global_max = 0.0;
+    double hana_median_sum = 0.0, gp_median_sum = 0.0;
+    int hana_n = 0, gp_n = 0;
+    for (const lifetime_row& row : rows) {
+        global_min = std::min(global_min, row.min_days);
+        global_max = std::max(global_max, row.max_days);
+        if (row.flavor_name.starts_with("hana")) {
+            hana_median_sum += row.median_days;
+            ++hana_n;
+        } else if (row.flavor_name.starts_with("g_")) {
+            gp_median_sum += row.median_days;
+            ++gp_n;
+        }
+    }
+    EXPECT_LT(global_min, 1.0);     // sub-day lifetimes exist
+    EXPECT_GT(global_max, 365.0);   // multi-year lifetimes exist
+    if (hana_n > 0 && gp_n > 0) {
+        EXPECT_GT(hana_median_sum / hana_n, gp_median_sum / gp_n);
+    }
+}
+
+// Section 5 heatmaps: hosts added/removed during the window produce
+// missing (white) cells.
+TEST(CalibrationTest, WhiteCellsFromNodeChurn) {
+    sim_engine& e = calibrated();
+    double missing = 0.0;
+    for (const datacenter& dc : e.infrastructure().dcs()) {
+        missing += fig5_free_cpu_per_node(e.store(), e.infrastructure(), dc.id)
+                       .missing_fraction();
+    }
+    EXPECT_GT(missing, 0.0);
+}
+
+}  // namespace
+}  // namespace sci

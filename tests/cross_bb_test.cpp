@@ -1,0 +1,178 @@
+// Tests for rebalancer/cross_bb: the external cross-building-block
+// rebalancer of Sections 3.1 / 7.
+
+#include "rebalancer/cross_bb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "infra/vm.hpp"
+#include "sched/conductor.hpp"
+#include "simcore/error.hpp"
+
+namespace sci {
+namespace {
+
+struct cross_bb_fixture {
+    fleet f;
+    flavor_catalog catalog;
+    placement_service placement;
+    flavor_id small;
+    flavor_id heavy;
+    std::map<bb_id, std::vector<vm_id>> residents;
+    vm_registry vms;
+
+    cross_bb_fixture() {
+        const region_id r = f.add_region("r");
+        const az_id az = f.add_az(r, "az");
+        const dc_id dc = f.add_dc(az, "dc");
+        for (int i = 0; i < 3; ++i) {
+            f.add_bb(dc, "gen-" + std::to_string(i), bb_purpose::general,
+                     profiles::general_purpose(), 2);
+        }
+        small = catalog.add("g_c4_m64", 4, gib_to_mib(64), 100.0,
+                            workload_class::general_purpose);
+        heavy = catalog.add("hana_c32_m2048", 32, gib_to_mib(2048), 1000.0,
+                            workload_class::hana_db);
+        for (const building_block& bb : f.bbs()) {
+            const allocation_ratios ratios = default_ratios_for(bb.purpose);
+            placement.register_provider(
+                bb.id,
+                provider_inventory{f.bb_total_cores(bb.id),
+                                   f.bb_total_memory(bb.id),
+                                   bb.profile.storage_gib * 2.0, ratios.cpu,
+                                   ratios.ram});
+        }
+    }
+
+    vm_id put(flavor_id fid, bb_id bb) {
+        const vm_id vm = vms.create(fid, project_id(0), 0);
+        placement.claim(vm, bb, catalog.get(fid));
+        residents[bb].push_back(vm);
+        return vm;
+    }
+
+    cross_bb_inputs inputs(double dirty_rate = 10.0) {
+        cross_bb_inputs in;
+        in.vms_of_bb = [this](bb_id bb) { return residents[bb]; };
+        in.flavor_of = [this](vm_id vm) -> const flavor& {
+            return catalog.get(vms.get(vm).flavor);
+        };
+        in.resident_mib = [this](vm_id vm) -> mebibytes {
+            return catalog.get(vms.get(vm).flavor).ram_mib / 2;
+        };
+        in.dirty_rate = [dirty_rate](vm_id) { return dirty_rate; };
+        return in;
+    }
+};
+
+TEST(CrossBbRebalancerTest, BalancedGroupPlansNothing) {
+    cross_bb_fixture fx;
+    for (const building_block& bb : fx.f.bbs()) {
+        fx.put(fx.small, bb.id);
+    }
+    const cross_bb_rebalancer rebalancer(fx.f, fx.catalog, {});
+    EXPECT_TRUE(rebalancer.plan(fx.placement, fx.inputs()).empty());
+}
+
+TEST(CrossBbRebalancerTest, MovesFromLoadedToEmptyBb) {
+    cross_bb_fixture fx;
+    // 20 small VMs on bb 0 (20 * 64 GiB = 1.25 TiB of 2 TiB), none elsewhere
+    for (int i = 0; i < 20; ++i) fx.put(fx.small, bb_id(0));
+    cross_bb_config config;
+    config.target_ram_spread = 0.10;
+    const cross_bb_rebalancer rebalancer(fx.f, fx.catalog, config);
+    const auto moves = rebalancer.plan(fx.placement, fx.inputs());
+    ASSERT_FALSE(moves.empty());
+    for (const cross_bb_move& m : moves) {
+        EXPECT_EQ(m.from, bb_id(0));
+        EXPECT_NE(m.to, bb_id(0));
+        EXPECT_TRUE(m.estimate.converges);
+    }
+    EXPECT_LE(moves.size(), static_cast<std::size_t>(config.max_moves_per_pass));
+}
+
+TEST(CrossBbRebalancerTest, RespectsTargetSpread) {
+    cross_bb_fixture fx;
+    for (int i = 0; i < 20; ++i) fx.put(fx.small, bb_id(0));
+    cross_bb_config loose;
+    loose.target_ram_spread = 0.99;  // anything goes
+    const cross_bb_rebalancer rebalancer(fx.f, fx.catalog, loose);
+    EXPECT_TRUE(rebalancer.plan(fx.placement, fx.inputs()).empty());
+}
+
+TEST(CrossBbRebalancerTest, NeverMovesHeavyVms) {
+    cross_bb_fixture fx;
+    // a single 2 TiB VM creates the whole imbalance
+    fx.put(fx.heavy, bb_id(0));
+    cross_bb_config config;
+    config.target_ram_spread = 0.05;
+    config.heavy_vm_ram_mib = gib_to_mib(1024);
+    const cross_bb_rebalancer rebalancer(fx.f, fx.catalog, config);
+    EXPECT_TRUE(rebalancer.plan(fx.placement, fx.inputs()).empty());
+}
+
+TEST(CrossBbRebalancerTest, VetoesNonConvergingMigrations) {
+    cross_bb_fixture fx;
+    for (int i = 0; i < 20; ++i) fx.put(fx.small, bb_id(0));
+    cross_bb_config config;
+    config.target_ram_spread = 0.10;
+    const cross_bb_rebalancer rebalancer(fx.f, fx.catalog, config);
+    // dirty rate above the migration bandwidth: nothing can move
+    const auto moves = rebalancer.plan(
+        fx.placement, fx.inputs(config.cost.bandwidth_mib_per_s * 2.0));
+    EXPECT_TRUE(moves.empty());
+}
+
+TEST(CrossBbRebalancerTest, VetoesExcessiveDowntime) {
+    cross_bb_fixture fx;
+    for (int i = 0; i < 20; ++i) fx.put(fx.small, bb_id(0));
+    cross_bb_config config;
+    config.target_ram_spread = 0.10;
+    config.max_downtime_ms = 0.0001;  // effectively nothing allowed
+    const cross_bb_rebalancer rebalancer(fx.f, fx.catalog, config);
+    EXPECT_TRUE(rebalancer.plan(fx.placement, fx.inputs()).empty());
+}
+
+TEST(CrossBbRebalancerTest, MoveBudgetRespected) {
+    cross_bb_fixture fx;
+    for (int i = 0; i < 24; ++i) fx.put(fx.small, bb_id(0));
+    cross_bb_config config;
+    config.target_ram_spread = 0.01;
+    config.max_moves_per_pass = 2;
+    const cross_bb_rebalancer rebalancer(fx.f, fx.catalog, config);
+    EXPECT_LE(rebalancer.plan(fx.placement, fx.inputs()).size(), 2u);
+}
+
+TEST(CrossBbRebalancerTest, PlannedMovesAreDistinctVms) {
+    cross_bb_fixture fx;
+    for (int i = 0; i < 24; ++i) fx.put(fx.small, bb_id(0));
+    cross_bb_config config;
+    config.target_ram_spread = 0.01;
+    config.max_moves_per_pass = 8;
+    const cross_bb_rebalancer rebalancer(fx.f, fx.catalog, config);
+    const auto moves = rebalancer.plan(fx.placement, fx.inputs());
+    std::set<std::int32_t> seen;
+    for (const cross_bb_move& m : moves) {
+        EXPECT_TRUE(seen.insert(m.vm.value()).second);
+    }
+}
+
+TEST(CrossBbRebalancerTest, RequiresAllOracles) {
+    cross_bb_fixture fx;
+    const cross_bb_rebalancer rebalancer(fx.f, fx.catalog, {});
+    cross_bb_inputs incomplete;
+    EXPECT_THROW(rebalancer.plan(fx.placement, incomplete), precondition_error);
+}
+
+TEST(CrossBbRebalancerTest, ValidatesConfig) {
+    cross_bb_fixture fx;
+    cross_bb_config bad;
+    bad.target_ram_spread = -0.1;
+    EXPECT_THROW(cross_bb_rebalancer(fx.f, fx.catalog, bad), precondition_error);
+}
+
+}  // namespace
+}  // namespace sci

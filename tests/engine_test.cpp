@@ -1,0 +1,426 @@
+// Integration tests: the full simulation engine over a small replica of
+// the studied region.  One shared run is inspected by many tests; the
+// invariants cover placement/accounting consistency, telemetry coverage,
+// determinism, and every policy switch.
+
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/figures.hpp"
+
+namespace sci {
+namespace {
+
+engine_config small_config() {
+    engine_config config;
+    config.scenario.scale = 0.02;  // ~36 nodes, ~960 VMs
+    config.scenario.seed = 11;
+    config.sampling_interval = 900;
+    return config;
+}
+
+/// Shared fully simulated engine (expensive; built once).
+sim_engine& shared() {
+    static sim_engine* engine = [] {
+        auto* e = new sim_engine(small_config());
+        e->run();
+        return e;
+    }();
+    return *engine;
+}
+
+TEST(EngineTest, RunCompletesWithExpectedScrapes) {
+    const sim_engine& e = shared();
+    EXPECT_EQ(e.stats().scrapes,
+              static_cast<std::uint64_t>(observation_window / 900));
+    EXPECT_GT(e.stats().placements, 900u);
+    EXPECT_GT(e.stats().deletions, 0u);
+}
+
+TEST(EngineTest, MostPlacementsSucceed) {
+    const sim_engine& e = shared();
+    const double failure_rate =
+        static_cast<double>(e.stats().placement_failures) /
+        static_cast<double>(e.stats().placements + e.stats().placement_failures);
+    EXPECT_LT(failure_rate, 0.02);
+}
+
+TEST(EngineTest, ActiveVmAccountingIsConsistent) {
+    sim_engine& e = shared();
+    for (const vm_record& rec : e.vms().all()) {
+        if (rec.state != vm_state::active) continue;
+        ASSERT_TRUE(rec.placed_bb.valid());
+        ASSERT_TRUE(rec.placed_node.valid());
+        // placement allocation agrees with the record
+        EXPECT_EQ(e.placement().allocation_of(rec.id), rec.placed_bb);
+        // the node really hosts the VM and belongs to the BB
+        const drs_cluster& cluster =
+            e.clusters()[static_cast<std::size_t>(rec.placed_bb.value())];
+        EXPECT_TRUE(cluster.node(rec.placed_node).hosts(rec.id));
+        EXPECT_EQ(e.infrastructure().get(rec.placed_node).bb, rec.placed_bb);
+    }
+}
+
+TEST(EngineTest, DeletedVmsHoldNothing) {
+    sim_engine& e = shared();
+    for (const vm_record& rec : e.vms().all()) {
+        if (rec.state != vm_state::deleted) continue;
+        EXPECT_FALSE(e.placement().allocation_of(rec.id).has_value());
+        ASSERT_TRUE(rec.deleted_at.has_value());
+        EXPECT_GT(*rec.deleted_at, rec.created_at);
+    }
+}
+
+TEST(EngineTest, ReservationsConserveAcrossLayers) {
+    sim_engine& e = shared();
+    for (const drs_cluster& cluster : e.clusters()) {
+        core_count node_vcpus = 0;
+        mebibytes node_ram = 0;
+        std::size_t node_vms = 0;
+        for (const node_runtime& nr : cluster.nodes()) {
+            node_vcpus += nr.reserved_vcpus();
+            node_ram += nr.reserved_ram_mib();
+            node_vms += nr.vm_count();
+        }
+        const provider_usage& usage = e.placement().usage(cluster.bb());
+        EXPECT_EQ(node_vcpus, usage.vcpus_used) << "bb " << cluster.bb().value();
+        EXPECT_EQ(node_ram, usage.ram_used_mib);
+        EXPECT_EQ(node_vms, static_cast<std::size_t>(usage.instances));
+    }
+}
+
+TEST(EngineTest, StoreCoversEveryNodeAndBb) {
+    sim_engine& e = shared();
+    const metric_store& store = e.store();
+    EXPECT_EQ(store.select(metric_names::host_cpu_core_utilization).size(),
+              e.infrastructure().node_count());
+    EXPECT_EQ(store.select(metric_names::host_cpu_ready).size(),
+              e.infrastructure().node_count());
+    EXPECT_EQ(store.select(metric_names::os_nodes_vcpus).size(),
+              e.infrastructure().bb_count());
+    EXPECT_EQ(store.select(metric_names::os_instances_total).size(), 1u);
+    // one VM series per successfully placed VM
+    EXPECT_EQ(store.select(metric_names::vm_cpu_usage_ratio).size(),
+              static_cast<std::size_t>(e.stats().placements));
+}
+
+TEST(EngineTest, PercentagesStayInRange) {
+    sim_engine& e = shared();
+    const metric_store& store = e.store();
+    for (std::string_view metric :
+         {metric_names::host_cpu_core_utilization,
+          metric_names::host_cpu_contention, metric_names::host_memory_usage}) {
+        for (series_id id : store.select(metric)) {
+            for (int day = 0; day < observation_days; ++day) {
+                const running_stats* agg = store.daily(id, day);
+                if (agg == nullptr) continue;
+                EXPECT_GE(agg->min(), 0.0);
+                EXPECT_LE(agg->max(), 100.0);
+            }
+        }
+    }
+}
+
+TEST(EngineTest, VmRatiosStayInUnitInterval) {
+    sim_engine& e = shared();
+    const metric_store& store = e.store();
+    for (series_id id : store.select(metric_names::vm_cpu_usage_ratio)) {
+        const running_stats agg = store.window_aggregate(id);
+        if (agg.empty()) continue;
+        EXPECT_GE(agg.min(), 0.0);
+        EXPECT_LE(agg.max(), 1.0);
+    }
+}
+
+TEST(EngineTest, InstanceGaugeTracksPopulation) {
+    sim_engine& e = shared();
+    const metric_store& store = e.store();
+    const auto series = store.select(metric_names::os_instances_total);
+    ASSERT_EQ(series.size(), 1u);
+    const running_stats* last_day = store.daily(series[0], observation_days - 1);
+    ASSERT_NE(last_day, nullptr);
+    // gauge at window end ~ currently active VMs
+    EXPECT_NEAR(last_day->max(),
+                static_cast<double>(e.vms().count_in_state(vm_state::active)),
+                static_cast<double>(e.vms().size()) * 0.05);
+}
+
+TEST(EngineTest, HanaVmsLandOnHanaOrXlBbs) {
+    sim_engine& e = shared();
+    for (const vm_record& rec : e.vms().all()) {
+        if (rec.state != vm_state::active) continue;
+        const flavor& f = e.catalog().get(rec.flavor);
+        const bb_purpose purpose =
+            e.infrastructure().get(rec.placed_bb).purpose;
+        if (f.requires_dedicated_bb()) {
+            EXPECT_EQ(purpose, bb_purpose::dedicated_xl) << f.name;
+        } else if (f.wclass == workload_class::hana_db) {
+            EXPECT_EQ(purpose, bb_purpose::hana) << f.name;
+        } else {
+            EXPECT_EQ(purpose, bb_purpose::general) << f.name;
+        }
+    }
+}
+
+TEST(EngineTest, ReserveBbsNeverReceiveVms) {
+    sim_engine& e = shared();
+    for (const building_block& bb : e.infrastructure().bbs()) {
+        if (bb.purpose != bb_purpose::reserve) continue;
+        EXPECT_EQ(e.placement().usage(bb.id).instances, 0) << bb.name;
+        // but they are monitored: node telemetry exists
+        const std::vector<std::pair<std::string, std::string>> filter{
+            {"bb", bb.name}};
+        EXPECT_FALSE(
+            e.store()
+                .select(metric_names::host_cpu_core_utilization, filter)
+                .empty());
+    }
+}
+
+TEST(EngineTest, DrsMigrationsRecordedOnVms) {
+    sim_engine& e = shared();
+    std::uint64_t recorded = 0;
+    for (const vm_record& rec : e.vms().all()) {
+        recorded += static_cast<std::uint64_t>(rec.migration_count);
+    }
+    EXPECT_GE(recorded, e.stats().drs_migrations);  // includes evacuations
+}
+
+TEST(EngineTest, NodeChurnProducesWhiteCells) {
+    sim_engine& e = shared();
+    const fleet& f = e.infrastructure();
+    bool any_unavailable = false;
+    for (const compute_node& node : f.nodes()) {
+        if (!node.available_at(0) ||
+            !node.available_at(observation_window - 1)) {
+            any_unavailable = true;
+            // the store must have no samples for unavailable days
+            const std::vector<std::pair<std::string, std::string>> filter{
+                {"node", node.name}};
+            const auto series = e.store().select(
+                metric_names::host_cpu_core_utilization, filter);
+            ASSERT_EQ(series.size(), 1u);
+            for (int day = 0; day < observation_days; ++day) {
+                const sim_time mid = days(day) + hours(12);
+                if (!node.available_at(mid)) continue;
+                // available days can still have data
+            }
+            // first/last day outside availability has no aggregate
+            if (node.available_from > hours(25)) {
+                EXPECT_EQ(e.store().daily(series[0], 0), nullptr);
+            }
+        }
+    }
+    EXPECT_TRUE(any_unavailable);  // 3% churn over ~36 nodes: expect >= 1
+}
+
+TEST(EngineTest, DeterministicAcrossRuns) {
+    sim_engine& a = shared();
+    sim_engine b(small_config());
+    b.run();
+    EXPECT_EQ(a.stats().placements, b.stats().placements);
+    EXPECT_EQ(a.stats().deletions, b.stats().deletions);
+    EXPECT_EQ(a.stats().drs_migrations, b.stats().drs_migrations);
+    EXPECT_EQ(a.store().total_samples(), b.store().total_samples());
+    // spot-check a series' daily means
+    const auto sa = a.store().select(metric_names::host_cpu_core_utilization);
+    const auto sb = b.store().select(metric_names::host_cpu_core_utilization);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (int day = 0; day < observation_days; day += 7) {
+        const running_stats* da = a.store().daily(sa[0], day);
+        const running_stats* db = b.store().daily(sb[0], day);
+        ASSERT_EQ(da == nullptr, db == nullptr);
+        if (da != nullptr) {
+            EXPECT_DOUBLE_EQ(da->mean(), db->mean());
+        }
+    }
+}
+
+TEST(EngineTest, RunUntilSupportsIncrementalInspection) {
+    engine_config config = small_config();
+    config.scenario.scale = 0.01;
+    sim_engine e(config);
+    e.setup();
+    e.run_until(days(2));
+    const std::uint64_t scrapes_at_2d = e.stats().scrapes;
+    EXPECT_EQ(scrapes_at_2d, static_cast<std::uint64_t>(days(2) / 900 + 1));
+    e.run_until(observation_window);
+    EXPECT_GT(e.stats().scrapes, scrapes_at_2d);
+}
+
+TEST(EngineTest, SetupTwiceThrows) {
+    engine_config config = small_config();
+    config.scenario.scale = 0.01;
+    sim_engine e(config);
+    e.setup();
+    EXPECT_THROW(e.setup(), precondition_error);
+}
+
+TEST(EngineTest, InvalidConfigRejected) {
+    engine_config config = small_config();
+    config.sampling_interval = 0;
+    EXPECT_THROW(sim_engine{config}, precondition_error);
+    config = small_config();
+    config.drs_interval = -1;
+    EXPECT_THROW(sim_engine{config}, precondition_error);
+}
+
+// --- policy switches (smoke + directional checks) -----------------------
+
+TEST(EngineTest, HolisticModeRuns) {
+    engine_config config = small_config();
+    config.scenario.scale = 0.01;
+    config.holistic = true;
+    sim_engine e(config);
+    e.run();
+    EXPECT_GT(e.stats().placements, 400u);
+    EXPECT_EQ(e.stats().forced_fits, 0u);  // node-level placement never forces
+}
+
+TEST(EngineTest, ContentionAwareModeRuns) {
+    engine_config config = small_config();
+    config.scenario.scale = 0.01;
+    config.contention_aware = true;
+    sim_engine e(config);
+    e.run();
+    EXPECT_GT(e.stats().placements, 400u);
+}
+
+TEST(EngineTest, LifetimeAwareModeRuns) {
+    engine_config config = small_config();
+    config.scenario.scale = 0.01;
+    config.lifetime_aware = true;
+    sim_engine e(config);
+    e.run();
+    EXPECT_GT(e.stats().placements, 400u);
+}
+
+TEST(EngineTest, DrsDisabledMeansNoMigrations) {
+    engine_config config = small_config();
+    config.scenario.scale = 0.01;
+    config.drs.enabled = false;
+    config.node_churn_fraction = 0.0;  // evacuations also move VMs
+    sim_engine e(config);
+    e.run();
+    EXPECT_EQ(e.stats().drs_migrations, 0u);
+    EXPECT_EQ(e.stats().evacuations, 0u);
+}
+
+// --- event log integration --------------------------------------------------
+
+TEST(EngineTest, EventLogMatchesRunStats) {
+    sim_engine& e = shared();
+    const event_log& log = e.events();
+    EXPECT_EQ(log.count(lifecycle_event_kind::create), e.stats().placements);
+    EXPECT_EQ(log.count(lifecycle_event_kind::remove), e.stats().deletions);
+    EXPECT_EQ(log.count(lifecycle_event_kind::schedule_fail),
+              e.stats().placement_failures);
+    EXPECT_EQ(log.count(lifecycle_event_kind::migrate),
+              e.stats().drs_migrations + e.stats().cross_bb_moves);
+    EXPECT_EQ(log.count(lifecycle_event_kind::evacuate), e.stats().evacuations);
+}
+
+TEST(EngineTest, EventsAreTimeOrdered) {
+    sim_engine& e = shared();
+    sim_time last = std::numeric_limits<sim_time>::min();
+    for (const lifecycle_event& ev : e.events().all()) {
+        EXPECT_GE(ev.t, last);
+        last = ev.t;
+    }
+}
+
+TEST(EngineTest, DeletedVmsHaveCreateBeforeDelete) {
+    sim_engine& e = shared();
+    int checked = 0;
+    for (const vm_record& rec : e.vms().all()) {
+        if (rec.state != vm_state::deleted || checked >= 50) continue;
+        const auto history = e.events().of_vm(rec.id);
+        ASSERT_GE(history.size(), 2u);
+        EXPECT_EQ(history.front().kind, lifecycle_event_kind::create);
+        EXPECT_EQ(history.back().kind, lifecycle_event_kind::remove);
+        ++checked;
+    }
+    EXPECT_GT(checked, 0);
+}
+
+TEST(EngineTest, MigrationCostsAccumulate) {
+    sim_engine& e = shared();
+    if (e.stats().drs_migrations + e.stats().evacuations > 0) {
+        EXPECT_GT(e.stats().migration_seconds, 0.0);
+    }
+}
+
+// --- cross-BB rebalancer integration ----------------------------------------
+
+TEST(EngineTest, CrossBbRebalancerKeepsAccountingConsistent) {
+    engine_config config = small_config();
+    config.scenario.scale = 0.015;
+    config.population.daily_churn_fraction = 0.05;
+    config.cross_bb_interval = hours(6);
+    config.cross_bb.target_ram_spread = 0.05;
+    sim_engine e(config);
+    e.run();
+    // whether or not moves happened, the layers must agree afterwards
+    for (const drs_cluster& cluster : e.clusters()) {
+        core_count node_vcpus = 0;
+        std::size_t node_vms = 0;
+        for (const node_runtime& nr : cluster.nodes()) {
+            node_vcpus += nr.reserved_vcpus();
+            node_vms += nr.vm_count();
+        }
+        const provider_usage& usage = e.placement().usage(cluster.bb());
+        EXPECT_EQ(node_vcpus, usage.vcpus_used);
+        EXPECT_EQ(node_vms, static_cast<std::size_t>(usage.instances));
+    }
+    for (const vm_record& rec : e.vms().all()) {
+        if (rec.state != vm_state::active) continue;
+        EXPECT_EQ(e.placement().allocation_of(rec.id), rec.placed_bb);
+        EXPECT_EQ(e.infrastructure().get(rec.placed_node).bb, rec.placed_bb);
+    }
+}
+
+TEST(EngineTest, ResizesHappenAndStayConsistent) {
+    engine_config config = small_config();
+    config.scenario.scale = 0.02;
+    config.daily_resize_fraction = 0.02;  // pronounced for the test
+    sim_engine e(config);
+    e.run();
+    EXPECT_GT(e.stats().resizes, 0u);
+    EXPECT_EQ(e.events().count(lifecycle_event_kind::resize),
+              e.stats().resizes);
+    // accounting still conserved after flavor swaps
+    for (const drs_cluster& cluster : e.clusters()) {
+        core_count vcpus = 0;
+        mebibytes ram = 0;
+        for (const node_runtime& nr : cluster.nodes()) {
+            vcpus += nr.reserved_vcpus();
+            ram += nr.reserved_ram_mib();
+        }
+        const provider_usage& usage = e.placement().usage(cluster.bb());
+        EXPECT_EQ(vcpus, usage.vcpus_used);
+        EXPECT_EQ(ram, usage.ram_used_mib);
+    }
+    // every resized VM's record matches its current allocation
+    for (const lifecycle_event& ev : e.events().all()) {
+        if (ev.kind != lifecycle_event_kind::resize) continue;
+        const vm_record& rec = e.vms().get(ev.vm);
+        if (rec.state != vm_state::active) continue;
+        EXPECT_EQ(e.placement().allocation_of(ev.vm), rec.placed_bb);
+    }
+}
+
+TEST(EngineTest, BehaviorOfIsStableAcrossCalls) {
+    sim_engine& e = shared();
+    const vm_behavior& a = e.behavior_of(vm_id(3));
+    const vm_behavior& b = e.behavior_of(vm_id(3));
+    EXPECT_EQ(a.seed, b.seed);
+    const double d1 = e.vm_cpu_demand_cores(vm_id(3), hours(10));
+    const double d2 = e.vm_cpu_demand_cores(vm_id(3), hours(10));
+    EXPECT_DOUBLE_EQ(d1, d2);
+}
+
+}  // namespace
+}  // namespace sci

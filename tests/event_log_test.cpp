@@ -1,0 +1,99 @@
+// Tests for infra/event_log: the scheduling-relevant event record of
+// Section 4.
+
+#include "infra/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+namespace {
+
+lifecycle_event make_event(sim_time t, lifecycle_event_kind kind,
+                           std::int32_t vm = 0) {
+    return lifecycle_event{.t = t, .kind = kind, .vm = vm_id(vm)};
+}
+
+TEST(EventLogTest, StartsEmpty) {
+    event_log log;
+    EXPECT_TRUE(log.empty());
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_EQ(log.count(lifecycle_event_kind::create), 0u);
+}
+
+TEST(EventLogTest, RecordsInOrder) {
+    event_log log;
+    log.record(make_event(-100, lifecycle_event_kind::create));
+    log.record(make_event(0, lifecycle_event_kind::create));
+    log.record(make_event(0, lifecycle_event_kind::migrate));
+    log.record(make_event(50, lifecycle_event_kind::remove));
+    EXPECT_EQ(log.size(), 4u);
+    EXPECT_EQ(log.count(lifecycle_event_kind::create), 2u);
+    EXPECT_EQ(log.count(lifecycle_event_kind::migrate), 1u);
+    EXPECT_EQ(log.count(lifecycle_event_kind::remove), 1u);
+}
+
+TEST(EventLogTest, RejectsOutOfOrderEvents) {
+    event_log log;
+    log.record(make_event(100, lifecycle_event_kind::create));
+    EXPECT_THROW(log.record(make_event(99, lifecycle_event_kind::remove)),
+                 precondition_error);
+}
+
+TEST(EventLogTest, BetweenIsHalfOpen) {
+    event_log log;
+    for (sim_time t : {10, 20, 30, 40}) {
+        log.record(make_event(t, lifecycle_event_kind::create));
+    }
+    const auto range = log.between(20, 40);
+    ASSERT_EQ(range.size(), 2u);
+    EXPECT_EQ(range[0].t, 20);
+    EXPECT_EQ(range[1].t, 30);
+    EXPECT_EQ(log.between(0, 100).size(), 4u);
+    EXPECT_EQ(log.between(41, 100).size(), 0u);
+}
+
+TEST(EventLogTest, OfVmFiltersAndKeepsOrder) {
+    event_log log;
+    log.record(make_event(1, lifecycle_event_kind::create, 7));
+    log.record(make_event(2, lifecycle_event_kind::create, 8));
+    log.record(make_event(3, lifecycle_event_kind::migrate, 7));
+    log.record(make_event(4, lifecycle_event_kind::remove, 7));
+    const auto history = log.of_vm(vm_id(7));
+    ASSERT_EQ(history.size(), 3u);
+    EXPECT_EQ(history[0].kind, lifecycle_event_kind::create);
+    EXPECT_EQ(history[1].kind, lifecycle_event_kind::migrate);
+    EXPECT_EQ(history[2].kind, lifecycle_event_kind::remove);
+}
+
+TEST(EventLogTest, DailyCountsBucketByDay) {
+    event_log log;
+    log.record(make_event(-100, lifecycle_event_kind::create));  // pre-window
+    log.record(make_event(100, lifecycle_event_kind::create));
+    log.record(make_event(200, lifecycle_event_kind::create));
+    log.record(make_event(days(2) + 5, lifecycle_event_kind::create));
+    log.record(make_event(days(2) + 6, lifecycle_event_kind::remove));
+    const std::vector<int> creates =
+        log.daily_counts(lifecycle_event_kind::create);
+    ASSERT_EQ(creates.size(), static_cast<std::size_t>(observation_days));
+    EXPECT_EQ(creates[0], 2);  // pre-window event excluded
+    EXPECT_EQ(creates[1], 0);
+    EXPECT_EQ(creates[2], 1);
+    const std::vector<int> removes =
+        log.daily_counts(lifecycle_event_kind::remove);
+    EXPECT_EQ(removes[2], 1);
+    EXPECT_THROW(log.daily_counts(lifecycle_event_kind::create, 0),
+                 precondition_error);
+}
+
+TEST(EventLogTest, KindNames) {
+    EXPECT_EQ(to_string(lifecycle_event_kind::create), "create");
+    EXPECT_EQ(to_string(lifecycle_event_kind::schedule_fail), "schedule_fail");
+    EXPECT_EQ(to_string(lifecycle_event_kind::migrate), "migrate");
+    EXPECT_EQ(to_string(lifecycle_event_kind::evacuate), "evacuate");
+    EXPECT_EQ(to_string(lifecycle_event_kind::remove), "delete");
+}
+
+}  // namespace
+}  // namespace sci

@@ -1,0 +1,180 @@
+// Tests for the discrete-event core.
+
+#include "simcore/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sci {
+namespace {
+
+TEST(EventQueueTest, StartsEmptyAtTimeZero) {
+    event_queue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.now(), 0);
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueueTest, ExecutesInTimeOrder) {
+    event_queue q;
+    std::vector<int> order;
+    q.schedule_at(30, [&](sim_time) { order.push_back(3); });
+    q.schedule_at(10, [&](sim_time) { order.push_back(1); });
+    q.schedule_at(20, [&](sim_time) { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimestamps) {
+    event_queue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        q.schedule_at(100, [&order, i](sim_time) { order.push_back(i); });
+    }
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CallbackSeesEventTime) {
+    event_queue q;
+    sim_time seen = -1;
+    q.schedule_at(42, [&](sim_time t) { seen = t; });
+    q.run();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+    event_queue q;
+    sim_time seen = -1;
+    q.schedule_at(10, [&](sim_time) {
+        q.schedule_after(5, [&](sim_time t) { seen = t; });
+    });
+    q.run();
+    EXPECT_EQ(seen, 15);
+}
+
+TEST(EventQueueTest, SchedulingInThePastThrows) {
+    event_queue q;
+    q.schedule_at(10, [](sim_time) {});
+    q.step();
+    EXPECT_EQ(q.now(), 10);
+    EXPECT_THROW(q.schedule_at(5, [](sim_time) {}), precondition_error);
+    EXPECT_THROW(q.schedule_after(-1, [](sim_time) {}), precondition_error);
+}
+
+TEST(EventQueueTest, NullCallbackThrows) {
+    event_queue q;
+    EXPECT_THROW(q.schedule_at(1, event_queue::callback{}), precondition_error);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+    event_queue q;
+    bool fired = false;
+    const event_handle h = q.schedule_at(10, [&](sim_time) { fired = true; });
+    EXPECT_TRUE(q.cancel(h));
+    q.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(q.executed_count(), 0u);
+}
+
+TEST(EventQueueTest, CancelTwiceReturnsFalse) {
+    event_queue q;
+    const event_handle h = q.schedule_at(10, [](sim_time) {});
+    EXPECT_TRUE(q.cancel(h));
+    EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueueTest, CancelAfterFireReturnsFalse) {
+    event_queue q;
+    const event_handle h = q.schedule_at(10, [](sim_time) {});
+    q.run();
+    EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents) {
+    event_queue q;
+    const event_handle a = q.schedule_at(1, [](sim_time) {});
+    q.schedule_at(2, [](sim_time) {});
+    EXPECT_EQ(q.size(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.size(), 1u);
+    q.run();
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, RunUntilExecutesInclusiveBoundary) {
+    event_queue q;
+    std::vector<sim_time> fired;
+    q.schedule_at(10, [&](sim_time t) { fired.push_back(t); });
+    q.schedule_at(20, [&](sim_time t) { fired.push_back(t); });
+    q.schedule_at(21, [&](sim_time t) { fired.push_back(t); });
+    q.run_until(20);
+    EXPECT_EQ(fired, (std::vector<sim_time>{10, 20}));
+    EXPECT_EQ(q.now(), 20);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockWhenQueueDrains) {
+    event_queue q;
+    q.schedule_at(5, [](sim_time) {});
+    q.run_until(100);
+    EXPECT_EQ(q.now(), 100);
+}
+
+TEST(EventQueueTest, RunUntilPastThrows) {
+    event_queue q;
+    q.schedule_at(50, [](sim_time) {});
+    q.run();
+    EXPECT_THROW(q.run_until(10), precondition_error);
+}
+
+TEST(EventQueueTest, SelfReschedulingEvent) {
+    event_queue q;
+    int count = 0;
+    std::function<void(sim_time)> tick = [&](sim_time) {
+        ++count;
+        if (count < 5) q.schedule_after(10, tick);
+    };
+    q.schedule_at(0, tick);
+    q.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(q.now(), 40);
+}
+
+TEST(EventQueueTest, ExecutedCount) {
+    event_queue q;
+    for (int i = 0; i < 7; ++i) q.schedule_at(i, [](sim_time) {});
+    q.run();
+    EXPECT_EQ(q.executed_count(), 7u);
+}
+
+TEST(EventQueueTest, CancelFromWithinCallback) {
+    event_queue q;
+    bool second_fired = false;
+    const event_handle second =
+        q.schedule_at(20, [&](sim_time) { second_fired = true; });
+    q.schedule_at(10, [&](sim_time) { q.cancel(second); });
+    q.run();
+    EXPECT_FALSE(second_fired);
+}
+
+TEST(EventQueueTest, ManyEventsStressOrdering) {
+    event_queue q;
+    sim_time last = -1;
+    bool monotone = true;
+    for (int i = 999; i >= 0; --i) {
+        q.schedule_at(i % 100, [&](sim_time t) {
+            if (t < last) monotone = false;
+            last = t;
+        });
+    }
+    q.run();
+    EXPECT_TRUE(monotone);
+    EXPECT_EQ(q.executed_count(), 1000u);
+}
+
+}  // namespace
+}  // namespace sci

@@ -1,0 +1,238 @@
+// Tests for analysis/figures on synthetic stores/registries with known
+// expected outputs.
+
+#include "analysis/figures.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+namespace {
+
+// --- Figure 8 / 9 on a synthetic store --------------------------------------
+
+struct contention_fixture {
+    metric_store store{metric_registry::standard_catalog()};
+
+    series_id node_series(std::string_view metric, const char* node) {
+        return store.open_series(metric,
+                                 label_set{{"node", node}, {"bb", "bb"}});
+    }
+};
+
+TEST(Fig8Test, RanksNodesByTotalReadyTime) {
+    contention_fixture fx;
+    const series_id hot =
+        fx.node_series(metric_names::host_cpu_ready, "hot");
+    const series_id warm =
+        fx.node_series(metric_names::host_cpu_ready, "warm");
+    const series_id cold =
+        fx.node_series(metric_names::host_cpu_ready, "cold");
+    for (int i = 0; i < 10; ++i) {
+        fx.store.append(hot, hours(i), 50'000.0);
+        fx.store.append(warm, hours(i), 10'000.0);
+        fx.store.append(cold, hours(i), 100.0);
+    }
+    const auto top2 = fig8_top_ready_nodes(fx.store, 2);
+    ASSERT_EQ(top2.size(), 2u);
+    EXPECT_EQ(top2[0].node, "hot");
+    EXPECT_EQ(top2[1].node, "warm");
+    EXPECT_DOUBLE_EQ(top2[0].total_ready_ms, 500'000.0);
+    EXPECT_DOUBLE_EQ(top2[0].peak_ready_ms, 50'000.0);
+    // hourly series: first 10 hours populated, rest NaN
+    EXPECT_EQ(top2[0].hourly_ms.size(),
+              static_cast<std::size_t>(observation_days * 24));
+    EXPECT_DOUBLE_EQ(top2[0].hourly_ms[3], 50'000.0);
+    EXPECT_TRUE(std::isnan(top2[0].hourly_ms[20]));
+}
+
+TEST(Fig8Test, FewerNodesThanTopK) {
+    contention_fixture fx;
+    const series_id only = fx.node_series(metric_names::host_cpu_ready, "n");
+    fx.store.append(only, 100, 1.0);
+    EXPECT_EQ(fig8_top_ready_nodes(fx.store, 10).size(), 1u);
+    EXPECT_THROW(fig8_top_ready_nodes(fx.store, 0), precondition_error);
+}
+
+TEST(Fig9Test, DailyDistributionOverNodes) {
+    contention_fixture fx;
+    // 10 nodes at 2%, one node at 40% (the paper's outlier)
+    for (int n = 0; n < 10; ++n) {
+        const series_id id = fx.node_series(
+            metric_names::host_cpu_contention, ("n" + std::to_string(n)).c_str());
+        fx.store.append(id, 100, 2.0);
+    }
+    const series_id outlier =
+        fx.node_series(metric_names::host_cpu_contention, "outlier");
+    fx.store.append(outlier, 100, 40.0);
+
+    const auto by_day = fig9_contention_by_day(fx.store);
+    ASSERT_EQ(by_day.size(), static_cast<std::size_t>(observation_days));
+    const contention_day& d0 = by_day[0];
+    EXPECT_NEAR(d0.mean_pct, (10.0 * 2.0 + 40.0) / 11.0, 1e-9);
+    EXPECT_DOUBLE_EQ(d0.max_pct, 40.0);
+    EXPECT_GT(d0.p95_pct, 2.0);  // outlier pulls the p95 up
+    // empty days have zeroed rows
+    EXPECT_DOUBLE_EQ(by_day[5].mean_pct, 0.0);
+}
+
+// --- Figure 14 ----------------------------------------------------------------
+
+TEST(Fig14Test, CdfAndClassesFromVmSeries) {
+    metric_store store{metric_registry::standard_catalog()};
+    const double means[] = {0.1, 0.2, 0.3, 0.5, 0.72, 0.8, 0.9, 0.95, 0.6, 0.65};
+    int i = 0;
+    for (double m : means) {
+        const series_id id = store.open_series(
+            metric_names::vm_cpu_usage_ratio,
+            label_set{{"vm", "vm" + std::to_string(i++)}});
+        store.append(id, 100, m);
+    }
+    const vm_utilization_cdf cdf = fig14a_cpu_utilization(store);
+    EXPECT_EQ(cdf.classes.vm_count, 10u);
+    EXPECT_DOUBLE_EQ(cdf.classes.under_pct, 60.0);   // 6 of 10 < 0.70
+    EXPECT_DOUBLE_EQ(cdf.classes.optimal_pct, 20.0); // 0.72, 0.8
+    EXPECT_DOUBLE_EQ(cdf.classes.over_pct, 20.0);    // 0.9, 0.95
+    EXPECT_DOUBLE_EQ(cdf.cdf(0.5), 0.4);
+    EXPECT_DOUBLE_EQ(cdf.cdf(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.cdf(0.0), 0.0);
+}
+
+TEST(Fig14Test, EmptyStore) {
+    metric_store store{metric_registry::standard_catalog()};
+    const vm_utilization_cdf cdf = fig14b_memory_utilization(store);
+    EXPECT_EQ(cdf.classes.vm_count, 0u);
+    EXPECT_DOUBLE_EQ(cdf.cdf(0.5), 0.0);
+}
+
+// --- Tables 1 / 2 ---------------------------------------------------------------
+
+struct classification_fixture {
+    flavor_catalog catalog;
+    vm_registry vms;
+    flavor_id tiny, medium, large, xl;
+
+    classification_fixture() {
+        tiny = catalog.add("t", 2, gib_to_mib(2), 10, workload_class::general_purpose);
+        medium = catalog.add("m", 8, gib_to_mib(32), 10, workload_class::general_purpose);
+        large = catalog.add("l", 32, gib_to_mib(128), 10, workload_class::general_purpose);
+        xl = catalog.add("x", 96, gib_to_mib(2048), 10, workload_class::hana_db);
+    }
+
+    void add_vm(flavor_id f, sim_time created, std::optional<sim_time> deleted) {
+        const vm_id id = vms.create(f, project_id(0), created);
+        vm_record& rec = vms.get_mutable(id);
+        rec.state = deleted.has_value() ? vm_state::deleted : vm_state::active;
+        rec.created_at = created;
+        rec.deleted_at = deleted;
+    }
+};
+
+TEST(Table1Test, AveragesOverWindow) {
+    classification_fixture fx;
+    // 3 small VMs alive the whole window
+    for (int i = 0; i < 3; ++i) fx.add_vm(fx.tiny, -days(10), std::nullopt);
+    // a medium VM alive only the first half (15 of 30 days) -> counts 0.5
+    fx.add_vm(fx.medium, -days(1), days(15));
+    // an error VM never counts
+    const vm_id failed = fx.vms.create(fx.large, project_id(0), 0);
+    fx.vms.get_mutable(failed).state = vm_state::error;
+
+    const auto rows = table1_vcpu_classes(fx.vms, fx.catalog);
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_EQ(rows[0].category, "Small");
+    EXPECT_DOUBLE_EQ(rows[0].average_vms, 3.0);
+    EXPECT_DOUBLE_EQ(rows[1].average_vms, 0.5);
+    EXPECT_DOUBLE_EQ(rows[2].average_vms, 0.0);
+    EXPECT_DOUBLE_EQ(rows[3].average_vms, 0.0);
+}
+
+TEST(Table2Test, ClassifiesByRam) {
+    classification_fixture fx;
+    fx.add_vm(fx.tiny, -days(1), std::nullopt);    // 2 GiB -> Small
+    fx.add_vm(fx.medium, -days(1), std::nullopt);  // 32 GiB -> Medium
+    fx.add_vm(fx.large, -days(1), std::nullopt);   // 128 GiB -> Large
+    fx.add_vm(fx.xl, -days(1), std::nullopt);      // 2 TiB -> XL
+    const auto rows = table2_ram_classes(fx.vms, fx.catalog);
+    for (const size_class_row& row : rows) {
+        EXPECT_DOUBLE_EQ(row.average_vms, 1.0) << row.category;
+    }
+}
+
+// --- Figure 15 -----------------------------------------------------------------
+
+TEST(Fig15Test, FiltersByMinInstancesAndComputesStats) {
+    classification_fixture fx;
+    for (int i = 0; i < 40; ++i) {
+        // created i days before the window, deleted on day 1:
+        // lifetimes 1..40 days
+        fx.add_vm(fx.tiny, -days(i), days(1));
+    }
+    for (int i = 0; i < 5; ++i) fx.add_vm(fx.xl, -days(100), std::nullopt);
+
+    const auto rows = fig15_lifetime_per_flavor(fx.vms, fx.catalog, 30);
+    ASSERT_EQ(rows.size(), 1u);  // only the tiny flavor reaches 30 instances
+    EXPECT_EQ(rows[0].flavor_name, "t");
+    EXPECT_EQ(rows[0].instances, 40u);
+    EXPECT_GT(rows[0].max_days, rows[0].min_days);
+    EXPECT_GE(rows[0].median_days, rows[0].min_days);
+    EXPECT_LE(rows[0].median_days, rows[0].max_days);
+}
+
+TEST(Fig15Test, AliveVmsUseAgeAtWindowEnd) {
+    classification_fixture fx;
+    for (int i = 0; i < 30; ++i) fx.add_vm(fx.medium, -days(70), std::nullopt);
+    const auto rows = fig15_lifetime_per_flavor(fx.vms, fx.catalog, 30);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_DOUBLE_EQ(rows[0].mean_days, 100.0);  // 70 before + 30 window days
+}
+
+TEST(Fig15Test, SortedBySize) {
+    classification_fixture fx;
+    for (int i = 0; i < 30; ++i) {
+        fx.add_vm(fx.xl, -days(10), std::nullopt);
+        fx.add_vm(fx.tiny, -days(10), std::nullopt);
+    }
+    const auto rows = fig15_lifetime_per_flavor(fx.vms, fx.catalog, 30);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].flavor_name, "t");  // fewest vcpus first
+    EXPECT_EQ(rows[1].flavor_name, "x");
+}
+
+// --- intra-BB imbalance ----------------------------------------------------------
+
+TEST(ImbalanceTest, DetectsSpreadWithinBb) {
+    metric_store store{metric_registry::standard_catalog()};
+    fleet f;  // unused by the implementation beyond the signature
+    const auto open = [&](const char* node, const char* bb) {
+        return store.open_series(metric_names::host_cpu_core_utilization,
+                                 label_set{{"node", node}, {"bb", bb}});
+    };
+    const series_id a = open("a", "bb-0");
+    const series_id b = open("b", "bb-0");
+    store.append(a, 100, 90.0);
+    store.append(a, 200, 99.0);
+    store.append(b, 100, 10.0);
+    store.append(b, 200, 10.0);
+
+    const imbalance_summary summary = intra_bb_imbalance(store, f);
+    EXPECT_NEAR(summary.max_intra_bb_spread_pct, 84.5, 1e-9);  // 94.5 - 10
+    EXPECT_DOUBLE_EQ(summary.max_node_util_pct, 99.0);
+    EXPECT_GT(summary.mean_intra_bb_stddev_pct, 40.0);
+}
+
+TEST(ImbalanceTest, SingleNodeBbsIgnored) {
+    metric_store store{metric_registry::standard_catalog()};
+    fleet f;
+    const series_id a = store.open_series(
+        metric_names::host_cpu_core_utilization,
+        label_set{{"node", "solo"}, {"bb", "bb-solo"}});
+    store.append(a, 100, 95.0);
+    const imbalance_summary summary = intra_bb_imbalance(store, f);
+    EXPECT_DOUBLE_EQ(summary.max_intra_bb_spread_pct, 0.0);
+    EXPECT_DOUBLE_EQ(summary.mean_intra_bb_stddev_pct, 0.0);
+}
+
+}  // namespace
+}  // namespace sci

@@ -1,0 +1,119 @@
+// Tests for workload/flavor_mix: the standard catalog whose sampling
+// marginals reproduce Tables 1 and 2 of the paper.
+
+#include "workload/flavor_mix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+namespace {
+
+TEST(FlavorMixTest, StandardCatalogRegistersFlavors) {
+    flavor_catalog catalog;
+    const flavor_mix mix = flavor_mix::standard(catalog);
+    EXPECT_GE(catalog.size(), 15u);
+    EXPECT_EQ(mix.weights().size(), catalog.size());
+    // weights sum to ~1
+    double total = 0.0;
+    for (const flavor_weight& w : mix.weights()) total += w.weight;
+    EXPECT_NEAR(total, 1.0, 0.001);
+}
+
+TEST(FlavorMixTest, ContainsThePaper12TbFlavor) {
+    flavor_catalog catalog;
+    flavor_mix::standard(catalog);
+    const auto id = catalog.find("hana_c224_m12288");
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(catalog.get(*id).ram_mib, gib_to_mib(12288));  // Table 3: 12 TB max
+    EXPECT_TRUE(catalog.get(*id).requires_dedicated_bb());
+}
+
+TEST(FlavorMixTest, WorkloadClassesPresent) {
+    flavor_catalog catalog;
+    flavor_mix::standard(catalog);
+    std::map<workload_class, int> classes;
+    for (const flavor& f : catalog.all()) ++classes[f.wclass];
+    EXPECT_GT(classes[workload_class::general_purpose], 0);
+    EXPECT_GT(classes[workload_class::s4hana_app], 0);
+    EXPECT_GT(classes[workload_class::hana_db], 0);
+}
+
+// Expected-count marginals must reproduce Tables 1 & 2 (exact arithmetic,
+// no sampling noise).
+TEST(FlavorMixTest, ExpectedCountsReproduceTable1Marginals) {
+    flavor_catalog catalog;
+    const flavor_mix mix = flavor_mix::standard(catalog);
+    std::array<double, 4> by_class{};
+    for (const auto& [id, count] : mix.expected_counts(45356.0)) {
+        by_class[static_cast<std::size_t>(catalog.get(id).cpu_class())] += count;
+    }
+    // paper Table 1: 28,446 / 14,340 / 1,831 / 738 (tolerance: our joint
+    // cells quantize to 0.01%)
+    EXPECT_NEAR(by_class[0], 28446, 300);
+    EXPECT_NEAR(by_class[1], 14340, 300);
+    EXPECT_NEAR(by_class[2], 1831, 60);
+    EXPECT_NEAR(by_class[3], 738, 30);
+}
+
+TEST(FlavorMixTest, ExpectedCountsReproduceTable2Marginals) {
+    flavor_catalog catalog;
+    const flavor_mix mix = flavor_mix::standard(catalog);
+    std::array<double, 4> by_class{};
+    for (const auto& [id, count] : mix.expected_counts(45357.0)) {
+        by_class[static_cast<std::size_t>(catalog.get(id).memory_class())] +=
+            count;
+    }
+    // paper Table 2: 991 / 41,395 / 787 / 2,184
+    EXPECT_NEAR(by_class[0], 991, 40);
+    EXPECT_NEAR(by_class[1], 41395, 300);
+    EXPECT_NEAR(by_class[2], 787, 40);
+    EXPECT_NEAR(by_class[3], 2184, 80);
+}
+
+TEST(FlavorMixTest, SamplingConvergesToWeights) {
+    flavor_catalog catalog;
+    const flavor_mix mix = flavor_mix::standard(catalog);
+    rng_stream rng(42, "mix-test");
+    std::map<std::int32_t, int> counts;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) ++counts[mix.sample(rng).value()];
+    for (const flavor_weight& w : mix.weights()) {
+        const double observed =
+            static_cast<double>(counts[w.id.value()]) / static_cast<double>(n);
+        EXPECT_NEAR(observed, w.weight, 0.01) << catalog.get(w.id).name;
+    }
+}
+
+TEST(FlavorMixTest, SamplingIsDeterministic) {
+    flavor_catalog catalog;
+    const flavor_mix mix = flavor_mix::standard(catalog);
+    rng_stream a(7, "s");
+    rng_stream b(7, "s");
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(mix.sample(a), mix.sample(b));
+    }
+}
+
+TEST(FlavorMixTest, CustomWeightsValidated) {
+    EXPECT_THROW(flavor_mix({}), precondition_error);
+    EXPECT_THROW(flavor_mix({{flavor_id(0), 0.0}}), precondition_error);
+    EXPECT_THROW(flavor_mix({{flavor_id(0), -1.0}}), precondition_error);
+}
+
+TEST(FlavorMixTest, ExpectedCountsScaleLinearly) {
+    flavor_catalog catalog;
+    const flavor_mix mix = flavor_mix::standard(catalog);
+    const auto at_100 = mix.expected_counts(100.0);
+    const auto at_200 = mix.expected_counts(200.0);
+    for (std::size_t i = 0; i < at_100.size(); ++i) {
+        EXPECT_NEAR(at_200[i].second, 2.0 * at_100[i].second, 1e-9);
+    }
+}
+
+}  // namespace
+}  // namespace sci

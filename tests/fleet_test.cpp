@@ -1,0 +1,174 @@
+// Tests for infra/fleet: the region -> AZ -> DC -> BB -> node hierarchy.
+
+#include "infra/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+namespace {
+
+fleet make_small_fleet() {
+    fleet f;
+    const region_id r = f.add_region("region-9");
+    const az_id az_a = f.add_az(r, "az-a");
+    const az_id az_b = f.add_az(r, "az-b");
+    const dc_id dc_a = f.add_dc(az_a, "dc-a");
+    const dc_id dc_b = f.add_dc(az_b, "dc-b");
+    f.add_bb(dc_a, "bb-0", bb_purpose::general, profiles::general_purpose(), 4);
+    f.add_bb(dc_a, "bb-1", bb_purpose::hana, profiles::hana_large_memory(), 2);
+    f.add_bb(dc_b, "bb-2", bb_purpose::general, profiles::general_purpose_large(), 3);
+    return f;
+}
+
+TEST(FleetTest, HierarchyCounts) {
+    const fleet f = make_small_fleet();
+    EXPECT_EQ(f.region_count(), 1u);
+    EXPECT_EQ(f.az_count(), 2u);
+    EXPECT_EQ(f.dc_count(), 2u);
+    EXPECT_EQ(f.bb_count(), 3u);
+    EXPECT_EQ(f.node_count(), 9u);
+}
+
+TEST(FleetTest, CrossLinksAreConsistent) {
+    const fleet f = make_small_fleet();
+    const region& r = f.get(region_id(0));
+    EXPECT_EQ(r.azs.size(), 2u);
+    const availability_zone& az = f.get(r.azs[0]);
+    EXPECT_EQ(az.region, r.id);
+    EXPECT_EQ(az.dcs.size(), 1u);
+    const datacenter& dc = f.get(az.dcs[0]);
+    EXPECT_EQ(dc.az, az.id);
+    EXPECT_EQ(dc.bbs.size(), 2u);
+    const building_block& bb = f.get(dc.bbs[0]);
+    EXPECT_EQ(bb.dc, dc.id);
+    EXPECT_EQ(bb.nodes.size(), 4u);
+    const compute_node& node = f.get(bb.nodes[0]);
+    EXPECT_EQ(node.bb, bb.id);
+}
+
+TEST(FleetTest, NodeProfileResolvesThroughBb) {
+    const fleet f = make_small_fleet();
+    const building_block& hana_bb = f.get(bb_id(1));
+    for (node_id node : hana_bb.nodes) {
+        EXPECT_EQ(f.node_profile(node).name, "hana-224c-8tb");
+    }
+}
+
+TEST(FleetTest, DcOfHelpers) {
+    const fleet f = make_small_fleet();
+    EXPECT_EQ(f.dc_of(bb_id(0)), dc_id(0));
+    EXPECT_EQ(f.dc_of(bb_id(2)), dc_id(1));
+    const building_block& bb = f.get(bb_id(2));
+    EXPECT_EQ(f.dc_of(bb.nodes[0]), dc_id(1));
+}
+
+TEST(FleetTest, NodesOfDc) {
+    const fleet f = make_small_fleet();
+    EXPECT_EQ(f.nodes_of_dc(dc_id(0)).size(), 6u);  // 4 + 2
+    EXPECT_EQ(f.nodes_of_dc(dc_id(1)).size(), 3u);
+}
+
+TEST(FleetTest, BbsOfAz) {
+    const fleet f = make_small_fleet();
+    EXPECT_EQ(f.bbs_of_az(az_id(0)).size(), 2u);
+    EXPECT_EQ(f.bbs_of_az(az_id(1)).size(), 1u);
+}
+
+TEST(FleetTest, BbCapacityTotals) {
+    const fleet f = make_small_fleet();
+    const hardware_profile gp = profiles::general_purpose();
+    EXPECT_EQ(f.bb_total_cores(bb_id(0)), 4 * gp.pcpu_cores);
+    EXPECT_EQ(f.bb_total_memory(bb_id(0)), 4 * gp.memory_mib);
+}
+
+TEST(FleetTest, AddNodeGrowsBb) {
+    fleet f = make_small_fleet();
+    const node_id added = f.add_node(bb_id(0));
+    EXPECT_EQ(f.get(bb_id(0)).nodes.size(), 5u);
+    EXPECT_EQ(f.get(added).bb, bb_id(0));
+}
+
+TEST(FleetTest, NodeNamesAreUniqueAndStable) {
+    const fleet a = make_small_fleet();
+    const fleet b = make_small_fleet();
+    std::set<std::string> names;
+    for (const compute_node& n : a.nodes()) names.insert(n.name);
+    EXPECT_EQ(names.size(), a.node_count());
+    // deterministic across constructions
+    for (std::size_t i = 0; i < a.node_count(); ++i) {
+        EXPECT_EQ(a.nodes()[i].name, b.nodes()[i].name);
+    }
+}
+
+TEST(FleetTest, NodesAvailableByDefault) {
+    const fleet f = make_small_fleet();
+    const compute_node& node = f.get(node_id(0));
+    EXPECT_TRUE(node.available_at(0));
+    EXPECT_TRUE(node.available_at(-days(1000)));
+    EXPECT_TRUE(node.available_at(days(1000)));
+}
+
+TEST(FleetTest, AvailabilityWindow) {
+    fleet f = make_small_fleet();
+    compute_node& node = f.get_mutable(node_id(0));
+    node.available_from = days(5);
+    node.available_until = days(20);
+    EXPECT_FALSE(node.available_at(days(4)));
+    EXPECT_TRUE(node.available_at(days(5)));
+    EXPECT_TRUE(node.available_at(days(19)));
+    EXPECT_FALSE(node.available_at(days(20)));
+}
+
+TEST(FleetTest, LookupsRejectInvalidIds) {
+    const fleet f = make_small_fleet();
+    EXPECT_THROW(f.get(region_id(5)), precondition_error);
+    EXPECT_THROW(f.get(az_id()), precondition_error);
+    EXPECT_THROW(f.get(dc_id(9)), precondition_error);
+    EXPECT_THROW(f.get(bb_id(99)), precondition_error);
+    EXPECT_THROW(f.get(node_id(-1)), precondition_error);
+}
+
+TEST(FleetTest, BuildersValidateParents) {
+    fleet f;
+    EXPECT_THROW(f.add_az(region_id(0), "az"), precondition_error);
+    const region_id r = f.add_region("r");
+    EXPECT_THROW(f.add_dc(az_id(3), "dc"), precondition_error);
+    const az_id az = f.add_az(r, "az");
+    EXPECT_THROW(
+        f.add_bb(dc_id(1), "bb", bb_purpose::general, profiles::general_purpose(), 1),
+        precondition_error);
+    const dc_id dc = f.add_dc(az, "dc");
+    EXPECT_THROW(f.add_bb(dc, "bb", bb_purpose::general, hardware_profile{}, 1),
+                 precondition_error);
+    EXPECT_THROW(f.add_node(bb_id(0)), precondition_error);
+}
+
+TEST(FleetTest, BbPurposeToString) {
+    EXPECT_EQ(to_string(bb_purpose::general), "general");
+    EXPECT_EQ(to_string(bb_purpose::hana), "hana");
+    EXPECT_EQ(to_string(bb_purpose::dedicated_xl), "dedicated_xl");
+    EXPECT_EQ(to_string(bb_purpose::gpu), "gpu");
+}
+
+TEST(AnonymisedNameTest, DeterministicAndKindScoped) {
+    EXPECT_EQ(anonymised_name("node", 1), anonymised_name("node", 1));
+    EXPECT_NE(anonymised_name("node", 1), anonymised_name("node", 2));
+    EXPECT_NE(anonymised_name("node", 1), anonymised_name("vm", 1));
+    EXPECT_TRUE(anonymised_name("vm", 3).starts_with("vm-"));
+}
+
+TEST(StrongIdTest, ValidityAndComparison) {
+    EXPECT_FALSE(node_id().valid());
+    EXPECT_TRUE(node_id(0).valid());
+    EXPECT_LT(node_id(1), node_id(2));
+    EXPECT_EQ(node_id(3), node_id(3));
+    std::hash<node_id> h;
+    EXPECT_NE(h(node_id(1)), h(node_id(2)));
+}
+
+}  // namespace
+}  // namespace sci

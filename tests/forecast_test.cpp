@@ -1,0 +1,124 @@
+// Tests for workload/forecast: the seasonal demand forecaster behind the
+// proactive-scheduling ablation (§7 "ideally even proactive").
+
+#include "workload/forecast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+namespace {
+
+/// Synthetic diurnal signal: level 50, business-hours sine, weekend dip —
+/// the same structure the workload generator produces.
+double synthetic_demand(sim_time t) {
+    const double hour = static_cast<double>(second_of_day(t)) / 3600.0;
+    double v = 50.0 * (1.0 + 0.4 * std::sin((hour - 8.0) / 24.0 * 2.0 *
+                                            std::numbers::pi));
+    if (is_weekend(t)) v *= 0.7;
+    return v;
+}
+
+TEST(ForecastTest, StartsAtFirstObservation) {
+    demand_forecaster fc;
+    fc.observe(0, 42.0);
+    EXPECT_DOUBLE_EQ(fc.level(), 42.0);
+    EXPECT_DOUBLE_EQ(fc.forecast(hours(5)), 42.0);  // warm-up: level only
+}
+
+TEST(ForecastTest, LearnsSeasonalPattern) {
+    demand_forecaster fc;
+    // train on two weeks of hourly observations
+    for (sim_time t = 0; t < days(14); t += seconds_per_hour) {
+        fc.observe(t, synthetic_demand(t));
+    }
+    // predict the third week; error should be small relative to the signal
+    double err = 0.0;
+    int n = 0;
+    for (sim_time t = days(14); t < days(21); t += seconds_per_hour) {
+        err += std::abs(fc.forecast(t) - synthetic_demand(t));
+        ++n;
+    }
+    const double mae = err / n;
+    EXPECT_LT(mae, 5.0);  // < 10% of the level
+}
+
+TEST(ForecastTest, CapturesWeekendDip) {
+    demand_forecaster fc;
+    for (sim_time t = 0; t < days(21); t += seconds_per_hour) {
+        fc.observe(t, synthetic_demand(t));
+    }
+    // Wednesday noon (weekday) vs Saturday noon of the following week
+    const sim_time weekday_noon = days(21) + hours(12);
+    const sim_time saturday_noon = days(24) + hours(12);
+    ASSERT_FALSE(is_weekend(weekday_noon));
+    ASSERT_TRUE(is_weekend(saturday_noon));
+    EXPECT_GT(fc.forecast(weekday_noon), fc.forecast(saturday_noon) * 1.2);
+}
+
+TEST(ForecastTest, TracksLevelShift) {
+    demand_forecaster fc;
+    for (sim_time t = 0; t < days(7); t += seconds_per_hour) {
+        fc.observe(t, 10.0);
+    }
+    EXPECT_NEAR(fc.forecast(days(7)), 10.0, 1.0);
+    // demand quadruples; the EWMA should follow within two weeks.  Single
+    // slots observed mid-jump keep a transient bias, so judge the mean
+    // forecast over a full day.
+    for (sim_time t = days(7); t < days(21); t += seconds_per_hour) {
+        fc.observe(t, 40.0);
+    }
+    double mean_forecast = 0.0;
+    for (int h = 0; h < 24; ++h) {
+        mean_forecast += fc.forecast(days(21) + hours(h));
+    }
+    mean_forecast /= 24.0;
+    EXPECT_NEAR(mean_forecast, 40.0, 6.0);
+}
+
+TEST(ForecastTest, ConstantSignalIsExact) {
+    demand_forecaster fc;
+    for (sim_time t = 0; t < days(10); t += seconds_per_hour) {
+        fc.observe(t, 7.5);
+    }
+    for (sim_time t = days(10); t < days(11); t += seconds_per_hour) {
+        EXPECT_NEAR(fc.forecast(t), 7.5, 1e-6);
+    }
+}
+
+TEST(ForecastTest, MaeShrinksWithTraining) {
+    demand_forecaster fc;
+    for (sim_time t = 0; t < days(2); t += seconds_per_hour) {
+        fc.observe(t, synthetic_demand(t));
+    }
+    const double early_mae = fc.mean_absolute_error();
+    for (sim_time t = days(2); t < days(21); t += seconds_per_hour) {
+        fc.observe(t, synthetic_demand(t));
+    }
+    // MAE includes early big errors, but the running average must drop
+    EXPECT_LT(fc.mean_absolute_error(), early_mae);
+}
+
+TEST(ForecastTest, CountsObservations) {
+    demand_forecaster fc;
+    for (int i = 0; i < 5; ++i) fc.observe(i * 300, 1.0);
+    EXPECT_EQ(fc.observation_count(), 5u);
+}
+
+TEST(ForecastTest, RejectsBadInput) {
+    demand_forecaster fc;
+    EXPECT_THROW(fc.observe(0, std::nan("")), precondition_error);
+    forecaster_config bad;
+    bad.level_alpha = 0.0;
+    EXPECT_THROW(demand_forecaster{bad}, precondition_error);
+    bad = forecaster_config{};
+    bad.seasonal_alpha = 1.5;
+    EXPECT_THROW(demand_forecaster{bad}, precondition_error);
+}
+
+}  // namespace
+}  // namespace sci

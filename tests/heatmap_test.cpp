@@ -1,0 +1,145 @@
+// Tests for analysis/heatmap on a hand-built store: values, grouping,
+// column sorting, missing cells.
+
+#include "analysis/heatmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+namespace {
+
+/// Store with three nodes in two BBs; node utilizations are constants so
+/// expected heatmap cells are exact.
+struct heatmap_fixture {
+    metric_store store{metric_registry::standard_catalog()};
+    series_id n1, n2, n3;
+
+    heatmap_fixture() {
+        n1 = open("n1", "bb-a");
+        n2 = open("n2", "bb-a");
+        n3 = open("n3", "bb-b");
+        // day 0: n1=20%, n2=40%, n3=90% utilization; two samples each
+        for (sim_time t : {sim_time{100}, sim_time{400}}) {
+            store.append(n1, t, 20.0);
+            store.append(n2, t, 40.0);
+            store.append(n3, t, 90.0);
+        }
+        // day 1: only n1 reports (n2/n3 are "white")
+        store.append(n1, days(1) + 100, 30.0);
+    }
+
+    series_id open(const char* node, const char* bb) {
+        return store.open_series(
+            metric_names::host_cpu_core_utilization,
+            label_set{{"node", node}, {"bb", bb}, {"dc", "dc-a"}});
+    }
+};
+
+TEST(HeatmapBuilderTest, CellsAreTransformedDailyMeans) {
+    heatmap_fixture fx;
+    const heatmap hm = build_daily_heatmap(
+        fx.store, metric_names::host_cpu_core_utilization, {}, "node",
+        free_percent_from_util);
+    ASSERT_EQ(hm.columns.size(), 3u);
+    EXPECT_EQ(hm.days, observation_days);
+    // sorted most free first: n1 (80% free), n2 (60%), n3 (10%)
+    EXPECT_EQ(hm.columns[0], "n1");
+    EXPECT_EQ(hm.columns[1], "n2");
+    EXPECT_EQ(hm.columns[2], "n3");
+    EXPECT_DOUBLE_EQ(hm.cell(0, 0), 80.0);
+    EXPECT_DOUBLE_EQ(hm.cell(0, 1), 60.0);
+    EXPECT_DOUBLE_EQ(hm.cell(0, 2), 10.0);
+}
+
+TEST(HeatmapBuilderTest, MissingDaysAreNan) {
+    heatmap_fixture fx;
+    const heatmap hm = build_daily_heatmap(
+        fx.store, metric_names::host_cpu_core_utilization, {}, "node",
+        free_percent_from_util);
+    EXPECT_DOUBLE_EQ(hm.cell(1, 0), 70.0);         // n1 reported on day 1
+    EXPECT_TRUE(heatmap::missing(hm.cell(1, 1)));  // n2 white
+    EXPECT_TRUE(heatmap::missing(hm.cell(1, 2)));  // n3 white
+    EXPECT_TRUE(heatmap::missing(hm.cell(15, 0)));
+}
+
+TEST(HeatmapBuilderTest, GroupingByBbMergesNodeSeries) {
+    heatmap_fixture fx;
+    const heatmap hm = build_daily_heatmap(
+        fx.store, metric_names::host_cpu_core_utilization, {}, "bb",
+        free_percent_from_util);
+    ASSERT_EQ(hm.columns.size(), 2u);
+    // bb-a mean util day 0 = (20+40)/2 = 30 -> 70 free; bb-b -> 10 free
+    EXPECT_EQ(hm.columns[0], "bb-a");
+    EXPECT_DOUBLE_EQ(hm.cell(0, 0), 70.0);
+    EXPECT_DOUBLE_EQ(hm.cell(0, 1), 10.0);
+}
+
+TEST(HeatmapBuilderTest, LabelFilterRestrictsSeries) {
+    heatmap_fixture fx;
+    // add a node in another DC
+    const series_id other = fx.store.open_series(
+        metric_names::host_cpu_core_utilization,
+        label_set{{"node", "nx"}, {"bb", "bb-x"}, {"dc", "dc-b"}});
+    fx.store.append(other, 100, 50.0);
+
+    const std::vector<std::pair<std::string, std::string>> filter{{"dc", "dc-a"}};
+    const heatmap hm = build_daily_heatmap(
+        fx.store, metric_names::host_cpu_core_utilization, filter, "node",
+        free_percent_from_util);
+    EXPECT_EQ(hm.columns.size(), 3u);  // nx excluded
+}
+
+TEST(HeatmapBuilderTest, CustomTransformSeesLabels) {
+    heatmap_fixture fx;
+    const cell_transform transform = [](const running_stats& day,
+                                        const label_set& labels) {
+        return labels.contains("node", "n3") ? -1.0 : day.mean();
+    };
+    const heatmap hm = build_daily_heatmap(
+        fx.store, metric_names::host_cpu_core_utilization, {}, "node", transform);
+    // n3's column (lowest mean -1) is sorted last
+    EXPECT_EQ(hm.columns.back(), "n3");
+    EXPECT_DOUBLE_EQ(hm.cell(0, 2), -1.0);
+}
+
+TEST(HeatmapBuilderTest, EmptyMetricYieldsEmptyHeatmap) {
+    metric_store store(metric_registry::standard_catalog());
+    const heatmap hm =
+        build_daily_heatmap(store, metric_names::host_memory_usage, {}, "node",
+                            free_percent_from_util);
+    EXPECT_TRUE(hm.columns.empty());
+}
+
+TEST(HeatmapBuilderTest, NullTransformThrows) {
+    metric_store store(metric_registry::standard_catalog());
+    EXPECT_THROW(build_daily_heatmap(store, metric_names::host_memory_usage, {},
+                                     "node", cell_transform{}),
+                 precondition_error);
+}
+
+TEST(HeatmapStatsTest, ColumnMeanSkipsMissing) {
+    heatmap_fixture fx;
+    const heatmap hm = build_daily_heatmap(
+        fx.store, metric_names::host_cpu_core_utilization, {}, "node",
+        free_percent_from_util);
+    // n1: days 0 and 1 present -> mean of 80 and 70
+    EXPECT_DOUBLE_EQ(hm.column_mean(0), 75.0);
+    // n2: only day 0
+    EXPECT_DOUBLE_EQ(hm.column_mean(1), 60.0);
+}
+
+TEST(HeatmapStatsTest, MinMaxAndMissingFraction) {
+    heatmap_fixture fx;
+    const heatmap hm = build_daily_heatmap(
+        fx.store, metric_names::host_cpu_core_utilization, {}, "node",
+        free_percent_from_util);
+    EXPECT_DOUBLE_EQ(hm.min_value(), 10.0);
+    EXPECT_DOUBLE_EQ(hm.max_value(), 80.0);
+    // 4 present cells of 90 total
+    EXPECT_NEAR(hm.missing_fraction(), (90.0 - 4.0) / 90.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sci

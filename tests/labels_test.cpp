@@ -1,0 +1,88 @@
+// Tests for telemetry/labels: canonical sorted label sets.
+
+#include "telemetry/labels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace sci {
+namespace {
+
+TEST(LabelSetTest, EmptyByDefault) {
+    label_set ls;
+    EXPECT_TRUE(ls.empty());
+    EXPECT_EQ(ls.size(), 0u);
+    EXPECT_EQ(ls.to_string(), "{}");
+}
+
+TEST(LabelSetTest, InitializerListAndGet) {
+    const label_set ls{{"node", "n1"}, {"dc", "dc-a"}};
+    EXPECT_EQ(ls.size(), 2u);
+    ASSERT_TRUE(ls.get("node").has_value());
+    EXPECT_EQ(*ls.get("node"), "n1");
+    EXPECT_EQ(*ls.get("dc"), "dc-a");
+    EXPECT_FALSE(ls.get("missing").has_value());
+}
+
+TEST(LabelSetTest, KeysKeptSorted) {
+    const label_set ls{{"z", "1"}, {"a", "2"}, {"m", "3"}};
+    ASSERT_EQ(ls.pairs().size(), 3u);
+    EXPECT_EQ(ls.pairs()[0].first, "a");
+    EXPECT_EQ(ls.pairs()[1].first, "m");
+    EXPECT_EQ(ls.pairs()[2].first, "z");
+}
+
+TEST(LabelSetTest, SetReplacesExistingKey) {
+    label_set ls{{"k", "old"}};
+    ls.set("k", "new");
+    EXPECT_EQ(ls.size(), 1u);
+    EXPECT_EQ(*ls.get("k"), "new");
+}
+
+TEST(LabelSetTest, InsertionOrderIrrelevantForEquality) {
+    const label_set a{{"x", "1"}, {"y", "2"}};
+    label_set b;
+    b.set("y", "2");
+    b.set("x", "1");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(LabelSetTest, DifferentValuesNotEqual) {
+    const label_set a{{"x", "1"}};
+    const label_set b{{"x", "2"}};
+    EXPECT_NE(a, b);
+}
+
+TEST(LabelSetTest, Contains) {
+    const label_set ls{{"bb", "bb-0"}};
+    EXPECT_TRUE(ls.contains("bb", "bb-0"));
+    EXPECT_FALSE(ls.contains("bb", "bb-1"));
+    EXPECT_FALSE(ls.contains("dc", "bb-0"));
+}
+
+TEST(LabelSetTest, ToStringCanonical) {
+    const label_set ls{{"b", "2"}, {"a", "1"}};
+    EXPECT_EQ(ls.to_string(), "{a=\"1\",b=\"2\"}");
+}
+
+TEST(LabelSetTest, HashDistinguishesKeyValueSwaps) {
+    // {a="b"} vs {b="a"} must not collide structurally
+    const label_set a{{"a", "b"}};
+    const label_set b{{"b", "a"}};
+    EXPECT_NE(a, b);
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(LabelSetTest, UsableInUnorderedContainers) {
+    std::unordered_set<label_set> set;
+    set.insert(label_set{{"node", "n1"}});
+    set.insert(label_set{{"node", "n2"}});
+    set.insert(label_set{{"node", "n1"}});  // duplicate
+    EXPECT_EQ(set.size(), 2u);
+    EXPECT_TRUE(set.contains(label_set{{"node", "n2"}}));
+}
+
+}  // namespace
+}  // namespace sci

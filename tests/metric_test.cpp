@@ -1,0 +1,92 @@
+// Tests for telemetry/metric: the Table 4 catalog.
+
+#include "telemetry/metric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+namespace {
+
+TEST(MetricRegistryTest, StandardCatalogHasAllTable4Metrics) {
+    const metric_registry reg = metric_registry::standard_catalog();
+    EXPECT_EQ(reg.size(), 14u);
+    using namespace metric_names;
+    for (std::string_view name :
+         {host_cpu_core_utilization, host_cpu_contention, host_cpu_ready,
+          host_memory_usage, host_network_tx, host_network_rx,
+          host_diskspace_usage, vm_cpu_usage_ratio, vm_memory_consumed_ratio,
+          os_nodes_vcpus, os_nodes_vcpus_used, os_nodes_memory_mb,
+          os_nodes_memory_mb_used, os_instances_total}) {
+        EXPECT_TRUE(reg.find(name).has_value()) << name;
+    }
+}
+
+TEST(MetricRegistryTest, NamesMatchProductionPrefixes) {
+    const metric_registry reg = metric_registry::standard_catalog();
+    for (const metric_def& def : reg.all()) {
+        const bool vrops = def.name.starts_with("vrops_");
+        const bool nova = def.name.starts_with("openstack_compute_");
+        EXPECT_TRUE(vrops || nova) << def.name;
+    }
+}
+
+TEST(MetricRegistryTest, SubsystemsMatchTable4) {
+    const metric_registry reg = metric_registry::standard_catalog();
+    EXPECT_EQ(reg.get(metric_names::vm_cpu_usage_ratio).subsystem,
+              metric_subsystem::vm);
+    EXPECT_EQ(reg.get(metric_names::host_cpu_contention).subsystem,
+              metric_subsystem::compute_host);
+    EXPECT_EQ(reg.get(metric_names::os_instances_total).subsystem,
+              metric_subsystem::region);
+}
+
+TEST(MetricRegistryTest, UnitsAreSensible) {
+    const metric_registry reg = metric_registry::standard_catalog();
+    EXPECT_EQ(reg.get(metric_names::host_cpu_ready).unit,
+              metric_unit::milliseconds);
+    EXPECT_EQ(reg.get(metric_names::host_network_tx).unit, metric_unit::kbps);
+    EXPECT_EQ(reg.get(metric_names::vm_memory_consumed_ratio).unit,
+              metric_unit::ratio);
+    EXPECT_EQ(reg.get(metric_names::os_nodes_memory_mb).unit, metric_unit::mib);
+}
+
+TEST(MetricRegistryTest, OnlyReadyTimeIsHourly) {
+    const metric_registry reg = metric_registry::standard_catalog();
+    std::set<std::string> hourly;
+    for (const metric_def& def : reg.all()) {
+        if (def.hourly) hourly.insert(def.name);
+    }
+    EXPECT_EQ(hourly, std::set<std::string>{
+                          std::string(metric_names::host_cpu_ready)});
+}
+
+TEST(MetricRegistryTest, GetUnknownThrows) {
+    const metric_registry reg = metric_registry::standard_catalog();
+    EXPECT_THROW(reg.get("nonexistent_metric"), not_found_error);
+}
+
+TEST(MetricRegistryTest, AddRejectsDuplicatesAndEmpty) {
+    metric_registry reg;
+    reg.add({"m1", metric_subsystem::vm, metric_resource::cpu,
+             metric_unit::ratio, "d"});
+    EXPECT_THROW(reg.add({"m1", metric_subsystem::vm, metric_resource::cpu,
+                          metric_unit::ratio, "d"}),
+                 precondition_error);
+    EXPECT_THROW(reg.add({"", metric_subsystem::vm, metric_resource::cpu,
+                          metric_unit::ratio, "d"}),
+                 precondition_error);
+}
+
+TEST(MetricEnumsTest, ToString) {
+    EXPECT_EQ(to_string(metric_subsystem::compute_host), "Compute host");
+    EXPECT_EQ(to_string(metric_resource::network), "Network");
+    EXPECT_EQ(to_string(metric_unit::percentage), "percent");
+    EXPECT_EQ(to_string(metric_unit::instances), "instances");
+}
+
+}  // namespace
+}  // namespace sci

@@ -1,0 +1,121 @@
+// Tests for drs/migration: the iterative pre-copy live-migration model
+// behind the "avoid migrating heavy VMs" constraint (Section 3.2).
+
+#include "drs/migration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+namespace {
+
+TEST(MigrationModelTest, IdleVmIsOneRoundPlusTinyDowntime) {
+    // no dirtying: round 0 moves everything, stop-and-copy is empty
+    const migration_estimate est =
+        estimate_live_migration(gib_to_mib(16), 0.0);
+    EXPECT_TRUE(est.converges);
+    EXPECT_EQ(est.precopy_rounds, 1);
+    EXPECT_NEAR(est.total_seconds, 16.0 * 1024.0 / 1192.0, 1e-6);
+    EXPECT_NEAR(est.downtime_ms, 0.0, 1e-9);
+    EXPECT_NEAR(est.transferred_mib, 16.0 * 1024.0, 1e-9);
+}
+
+TEST(MigrationModelTest, TinyVmGoesStraightToStopAndCopy) {
+    // resident below the stop-and-copy threshold: zero pre-copy rounds
+    const migration_estimate est = estimate_live_migration(128, 50.0);
+    EXPECT_TRUE(est.converges);
+    EXPECT_EQ(est.precopy_rounds, 0);
+    EXPECT_NEAR(est.downtime_ms, 128.0 / 1192.0 * 1000.0, 1e-6);
+}
+
+TEST(MigrationModelTest, DirtyPagesAddRounds) {
+    const migration_estimate clean = estimate_live_migration(gib_to_mib(64), 0.0);
+    const migration_estimate busy =
+        estimate_live_migration(gib_to_mib(64), 300.0);
+    EXPECT_TRUE(busy.converges);
+    EXPECT_GT(busy.precopy_rounds, clean.precopy_rounds);
+    EXPECT_GT(busy.total_seconds, clean.total_seconds);
+    EXPECT_GT(busy.transferred_mib, clean.transferred_mib);
+}
+
+TEST(MigrationModelTest, DowntimeBoundedByThreshold) {
+    migration_cost_config config;
+    const migration_estimate est =
+        estimate_live_migration(gib_to_mib(256), 500.0, config);
+    ASSERT_TRUE(est.converges);
+    // converged stop-and-copy moves at most the threshold
+    EXPECT_LE(est.downtime_ms, static_cast<double>(config.stop_and_copy_mib) /
+                                       config.bandwidth_mib_per_s * 1000.0 +
+                                   1e-6);
+}
+
+TEST(MigrationModelTest, DirtyRateAtBandwidthNeverConverges) {
+    migration_cost_config config;
+    const migration_estimate est = estimate_live_migration(
+        gib_to_mib(512), config.bandwidth_mib_per_s, config);
+    EXPECT_FALSE(est.converges);
+    // full resident set copied while paused: massive downtime
+    EXPECT_NEAR(est.downtime_ms,
+                512.0 * 1024.0 / config.bandwidth_mib_per_s * 1000.0, 1e-3);
+}
+
+TEST(MigrationModelTest, RoundBudgetForcesStopAndCopy) {
+    migration_cost_config config;
+    config.max_precopy_rounds = 2;
+    // high (but converging) dirty rate: after 2 rounds a large set remains
+    const migration_estimate est =
+        estimate_live_migration(gib_to_mib(128), 800.0, config);
+    EXPECT_TRUE(est.converges);
+    EXPECT_EQ(est.precopy_rounds, 2);
+    EXPECT_GT(est.downtime_ms,
+              static_cast<double>(config.stop_and_copy_mib) /
+                  config.bandwidth_mib_per_s * 1000.0);
+}
+
+TEST(MigrationModelTest, HeavyVmMigrationIsExpensive) {
+    // the paper's point: a 12 TB in-memory database is not migratable in
+    // any reasonable window
+    const double dirty = estimate_dirty_rate(64.0, /*memory_intensive=*/true);
+    const migration_estimate est =
+        estimate_live_migration(gib_to_mib(12288), dirty);
+    EXPECT_FALSE(est.converges);
+}
+
+TEST(MigrationModelTest, FasterLinkShortensMigration) {
+    migration_cost_config slow;
+    slow.bandwidth_mib_per_s = 500.0;
+    migration_cost_config fast;
+    fast.bandwidth_mib_per_s = 5000.0;
+    const migration_estimate a =
+        estimate_live_migration(gib_to_mib(64), 100.0, slow);
+    const migration_estimate b =
+        estimate_live_migration(gib_to_mib(64), 100.0, fast);
+    EXPECT_GT(a.total_seconds, b.total_seconds);
+    EXPECT_GE(a.downtime_ms, b.downtime_ms);
+}
+
+TEST(MigrationModelTest, ZeroMemoryIsFree) {
+    const migration_estimate est = estimate_live_migration(0, 100.0);
+    EXPECT_TRUE(est.converges);
+    EXPECT_DOUBLE_EQ(est.total_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(est.downtime_ms, 0.0);
+}
+
+TEST(MigrationModelTest, RejectsBadInput) {
+    EXPECT_THROW(estimate_live_migration(-1, 0.0), precondition_error);
+    EXPECT_THROW(estimate_live_migration(1, -1.0), precondition_error);
+    migration_cost_config config;
+    config.bandwidth_mib_per_s = 0.0;
+    EXPECT_THROW(estimate_live_migration(1, 0.0, config), precondition_error);
+}
+
+TEST(DirtyRateTest, ScalesWithCoresAndWorkloadClass) {
+    EXPECT_DOUBLE_EQ(estimate_dirty_rate(0.0, false), 0.0);
+    EXPECT_GT(estimate_dirty_rate(4.0, false), estimate_dirty_rate(2.0, false));
+    EXPECT_GT(estimate_dirty_rate(4.0, true), estimate_dirty_rate(4.0, false));
+    EXPECT_THROW(estimate_dirty_rate(-1.0, false), precondition_error);
+}
+
+}  // namespace
+}  // namespace sci

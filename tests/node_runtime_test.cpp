@@ -1,0 +1,225 @@
+// Tests for hypervisor/node_runtime: reservation accounting and the
+// proportional-share contention model behind Figures 8 and 9.
+
+#include "hypervisor/node_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+namespace {
+
+flavor make_flavor(core_count vcpus, double ram_gib, double disk = 100.0) {
+    return flavor{.id = flavor_id(0), .name = "f", .vcpus = vcpus,
+                  .ram_mib = gib_to_mib(ram_gib), .disk_gib = disk};
+}
+
+hardware_profile gp_profile() { return profiles::general_purpose(); }
+
+// --- reservation accounting -------------------------------------------------
+
+TEST(NodeRuntimeTest, PlaceAndRemoveAccounting) {
+    node_runtime node(node_id(0), gp_profile());
+    const flavor f = make_flavor(8, 64);
+    node.place(vm_id(1), f);
+    EXPECT_EQ(node.vm_count(), 1u);
+    EXPECT_TRUE(node.hosts(vm_id(1)));
+    EXPECT_EQ(node.reserved_vcpus(), 8);
+    EXPECT_EQ(node.reserved_ram_mib(), gib_to_mib(64));
+    EXPECT_DOUBLE_EQ(node.reserved_disk_gib(), 100.0);
+
+    node.remove(vm_id(1), f);
+    EXPECT_EQ(node.vm_count(), 0u);
+    EXPECT_EQ(node.reserved_vcpus(), 0);
+    EXPECT_EQ(node.reserved_ram_mib(), 0);
+}
+
+TEST(NodeRuntimeTest, DuplicatePlaceThrows) {
+    node_runtime node(node_id(0), gp_profile());
+    const flavor f = make_flavor(2, 8);
+    node.place(vm_id(1), f);
+    EXPECT_THROW(node.place(vm_id(1), f), precondition_error);
+}
+
+TEST(NodeRuntimeTest, RemoveUnknownThrows) {
+    node_runtime node(node_id(0), gp_profile());
+    EXPECT_THROW(node.remove(vm_id(1), make_flavor(2, 8)), precondition_error);
+}
+
+TEST(NodeRuntimeTest, OvercommitRatio) {
+    node_runtime node(node_id(0), gp_profile());  // 96 pcpus
+    node.place(vm_id(1), make_flavor(96, 8));
+    EXPECT_DOUBLE_EQ(node.cpu_overcommit(), 1.0);
+    node.place(vm_id(2), make_flavor(192, 8));
+    EXPECT_DOUBLE_EQ(node.cpu_overcommit(), 3.0);
+}
+
+TEST(NodeRuntimeTest, RamReservedRatio) {
+    node_runtime node(node_id(0), gp_profile());  // 1024 GiB
+    node.place(vm_id(1), make_flavor(2, 512));
+    EXPECT_DOUBLE_EQ(node.ram_reserved_ratio(), 0.5);
+}
+
+TEST(NodeRuntimeTest, FitsRespectsAllocationRatios) {
+    node_runtime node(node_id(0), gp_profile());  // 96 cores, 1024 GiB
+    // 96 * 4 = 384 vCPU budget at ratio 4
+    node.place(vm_id(1), make_flavor(380, 16));
+    EXPECT_TRUE(node.fits(make_flavor(4, 16), 4.0, 1.0));
+    EXPECT_FALSE(node.fits(make_flavor(5, 16), 4.0, 1.0));
+    // memory at ratio 1.0
+    EXPECT_TRUE(node.fits(make_flavor(1, 1008), 4.0, 1.0));
+    EXPECT_FALSE(node.fits(make_flavor(1, 1009), 4.0, 1.0));
+}
+
+TEST(NodeRuntimeTest, FitsChecksDisk) {
+    node_runtime node(node_id(0), gp_profile());  // 7680 GiB datastore
+    EXPECT_TRUE(node.fits(make_flavor(1, 1, 7680.0), 4.0, 1.0));
+    EXPECT_FALSE(node.fits(make_flavor(1, 1, 7681.0), 4.0, 1.0));
+}
+
+TEST(NodeRuntimeTest, FitsRejectsBadRatios) {
+    node_runtime node(node_id(0), gp_profile());
+    EXPECT_THROW(node.fits(make_flavor(1, 1), 0.0, 1.0), precondition_error);
+    EXPECT_THROW(node.fits(make_flavor(1, 1), 1.0, -1.0), precondition_error);
+}
+
+TEST(NodeRuntimeTest, AcceptingFlagDefaultsTrue) {
+    node_runtime node(node_id(0), gp_profile());
+    EXPECT_TRUE(node.accepting());
+    node.set_accepting(false);
+    EXPECT_FALSE(node.accepting());
+}
+
+// --- contention model --------------------------------------------------------
+
+TEST(EvaluateNodeTest, NoContentionUnderCapacity) {
+    node_demand demand;
+    demand.add(48.0, gib_to_mib(512), 1000.0, 2000.0, 500.0);
+    const node_snapshot snap = evaluate_node(gp_profile(), demand, 300);
+    EXPECT_DOUBLE_EQ(snap.cpu_util_pct, 50.0);  // 48 / 96
+    EXPECT_DOUBLE_EQ(snap.cpu_contention_pct, 0.0);
+    EXPECT_DOUBLE_EQ(snap.cpu_ready_ms, 0.0);
+    EXPECT_DOUBLE_EQ(snap.mem_usage_pct, 50.0);  // 512 / 1024
+    EXPECT_DOUBLE_EQ(snap.tx_kbps, 1000.0);
+    EXPECT_DOUBLE_EQ(snap.rx_kbps, 2000.0);
+    EXPECT_DOUBLE_EQ(snap.storage_used_gib, 500.0);
+}
+
+TEST(EvaluateNodeTest, ProportionalShareContention) {
+    // demand 120 cores on 96 physical: 20% of requested time unsatisfied
+    node_demand demand;
+    demand.add(120.0, 0, 0.0, 0.0, 0.0);
+    const node_snapshot snap = evaluate_node(gp_profile(), demand, 300);
+    EXPECT_DOUBLE_EQ(snap.cpu_util_pct, 100.0);
+    EXPECT_NEAR(snap.cpu_contention_pct, 100.0 * 24.0 / 120.0, 1e-9);
+    EXPECT_NEAR(snap.cpu_ready_ms, (24.0 / 120.0) * 300.0 * 1000.0, 1e-6);
+}
+
+TEST(EvaluateNodeTest, ContentionMatchesPaperScale) {
+    // the paper's 40% contention: vCPU waits 40% of observed time
+    // demand / capacity = 1 / (1 - 0.4)
+    node_demand demand;
+    demand.add(96.0 / 0.6, 0, 0.0, 0.0, 0.0);
+    const node_snapshot snap = evaluate_node(gp_profile(), demand, 300);
+    EXPECT_NEAR(snap.cpu_contention_pct, 40.0, 1e-9);
+}
+
+TEST(EvaluateNodeTest, ReadyTimeBoundedByInterval) {
+    node_demand demand;
+    demand.add(10000.0, 0, 0.0, 0.0, 0.0);  // absurd oversubscription
+    const node_snapshot snap = evaluate_node(gp_profile(), demand, 300);
+    EXPECT_LE(snap.cpu_ready_ms, 300.0 * 1000.0);
+    EXPECT_LE(snap.cpu_contention_pct, 100.0);
+}
+
+TEST(EvaluateNodeTest, ExactCapacityIsNotContended) {
+    node_demand demand;
+    demand.add(96.0, 0, 0.0, 0.0, 0.0);
+    const node_snapshot snap = evaluate_node(gp_profile(), demand, 300);
+    EXPECT_DOUBLE_EQ(snap.cpu_util_pct, 100.0);
+    EXPECT_DOUBLE_EQ(snap.cpu_contention_pct, 0.0);
+}
+
+TEST(EvaluateNodeTest, NetworkClampedToNicCapacity) {
+    node_demand demand;
+    demand.add(1.0, 0, node_nic_capacity_kbps * 2.0, node_nic_capacity_kbps * 3.0,
+               0.0);
+    const node_snapshot snap = evaluate_node(gp_profile(), demand, 300);
+    EXPECT_DOUBLE_EQ(snap.tx_kbps, node_nic_capacity_kbps);
+    EXPECT_DOUBLE_EQ(snap.rx_kbps, node_nic_capacity_kbps);
+}
+
+TEST(EvaluateNodeTest, StorageClampedToDatastore) {
+    node_demand demand;
+    demand.add(1.0, 0, 0.0, 0.0, 1e9);
+    const node_snapshot snap = evaluate_node(gp_profile(), demand, 300);
+    EXPECT_DOUBLE_EQ(snap.storage_used_gib, gp_profile().storage_gib);
+}
+
+TEST(EvaluateNodeTest, MemoryPercentClamped) {
+    node_demand demand;
+    demand.add(1.0, gib_to_mib(5000), 0.0, 0.0, 0.0);  // > 1024 GiB capacity
+    const node_snapshot snap = evaluate_node(gp_profile(), demand, 300);
+    EXPECT_DOUBLE_EQ(snap.mem_usage_pct, 100.0);
+}
+
+TEST(EvaluateNodeTest, RejectsBadArguments) {
+    node_demand demand;
+    EXPECT_THROW(evaluate_node(gp_profile(), demand, 0), precondition_error);
+    EXPECT_THROW(evaluate_node(hardware_profile{}, demand, 300),
+                 precondition_error);
+}
+
+// --- QoS CPU pinning (paper §8 future work) ---------------------------------
+
+TEST(EvaluateNodeTest, PinnedCoresShrinkSharedPool) {
+    node_demand demand;
+    demand.add(60.0, 0, 0.0, 0.0, 0.0);  // shared demand
+    demand.pinned_cores = 48.0;          // pinned reservations
+    // shared pool = 96 - 48 = 48 cores, demand 60 -> contention among shared
+    const node_snapshot snap = evaluate_node(gp_profile(), demand, 300);
+    EXPECT_NEAR(snap.cpu_contention_pct, 100.0 * 12.0 / 60.0, 1e-9);
+    // util counts pinned cores as fully used
+    EXPECT_DOUBLE_EQ(snap.cpu_util_pct, 100.0);
+}
+
+TEST(EvaluateNodeTest, PinnedVmsAreExemptFromContention) {
+    // same total demand but all pinned: no shared contention at all
+    node_demand demand;
+    demand.pinned_cores = 90.0;
+    const node_snapshot snap = evaluate_node(gp_profile(), demand, 300);
+    EXPECT_DOUBLE_EQ(snap.cpu_contention_pct, 0.0);
+    EXPECT_NEAR(snap.cpu_util_pct, 90.0 / 96.0 * 100.0, 1e-9);
+}
+
+TEST(EvaluateNodeTest, FullyPinnedNodeContendsAllSharedDemand) {
+    node_demand demand;
+    demand.pinned_cores = 96.0;
+    demand.add(10.0, 0, 0.0, 0.0, 0.0);
+    const node_snapshot snap = evaluate_node(gp_profile(), demand, 300);
+    EXPECT_DOUBLE_EQ(snap.cpu_contention_pct, 100.0);
+    EXPECT_DOUBLE_EQ(snap.cpu_ready_ms, 300.0 * 1000.0);
+}
+
+TEST(EvaluateNodeTest, PinnedDemandBeyondCapacityClamped) {
+    node_demand demand;
+    demand.pinned_cores = 500.0;
+    const node_snapshot snap = evaluate_node(gp_profile(), demand, 300);
+    EXPECT_DOUBLE_EQ(snap.cpu_util_pct, 100.0);
+}
+
+TEST(NodeDemandTest, AddAccumulates) {
+    node_demand d;
+    d.add(2.0, 100, 10.0, 20.0, 1.0);
+    d.add(3.0, 200, 30.0, 40.0, 2.0);
+    EXPECT_DOUBLE_EQ(d.cpu_cores, 5.0);
+    EXPECT_EQ(d.mem_mib, 300);
+    EXPECT_DOUBLE_EQ(d.tx_kbps, 40.0);
+    EXPECT_DOUBLE_EQ(d.rx_kbps, 60.0);
+    EXPECT_DOUBLE_EQ(d.storage_gib, 3.0);
+    EXPECT_EQ(d.vm_count, 2);
+}
+
+}  // namespace
+}  // namespace sci

@@ -1,0 +1,175 @@
+// Tests for sched/placement: the inventory/allocation service behind
+// Figure 2's placement API.
+
+#include "sched/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+namespace {
+
+flavor make_flavor(core_count vcpus, double ram_gib, double disk = 10.0) {
+    return flavor{.id = flavor_id(0), .name = "f", .vcpus = vcpus,
+                  .ram_mib = gib_to_mib(ram_gib), .disk_gib = disk};
+}
+
+provider_inventory small_inventory() {
+    return provider_inventory{.total_pcpus = 96,
+                              .total_ram_mib = gib_to_mib(512),
+                              .total_disk_gib = 1000.0,
+                              .cpu_allocation_ratio = 2.0,
+                              .ram_allocation_ratio = 1.0};
+}
+
+TEST(PlacementServiceTest, RegisterAndIntrospect) {
+    placement_service svc;
+    svc.register_provider(bb_id(0), small_inventory());
+    EXPECT_TRUE(svc.has_provider(bb_id(0)));
+    EXPECT_FALSE(svc.has_provider(bb_id(1)));
+    EXPECT_EQ(svc.inventory(bb_id(0)).total_pcpus, 96);
+    EXPECT_EQ(svc.usage(bb_id(0)).instances, 0);
+    ASSERT_EQ(svc.providers().size(), 1u);
+    EXPECT_EQ(svc.providers()[0], bb_id(0));
+}
+
+TEST(PlacementServiceTest, RegisterRejectsDuplicatesAndBadInput) {
+    placement_service svc;
+    svc.register_provider(bb_id(0), small_inventory());
+    EXPECT_THROW(svc.register_provider(bb_id(0), small_inventory()),
+                 precondition_error);
+    EXPECT_THROW(svc.register_provider(bb_id(), small_inventory()),
+                 precondition_error);
+    provider_inventory bad = small_inventory();
+    bad.total_pcpus = 0;
+    EXPECT_THROW(svc.register_provider(bb_id(1), bad), precondition_error);
+    bad = small_inventory();
+    bad.cpu_allocation_ratio = 0.0;
+    EXPECT_THROW(svc.register_provider(bb_id(2), bad), precondition_error);
+}
+
+TEST(PlacementServiceTest, ClaimUpdatesUsage) {
+    placement_service svc;
+    svc.register_provider(bb_id(0), small_inventory());
+    svc.claim(vm_id(1), bb_id(0), make_flavor(8, 64));
+    const provider_usage& u = svc.usage(bb_id(0));
+    EXPECT_EQ(u.vcpus_used, 8);
+    EXPECT_EQ(u.ram_used_mib, gib_to_mib(64));
+    EXPECT_DOUBLE_EQ(u.disk_used_gib, 10.0);
+    EXPECT_EQ(u.instances, 1);
+    EXPECT_EQ(svc.allocation_of(vm_id(1)), bb_id(0));
+    EXPECT_EQ(svc.allocation_count(), 1u);
+}
+
+TEST(PlacementServiceTest, CanFitRespectsAllocationRatios) {
+    placement_service svc;
+    svc.register_provider(bb_id(0), small_inventory());
+    // vCPU capacity = 96 * 2 = 192
+    EXPECT_TRUE(svc.can_fit(bb_id(0), make_flavor(192, 1)));
+    EXPECT_FALSE(svc.can_fit(bb_id(0), make_flavor(193, 1)));
+    // RAM capacity = 512 GiB at ratio 1.0
+    EXPECT_TRUE(svc.can_fit(bb_id(0), make_flavor(1, 512)));
+    EXPECT_FALSE(svc.can_fit(bb_id(0), make_flavor(1, 513)));
+    // disk
+    EXPECT_TRUE(svc.can_fit(bb_id(0), make_flavor(1, 1, 1000.0)));
+    EXPECT_FALSE(svc.can_fit(bb_id(0), make_flavor(1, 1, 1001.0)));
+}
+
+TEST(PlacementServiceTest, ClaimBeyondCapacityThrows) {
+    placement_service svc;
+    svc.register_provider(bb_id(0), small_inventory());
+    svc.claim(vm_id(1), bb_id(0), make_flavor(100, 256));
+    EXPECT_THROW(svc.claim(vm_id(2), bb_id(0), make_flavor(100, 256)),
+                 capacity_error);
+    // failed claim leaves usage untouched
+    EXPECT_EQ(svc.usage(bb_id(0)).instances, 1);
+    EXPECT_FALSE(svc.allocation_of(vm_id(2)).has_value());
+}
+
+TEST(PlacementServiceTest, DoubleClaimSameVmThrows) {
+    placement_service svc;
+    svc.register_provider(bb_id(0), small_inventory());
+    svc.register_provider(bb_id(1), small_inventory());
+    svc.claim(vm_id(1), bb_id(0), make_flavor(1, 1));
+    EXPECT_THROW(svc.claim(vm_id(1), bb_id(1), make_flavor(1, 1)),
+                 precondition_error);
+}
+
+TEST(PlacementServiceTest, ReleaseRestoresCapacity) {
+    placement_service svc;
+    svc.register_provider(bb_id(0), small_inventory());
+    const flavor f = make_flavor(100, 256);
+    svc.claim(vm_id(1), bb_id(0), f);
+    svc.release(vm_id(1), f);
+    EXPECT_EQ(svc.usage(bb_id(0)).vcpus_used, 0);
+    EXPECT_EQ(svc.usage(bb_id(0)).instances, 0);
+    EXPECT_FALSE(svc.allocation_of(vm_id(1)).has_value());
+    // capacity is reusable
+    svc.claim(vm_id(2), bb_id(0), f);
+}
+
+TEST(PlacementServiceTest, ReleaseWithoutAllocationThrows) {
+    placement_service svc;
+    svc.register_provider(bb_id(0), small_inventory());
+    EXPECT_THROW(svc.release(vm_id(1), make_flavor(1, 1)), precondition_error);
+}
+
+TEST(PlacementServiceTest, MoveTransfersAllocation) {
+    placement_service svc;
+    svc.register_provider(bb_id(0), small_inventory());
+    svc.register_provider(bb_id(1), small_inventory());
+    const flavor f = make_flavor(8, 64);
+    svc.claim(vm_id(1), bb_id(0), f);
+    svc.move(vm_id(1), bb_id(1), f);
+    EXPECT_EQ(svc.allocation_of(vm_id(1)), bb_id(1));
+    EXPECT_EQ(svc.usage(bb_id(0)).instances, 0);
+    EXPECT_EQ(svc.usage(bb_id(1)).instances, 1);
+}
+
+TEST(PlacementServiceTest, MoveToSameProviderIsNoop) {
+    placement_service svc;
+    svc.register_provider(bb_id(0), small_inventory());
+    const flavor f = make_flavor(8, 64);
+    svc.claim(vm_id(1), bb_id(0), f);
+    svc.move(vm_id(1), bb_id(0), f);
+    EXPECT_EQ(svc.usage(bb_id(0)).instances, 1);
+}
+
+TEST(PlacementServiceTest, FailedMoveRollsBack) {
+    placement_service svc;
+    svc.register_provider(bb_id(0), small_inventory());
+    svc.register_provider(bb_id(1), small_inventory());
+    const flavor big = make_flavor(150, 400);
+    svc.claim(vm_id(9), bb_id(1), big);  // destination nearly full
+    const flavor f = make_flavor(100, 200);
+    svc.claim(vm_id(1), bb_id(0), f);
+    EXPECT_THROW(svc.move(vm_id(1), bb_id(1), f), capacity_error);
+    // original allocation restored
+    EXPECT_EQ(svc.allocation_of(vm_id(1)), bb_id(0));
+    EXPECT_EQ(svc.usage(bb_id(0)).instances, 1);
+    EXPECT_EQ(svc.usage(bb_id(1)).instances, 1);
+}
+
+TEST(PlacementServiceTest, UnknownProviderThrows) {
+    placement_service svc;
+    EXPECT_THROW(svc.inventory(bb_id(0)), not_found_error);
+    EXPECT_THROW(svc.usage(bb_id(0)), not_found_error);
+    EXPECT_THROW(svc.can_fit(bb_id(0), make_flavor(1, 1)), not_found_error);
+    EXPECT_THROW(svc.claim(vm_id(0), bb_id(0), make_flavor(1, 1)),
+                 not_found_error);
+}
+
+TEST(PlacementServiceTest, ProvidersKeepRegistrationOrder) {
+    placement_service svc;
+    svc.register_provider(bb_id(5), small_inventory());
+    svc.register_provider(bb_id(2), small_inventory());
+    svc.register_provider(bb_id(9), small_inventory());
+    ASSERT_EQ(svc.providers().size(), 3u);
+    EXPECT_EQ(svc.providers()[0], bb_id(5));
+    EXPECT_EQ(svc.providers()[1], bb_id(2));
+    EXPECT_EQ(svc.providers()[2], bb_id(9));
+}
+
+}  // namespace
+}  // namespace sci

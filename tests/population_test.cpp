@@ -1,0 +1,174 @@
+// Tests for workload/population: the standing fleet + churn construction.
+
+#include "workload/population.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simcore/error.hpp"
+#include "workload/flavor_mix.hpp"
+
+namespace sci {
+namespace {
+
+struct pop_fixture {
+    flavor_catalog catalog;
+    flavor_mix mix;
+    lifetime_model lifetimes{42};
+
+    pop_fixture() : mix(flavor_mix::standard(catalog)) {}
+
+    population build(population_config config) {
+        vm_registry registry;
+        return build_and_keep(config, registry);
+    }
+
+    population build_and_keep(population_config config, vm_registry& registry) {
+        return build_population(config, catalog, mix, lifetimes, registry);
+    }
+};
+
+TEST(PopulationTest, InitialPopulationSize) {
+    pop_fixture fx;
+    population_config config;
+    config.initial_population = 500;
+    const population pop = fx.build(config);
+    EXPECT_EQ(pop.initial.size(), 500u);
+}
+
+TEST(PopulationTest, InitialVmsAliveAtWindowStart) {
+    pop_fixture fx;
+    population_config config;
+    config.initial_population = 500;
+    const population pop = fx.build(config);
+    for (const vm_plan& plan : pop.initial) {
+        EXPECT_LE(plan.created_at, 0);
+        if (plan.deleted_at.has_value()) {
+            EXPECT_GT(*plan.deleted_at, 0);  // deletions only inside window
+            EXPECT_LT(*plan.deleted_at, observation_window);
+        }
+    }
+}
+
+TEST(PopulationTest, RegistryRecordsMatchPlans) {
+    pop_fixture fx;
+    vm_registry registry;
+    population_config config;
+    config.initial_population = 100;
+    const population pop = fx.build_and_keep(config, registry);
+    EXPECT_GE(registry.size(), 100u);
+    for (const vm_plan& plan : pop.initial) {
+        const vm_record& rec = registry.get(plan.vm);
+        EXPECT_EQ(rec.created_at, plan.created_at);
+        EXPECT_EQ(rec.state, vm_state::pending);
+    }
+}
+
+TEST(PopulationTest, ChurnArrivalsInsideWindow) {
+    pop_fixture fx;
+    population_config config;
+    config.initial_population = 1000;
+    config.daily_churn_fraction = 0.02;
+    const population pop = fx.build(config);
+    // expected ~ 1000 * 0.02 * 30 = 600 arrivals
+    EXPECT_GT(pop.arrivals.size(), 400u);
+    EXPECT_LT(pop.arrivals.size(), 850u);
+    sim_time last = -1;
+    for (const vm_plan& plan : pop.arrivals) {
+        EXPECT_GE(plan.created_at, 0);
+        EXPECT_LT(plan.created_at, observation_window);
+        EXPECT_GE(plan.created_at, last);  // Poisson stream is ordered
+        last = plan.created_at;
+        if (plan.deleted_at.has_value()) {
+            EXPECT_GT(*plan.deleted_at, plan.created_at);
+            EXPECT_LT(*plan.deleted_at, observation_window);
+        }
+    }
+}
+
+TEST(PopulationTest, ZeroChurnMeansNoArrivals) {
+    pop_fixture fx;
+    population_config config;
+    config.initial_population = 100;
+    config.daily_churn_fraction = 0.0;
+    EXPECT_TRUE(fx.build(config).arrivals.empty());
+}
+
+TEST(PopulationTest, DeterministicForSameSeed) {
+    pop_fixture fx;
+    population_config config;
+    config.initial_population = 200;
+    config.seed = 99;
+    const population a = fx.build(config);
+    const population b = fx.build(config);
+    ASSERT_EQ(a.initial.size(), b.initial.size());
+    for (std::size_t i = 0; i < a.initial.size(); ++i) {
+        EXPECT_EQ(a.initial[i].created_at, b.initial[i].created_at);
+        EXPECT_EQ(a.initial[i].deleted_at, b.initial[i].deleted_at);
+    }
+    ASSERT_EQ(a.arrivals.size(), b.arrivals.size());
+}
+
+TEST(PopulationTest, DifferentSeedsDiffer) {
+    pop_fixture fx;
+    population_config config;
+    config.initial_population = 200;
+    config.seed = 1;
+    const population a = fx.build(config);
+    config.seed = 2;
+    const population b = fx.build(config);
+    int same = 0;
+    for (std::size_t i = 0; i < a.initial.size(); ++i) {
+        if (a.initial[i].created_at == b.initial[i].created_at) ++same;
+    }
+    EXPECT_LT(same, 50);
+}
+
+TEST(PopulationTest, AgesAreResidualLifetimes) {
+    pop_fixture fx;
+    vm_registry registry;
+    population_config config;
+    config.initial_population = 2000;
+    const population pop = fx.build_and_keep(config, registry);
+    // age must never exceed the sampled lifetime: every VM that dies inside
+    // the window dies after t = 0
+    int long_lived = 0;
+    for (const vm_plan& plan : pop.initial) {
+        if (-plan.created_at > days(365)) ++long_lived;
+    }
+    // Figure 15: multi-year VMs exist in a standing population
+    EXPECT_GT(long_lived, 0);
+}
+
+TEST(PopulationTest, ProjectsSpreadAcrossTenants) {
+    pop_fixture fx;
+    vm_registry registry;
+    population_config config;
+    config.initial_population = 2000;
+    config.project_count = 50;
+    fx.build_and_keep(config, registry);
+    std::set<std::int32_t> projects;
+    for (const vm_record& rec : registry.all()) {
+        ASSERT_GE(rec.project.value(), 0);
+        ASSERT_LT(rec.project.value(), 50);
+        projects.insert(rec.project.value());
+    }
+    EXPECT_GT(projects.size(), 10u);  // Zipf-ish but not degenerate
+}
+
+TEST(PopulationTest, ValidationErrors) {
+    pop_fixture fx;
+    population_config config;
+    config.initial_population = -1;
+    EXPECT_THROW(fx.build(config), precondition_error);
+    config.initial_population = 10;
+    config.daily_churn_fraction = -0.1;
+    EXPECT_THROW(fx.build(config), precondition_error);
+    config.daily_churn_fraction = 0.0;
+    config.project_count = 0;
+    EXPECT_THROW(fx.build(config), precondition_error);
+}
+
+}  // namespace
+}  // namespace sci

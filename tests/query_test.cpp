@@ -1,0 +1,205 @@
+// Tests for telemetry/query: the PromQL-inspired layer over the store.
+
+#include "telemetry/query.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+namespace {
+
+/// Store with 3 node series of host CPU utilization and one hourly ready
+/// series, with known constants.
+struct query_fixture {
+    metric_store store{metric_registry::standard_catalog()};
+
+    query_fixture() {
+        add_node("n1", "bb-a", "dc-a", 10.0);
+        add_node("n2", "bb-a", "dc-a", 30.0);
+        add_node("n3", "bb-b", "dc-b", 80.0);
+        const series_id ready = store.open_series(
+            metric_names::host_cpu_ready,
+            label_set{{"node", "n1"}, {"bb", "bb-a"}, {"dc", "dc-a"}});
+        store.append(ready, hours(2) + 10, 5'000.0);
+        store.append(ready, hours(2) + 400, 7'000.0);
+    }
+
+    void add_node(const char* node, const char* bb, const char* dc,
+                  double util) {
+        const series_id id = store.open_series(
+            metric_names::host_cpu_core_utilization,
+            label_set{{"node", node}, {"bb", bb}, {"dc", dc}});
+        // two days of data: day 0 at util, day 1 at util + 10
+        store.append(id, 100, util);
+        store.append(id, 200, util);
+        store.append(id, days(1) + 100, util + 10.0);
+    }
+};
+
+TEST(QueryTest, DailyMeanMatrix) {
+    query_fixture fx;
+    const query_matrix m =
+        query(fx.store).metric(metric_names::host_cpu_core_utilization).daily_mean();
+    ASSERT_EQ(m.series.size(), 3u);
+    EXPECT_EQ(m.step, seconds_per_day);
+    EXPECT_EQ(m.steps(), static_cast<std::size_t>(observation_days));
+    // series are label-identified; find n1
+    for (const query_series& s : m.series) {
+        if (s.labels.contains("node", "n1")) {
+            EXPECT_DOUBLE_EQ(s.values[0], 10.0);
+            EXPECT_DOUBLE_EQ(s.values[1], 20.0);
+            EXPECT_TRUE(std::isnan(s.values[5]));
+        }
+    }
+}
+
+TEST(QueryTest, WhereFiltersSeries) {
+    query_fixture fx;
+    const query_matrix m = query(fx.store)
+                               .metric(metric_names::host_cpu_core_utilization)
+                               .where("dc", "dc-a")
+                               .daily_mean();
+    EXPECT_EQ(m.series.size(), 2u);
+}
+
+TEST(QueryTest, BucketStatSelection) {
+    query_fixture fx;
+    query q(fx.store);
+    q.metric(metric_names::host_cpu_core_utilization).where("node", "n1");
+    const query_matrix counts = q.stat(bucket_stat::count).run();
+    ASSERT_EQ(counts.series.size(), 1u);
+    EXPECT_DOUBLE_EQ(counts.series[0].values[0], 2.0);
+    const query_matrix sums = q.stat(bucket_stat::sum).run();
+    EXPECT_DOUBLE_EQ(sums.series[0].values[0], 20.0);
+}
+
+TEST(QueryTest, HourlyBuckets) {
+    query_fixture fx;
+    const query_matrix m = query(fx.store)
+                               .metric(metric_names::host_cpu_ready)
+                               .hourly()
+                               .run();
+    ASSERT_EQ(m.series.size(), 1u);
+    EXPECT_EQ(m.step, seconds_per_hour);
+    EXPECT_EQ(m.steps(), static_cast<std::size_t>(observation_days) * 24);
+    EXPECT_DOUBLE_EQ(m.series[0].values[2], 6'000.0);  // mean of 5k and 7k
+    EXPECT_TRUE(std::isnan(m.series[0].values[3]));
+}
+
+TEST(QueryTest, RunWithoutMetricThrows) {
+    query_fixture fx;
+    EXPECT_THROW(query(fx.store).run(), precondition_error);
+}
+
+TEST(QueryTest, WindowScalars) {
+    query_fixture fx;
+    const auto window = query(fx.store)
+                            .metric(metric_names::host_cpu_core_utilization)
+                            .where("node", "n2")
+                            .window(bucket_stat::max);
+    ASSERT_EQ(window.size(), 1u);
+    EXPECT_DOUBLE_EQ(window[0].second, 40.0);
+}
+
+TEST(QueryMatrixTest, AggregateAcrossSeries) {
+    query_fixture fx;
+    const query_matrix m =
+        query(fx.store).metric(metric_names::host_cpu_core_utilization).daily_mean();
+    const query_series total = m.aggregate(agg_op::sum);
+    EXPECT_DOUBLE_EQ(total.values[0], 120.0);  // 10 + 30 + 80
+    const query_series avg = m.aggregate(agg_op::avg);
+    EXPECT_DOUBLE_EQ(avg.values[0], 40.0);
+    const query_series mx = m.aggregate(agg_op::max);
+    EXPECT_DOUBLE_EQ(mx.values[0], 80.0);
+    const query_series mn = m.aggregate(agg_op::min);
+    EXPECT_DOUBLE_EQ(mn.values[0], 10.0);
+    const query_series n = m.aggregate(agg_op::count);
+    EXPECT_DOUBLE_EQ(n.values[0], 3.0);
+    // all-NaN steps stay NaN
+    EXPECT_TRUE(std::isnan(total.values[10]));
+}
+
+TEST(QueryMatrixTest, QuantileAggregate) {
+    query_fixture fx;
+    const query_matrix m =
+        query(fx.store).metric(metric_names::host_cpu_core_utilization).daily_mean();
+    const query_series median = m.aggregate(agg_op::quantile, 0.5);
+    EXPECT_DOUBLE_EQ(median.values[0], 30.0);
+    EXPECT_THROW(m.aggregate(agg_op::quantile, 0.0), precondition_error);
+}
+
+TEST(QueryMatrixTest, AggregateByLabel) {
+    query_fixture fx;
+    const query_matrix by_bb =
+        query(fx.store)
+            .metric(metric_names::host_cpu_core_utilization)
+            .daily_mean()
+            .aggregate_by("bb", agg_op::avg);
+    ASSERT_EQ(by_bb.series.size(), 2u);
+    // ordered map: bb-a first
+    EXPECT_TRUE(by_bb.series[0].labels.contains("bb", "bb-a"));
+    EXPECT_DOUBLE_EQ(by_bb.series[0].values[0], 20.0);  // (10+30)/2
+    EXPECT_DOUBLE_EQ(by_bb.series[1].values[0], 80.0);
+}
+
+TEST(QueryMatrixTest, MapTransformsValues) {
+    query_fixture fx;
+    const query_matrix free_pct =
+        query(fx.store)
+            .metric(metric_names::host_cpu_core_utilization)
+            .daily_mean()
+            .map([](double util) { return 100.0 - util; });
+    for (const query_series& s : free_pct.series) {
+        if (s.labels.contains("node", "n3")) {
+            EXPECT_DOUBLE_EQ(s.values[0], 20.0);
+        }
+    }
+    EXPECT_THROW(free_pct.map(nullptr), precondition_error);
+}
+
+TEST(QueryMatrixTest, FilterByPredicate) {
+    query_fixture fx;
+    const query_matrix m =
+        query(fx.store).metric(metric_names::host_cpu_core_utilization).daily_mean();
+    const query_matrix only_bb_a = m.filter(
+        [](const label_set& labels) { return labels.contains("bb", "bb-a"); });
+    EXPECT_EQ(only_bb_a.series.size(), 2u);
+}
+
+TEST(QueryMatrixTest, ReduceTime) {
+    query_fixture fx;
+    const query_matrix m = query(fx.store)
+                               .metric(metric_names::host_cpu_core_utilization)
+                               .where("node", "n1")
+                               .daily_mean();
+    const auto reduced = m.reduce_time(agg_op::max);
+    ASSERT_EQ(reduced.size(), 1u);
+    EXPECT_DOUBLE_EQ(reduced[0].second, 20.0);  // day-1 mean
+    const auto avg = m.reduce_time(agg_op::avg);
+    EXPECT_DOUBLE_EQ(avg[0].second, 15.0);  // NaN days skipped
+}
+
+TEST(QueryMatrixTest, TopK) {
+    query_fixture fx;
+    const query_matrix m =
+        query(fx.store).metric(metric_names::host_cpu_core_utilization).daily_mean();
+    const query_matrix top1 = m.top_k(1, agg_op::sum);
+    ASSERT_EQ(top1.series.size(), 1u);
+    EXPECT_TRUE(top1.series[0].labels.contains("node", "n3"));
+    EXPECT_EQ(m.top_k(10).series.size(), 3u);
+}
+
+TEST(AggregateValuesTest, NanHandling) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const std::vector<double> values{1.0, nan, 3.0};
+    EXPECT_DOUBLE_EQ(aggregate_values(values, agg_op::sum, 0.5), 4.0);
+    EXPECT_DOUBLE_EQ(aggregate_values(values, agg_op::count, 0.5), 2.0);
+    const std::vector<double> all_nan{nan, nan};
+    EXPECT_TRUE(std::isnan(aggregate_values(all_nan, agg_op::sum, 0.5)));
+}
+
+}  // namespace
+}  // namespace sci

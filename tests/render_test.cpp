@@ -1,0 +1,175 @@
+// Tests for analysis/render: ASCII heatmaps, CSV writers, table printer.
+
+#include "analysis/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+namespace {
+
+heatmap make_heatmap() {
+    heatmap hm;
+    hm.days = 2;
+    hm.columns = {"a", "b", "c"};
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    hm.cells = {{100.0, 50.0, 0.0}, {80.0, nan, 20.0}};
+    return hm;
+}
+
+TEST(RenderHeatmapTest, OneRowPerDayWithPrefix) {
+    const std::string out = render_heatmap_ascii(make_heatmap());
+    std::istringstream is(out);
+    std::string line;
+    std::getline(is, line);
+    EXPECT_TRUE(line.starts_with("d00 "));
+    EXPECT_EQ(line.size(), 4u + 3u);  // prefix + 3 columns
+    std::getline(is, line);
+    EXPECT_TRUE(line.starts_with("d01 "));
+    EXPECT_FALSE(std::getline(is, line));
+}
+
+TEST(RenderHeatmapTest, MissingCellsRenderQuestionMark) {
+    const std::string out = render_heatmap_ascii(make_heatmap());
+    std::istringstream is(out);
+    std::string line;
+    std::getline(is, line);
+    std::getline(is, line);
+    EXPECT_EQ(line[4 + 1], '?');  // column b on day 1
+}
+
+TEST(RenderHeatmapTest, RampExtremes) {
+    render_options options;
+    options.ramp = " @";
+    const std::string out = render_heatmap_ascii(make_heatmap(), options);
+    std::istringstream is(out);
+    std::string line;
+    std::getline(is, line);
+    EXPECT_EQ(line[4 + 0], '@');  // 100 -> top of ramp
+    EXPECT_EQ(line[4 + 2], ' ');  // 0 -> bottom
+}
+
+TEST(RenderHeatmapTest, DownsamplesWideMaps) {
+    heatmap hm;
+    hm.days = 1;
+    hm.cells.emplace_back();
+    for (int i = 0; i < 500; ++i) {
+        hm.columns.push_back("n" + std::to_string(i));
+        hm.cells[0].push_back(50.0);
+    }
+    render_options options;
+    options.max_columns = 40;
+    const std::string out = render_heatmap_ascii(hm, options);
+    std::istringstream is(out);
+    std::string line;
+    std::getline(is, line);
+    EXPECT_EQ(line.size(), 4u + 40u);
+}
+
+TEST(RenderHeatmapTest, EmptyHeatmap) {
+    EXPECT_EQ(render_heatmap_ascii(heatmap{}), "(empty heatmap)\n");
+}
+
+TEST(RenderHeatmapTest, RejectsBadOptions) {
+    render_options options;
+    options.max_columns = 0;
+    EXPECT_THROW(render_heatmap_ascii(make_heatmap(), options),
+                 precondition_error);
+    options.max_columns = 10;
+    options.ramp = "";
+    EXPECT_THROW(render_heatmap_ascii(make_heatmap(), options),
+                 precondition_error);
+}
+
+TEST(HeatmapCsvTest, HeaderRowsAndBlanksForMissing) {
+    std::ostringstream os;
+    write_heatmap_csv(os, make_heatmap());
+    std::istringstream is(os.str());
+    std::string line;
+    std::getline(is, line);
+    EXPECT_EQ(line, "day,a,b,c");
+    std::getline(is, line);
+    EXPECT_EQ(line, "0,100,50,0");
+    std::getline(is, line);
+    EXPECT_EQ(line, "1,80,,20");  // NaN -> empty field
+}
+
+TEST(CdfCsvTest, GridAndMonotonicity) {
+    vm_utilization_cdf cdf;
+    cdf.sorted_means = {0.1, 0.4, 0.4, 0.9};
+    std::ostringstream os;
+    write_cdf_csv(os, cdf, 11);
+    std::istringstream is(os.str());
+    std::string line;
+    std::getline(is, line);
+    EXPECT_EQ(line, "utilization,cdf");
+    double prev = -1.0;
+    int rows = 0;
+    while (std::getline(is, line)) {
+        const auto comma = line.find(',');
+        const double value = std::stod(line.substr(comma + 1));
+        EXPECT_GE(value, prev);
+        prev = value;
+        ++rows;
+    }
+    EXPECT_EQ(rows, 11);
+    EXPECT_DOUBLE_EQ(prev, 1.0);
+    EXPECT_THROW(write_cdf_csv(os, cdf, 1), precondition_error);
+}
+
+TEST(ReadySeriesCsvTest, OneColumnPerNode) {
+    ready_time_series a;
+    a.node = "hot";
+    a.hourly_ms = {1.0, std::numeric_limits<double>::quiet_NaN(), 3.0};
+    ready_time_series b;
+    b.node = "warm";
+    b.hourly_ms = {4.0, 5.0, 6.0};
+    const std::vector<ready_time_series> series{a, b};
+    std::ostringstream os;
+    write_ready_series_csv(os, series);
+    std::istringstream is(os.str());
+    std::string line;
+    std::getline(is, line);
+    EXPECT_EQ(line, "hour,hot,warm");
+    std::getline(is, line);
+    EXPECT_EQ(line, "0,1,4");
+    std::getline(is, line);
+    EXPECT_EQ(line, "1,,5");  // NaN blank
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+    table_printer table({"name", "value"});
+    table.add_row({"x", "1"});
+    table.add_row({"longer-name", "22"});
+    const std::string out = table.to_string();
+    std::istringstream is(out);
+    std::string header, sep, row1, row2;
+    std::getline(is, header);
+    std::getline(is, sep);
+    std::getline(is, row1);
+    std::getline(is, row2);
+    EXPECT_EQ(header.size(), row1.size());
+    EXPECT_EQ(row1.size(), row2.size());
+    EXPECT_NE(header.find("name"), std::string::npos);
+    EXPECT_NE(row2.find("longer-name"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RejectsMismatchedRows) {
+    table_printer table({"a", "b"});
+    EXPECT_THROW(table.add_row({"only-one"}), precondition_error);
+    EXPECT_THROW(table_printer({}), precondition_error);
+}
+
+TEST(FormatHelpersTest, Rounding) {
+    EXPECT_EQ(format_double(3.14159, 2), "3.14");
+    EXPECT_EQ(format_double(3.14159), "3.1");
+    EXPECT_EQ(format_count(1234.4), "1234");
+    EXPECT_EQ(format_count(1234.6), "1235");
+}
+
+}  // namespace
+}  // namespace sci

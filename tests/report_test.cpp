@@ -1,0 +1,71 @@
+// Tests for core/report: the markdown report generator.
+
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sci {
+namespace {
+
+sim_engine& shared_report_engine() {
+    static sim_engine* engine = [] {
+        engine_config config;
+        config.scenario.scale = 0.015;
+        config.scenario.seed = 99;
+        config.sampling_interval = 1800;
+        auto* e = new sim_engine(config);
+        e->run();
+        return e;
+    }();
+    return *engine;
+}
+
+TEST(ReportTest, ContainsEveryPaperArtifactSection) {
+    const std::string report = markdown_report(shared_report_engine());
+    for (const char* heading :
+         {"Figure 5", "Figure 6", "Figure 7", "Figure 8", "Figure 9",
+          "Figure 10", "Figure 11", "Figure 12", "Figure 13", "Figure 14",
+          "Figure 15", "Tables 1-2", "Scheduling events"}) {
+        EXPECT_NE(report.find(heading), std::string::npos) << heading;
+    }
+}
+
+TEST(ReportTest, ContainsRunStatistics) {
+    sim_engine& engine = shared_report_engine();
+    const std::string report = markdown_report(engine);
+    EXPECT_NE(report.find(std::to_string(engine.stats().placements) +
+                          " placements"),
+              std::string::npos);
+    EXPECT_NE(report.find(std::to_string(engine.stats().scrapes) + " scrapes"),
+              std::string::npos);
+}
+
+TEST(ReportTest, HeatmapsCanBeDisabled) {
+    report_options options;
+    options.include_heatmaps = false;
+    const std::string without =
+        markdown_report(shared_report_engine(), options);
+    options.include_heatmaps = true;
+    const std::string with = markdown_report(shared_report_engine(), options);
+    EXPECT_LT(without.size(), with.size());
+    EXPECT_EQ(without.find("```"), std::string::npos);
+    EXPECT_NE(with.find("```"), std::string::npos);
+}
+
+TEST(ReportTest, CustomTitleUsed) {
+    report_options options;
+    options.title = "My Custom Reproduction Title";
+    options.include_heatmaps = false;
+    const std::string report =
+        markdown_report(shared_report_engine(), options);
+    EXPECT_TRUE(report.starts_with("# My Custom Reproduction Title"));
+}
+
+TEST(ReportTest, IsDeterministic) {
+    const std::string a = markdown_report(shared_report_engine());
+    const std::string b = markdown_report(shared_report_engine());
+    EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace sci

@@ -1,0 +1,226 @@
+// Tests for simcore/rng: deterministic named streams and distribution
+// helpers.  Determinism is load-bearing — every reproduced figure depends
+// on it (DESIGN.md §4).
+
+#include "simcore/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+namespace {
+
+TEST(SplitmixTest, KnownAvalanche) {
+    // different inputs must map to different outputs
+    std::set<std::uint64_t> outputs;
+    for (std::uint64_t i = 0; i < 1000; ++i) outputs.insert(splitmix64(i));
+    EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(Fnv1aTest, DistinctStrings) {
+    EXPECT_NE(fnv1a("cpu"), fnv1a("memory"));
+    EXPECT_NE(fnv1a("a"), fnv1a("b"));
+    EXPECT_EQ(fnv1a("behavior"), fnv1a("behavior"));
+}
+
+TEST(RngStreamTest, SameSeedAndNameReproduces) {
+    rng_stream a(42, "workload");
+    rng_stream b(42, "workload");
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+    }
+}
+
+TEST(RngStreamTest, DifferentNamesAreIndependent) {
+    rng_stream a(42, "workload");
+    rng_stream b(42, "lifetime");
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++equal;
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(RngStreamTest, DifferentSeedsDiffer) {
+    rng_stream a(1, "x");
+    rng_stream b(2, "x");
+    EXPECT_NE(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(RngStreamTest, ChildIsPureFunctionOfIndex) {
+    rng_stream parent(42, "vms");
+    rng_stream c1 = parent.child(17);
+    // drawing from the parent must not change what child(17) produces
+    parent.uniform(0.0, 1.0);
+    rng_stream c2 = parent.child(17);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_DOUBLE_EQ(c1.uniform(0.0, 1.0), c2.uniform(0.0, 1.0));
+    }
+}
+
+TEST(RngStreamTest, ChildrenAreIndependent) {
+    rng_stream parent(42, "vms");
+    rng_stream a = parent.child(0);
+    rng_stream b = parent.child(1);
+    EXPECT_NE(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(RngStreamTest, UniformBounds) {
+    rng_stream rng(7, "bounds");
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(RngStreamTest, UniformIntInclusive) {
+    rng_stream rng(7, "ints");
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t v = rng.uniform_int(1, 3);
+        EXPECT_GE(v, 1);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 3u);  // all values reachable
+}
+
+TEST(RngStreamTest, ChanceExtremes) {
+    rng_stream rng(7, "chance");
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(RngStreamTest, ChanceApproximatesProbability) {
+    rng_stream rng(7, "chance-p");
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.chance(0.3)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngStreamTest, ClampedNormalRespectsBounds) {
+    rng_stream rng(7, "clamped");
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.clamped_normal(0.5, 10.0, 0.0, 1.0);
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+    }
+}
+
+TEST(RngStreamTest, NormalMoments) {
+    rng_stream rng(7, "normal");
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngStreamTest, ExponentialMean) {
+    rng_stream rng(7, "exp");
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) sum += rng.exponential_mean(10.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.3);
+}
+
+TEST(RngStreamTest, LognormalMedian) {
+    rng_stream rng(7, "lognorm");
+    std::vector<double> v;
+    const int n = 20001;
+    v.reserve(n);
+    for (int i = 0; i < n; ++i) v.push_back(rng.lognormal(2.0, 0.5));
+    std::nth_element(v.begin(), v.begin() + n / 2, v.end());
+    EXPECT_NEAR(v[n / 2], std::exp(2.0), 0.15);
+}
+
+// --- bounded Pareto property tests over several alphas -------------------
+
+class BoundedParetoTest : public testing::TestWithParam<double> {};
+
+TEST_P(BoundedParetoTest, StaysWithinBounds) {
+    rng_stream rng(11, "pareto");
+    const double alpha = GetParam();
+    for (int i = 0; i < 2000; ++i) {
+        const double v = rng.bounded_pareto(alpha, 1.0, 100.0);
+        EXPECT_GE(v, 1.0);
+        EXPECT_LE(v, 100.0);
+    }
+}
+
+TEST_P(BoundedParetoTest, HeavierTailForSmallerAlpha) {
+    const double alpha = GetParam();
+    rng_stream rng(11, "pareto-tail");
+    int above_10 = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.bounded_pareto(alpha, 1.0, 100.0) > 10.0) ++above_10;
+    }
+    // tail probability P(X > 10) for truncated pareto; just check monotone
+    // sanity: smaller alpha => more mass above 10 than alpha + 1
+    rng_stream rng2(11, "pareto-tail2");
+    int above_10_heavier_alpha = 0;
+    for (int i = 0; i < n; ++i) {
+        if (rng2.bounded_pareto(alpha + 1.0, 1.0, 100.0) > 10.0) {
+            ++above_10_heavier_alpha;
+        }
+    }
+    EXPECT_GE(above_10, above_10_heavier_alpha);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, BoundedParetoTest,
+                         testing::Values(0.5, 0.8, 1.2, 2.0, 3.0));
+
+TEST(BoundedParetoTest, RejectsBadArguments) {
+    rng_stream rng(1, "bad");
+    EXPECT_THROW(rng.bounded_pareto(-1.0, 1.0, 2.0), precondition_error);
+    EXPECT_THROW(rng.bounded_pareto(1.0, 0.0, 2.0), precondition_error);
+    EXPECT_THROW(rng.bounded_pareto(1.0, 3.0, 2.0), precondition_error);
+}
+
+TEST(PickWeightedTest, RespectsWeights) {
+    rng_stream rng(13, "weights");
+    const std::array<double, 3> weights{1.0, 0.0, 3.0};
+    std::array<int, 3> counts{};
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) ++counts[rng.pick_weighted(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(PickWeightedTest, SingleBucket) {
+    rng_stream rng(13, "one");
+    const std::array<double, 1> weights{2.5};
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.pick_weighted(weights), 0u);
+}
+
+TEST(PickWeightedTest, RejectsBadInput) {
+    rng_stream rng(13, "bad");
+    EXPECT_THROW(rng.pick_weighted({}), precondition_error);
+    const std::array<double, 2> negative{1.0, -1.0};
+    EXPECT_THROW(rng.pick_weighted(negative), precondition_error);
+    const std::array<double, 2> zeros{0.0, 0.0};
+    EXPECT_THROW(rng.pick_weighted(zeros), precondition_error);
+}
+
+TEST(RngRegistryTest, HandsOutReproducibleStreams) {
+    rng_registry reg(99);
+    rng_stream a = reg.stream("foo");
+    rng_stream b = reg.stream("foo");
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+    EXPECT_EQ(reg.master_seed(), 99u);
+}
+
+}  // namespace
+}  // namespace sci

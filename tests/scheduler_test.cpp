@@ -1,0 +1,168 @@
+// Tests for sched/scheduler: the filter+weigher pipeline of Figure 3.
+
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+namespace {
+
+flavor gp_flavor(core_count vcpus = 4, double ram_gib = 32) {
+    return flavor{.id = flavor_id(0), .name = "f", .vcpus = vcpus,
+                  .ram_mib = gib_to_mib(ram_gib), .disk_gib = 50.0};
+}
+
+host_state make_host(std::int32_t bb, core_count vcpus_used,
+                     double ram_used_gib) {
+    host_state h;
+    h.bb = bb_id(bb);
+    h.az = az_id(0);
+    h.dc = dc_id(0);
+    h.purpose = bb_purpose::general;
+    h.node_count = 4;
+    h.total_pcpus = 4 * 96;
+    h.total_ram_mib = 4 * gib_to_mib(1024);
+    h.total_disk_gib = 4 * 7680.0;
+    h.cpu_allocation_ratio = 4.0;
+    h.ram_allocation_ratio = 1.0;
+    h.vcpus_used = vcpus_used;
+    h.ram_used_mib = gib_to_mib(ram_used_gib);
+    return h;
+}
+
+schedule_request make_request(placement_policy policy = placement_policy::spread) {
+    schedule_request r;
+    r.vm = vm_id(0);
+    r.flavor = flavor_id(0);
+    r.project = project_id(0);
+    r.policy = policy;
+    return r;
+}
+
+TEST(FilterSchedulerTest, RanksEmptierHostsFirstUnderSpread) {
+    const filter_scheduler scheduler = make_default_scheduler();
+    const flavor f = gp_flavor();
+    const schedule_request req = make_request();
+    const request_context ctx{req, f};
+    std::vector<host_state> hosts{make_host(0, 800, 3000), make_host(1, 0, 0),
+                                  make_host(2, 400, 1500)};
+    const auto result = scheduler.select_destinations(ctx, hosts, 3);
+    ASSERT_EQ(result.size(), 3u);
+    EXPECT_EQ(result[0], bb_id(1));
+    EXPECT_EQ(result[1], bb_id(2));
+    EXPECT_EQ(result[2], bb_id(0));
+}
+
+TEST(FilterSchedulerTest, RanksFullerHostsFirstUnderPack) {
+    const filter_scheduler scheduler = make_default_scheduler();
+    const flavor f = gp_flavor();
+    const schedule_request req = make_request(placement_policy::pack);
+    const request_context ctx{req, f};
+    std::vector<host_state> hosts{make_host(0, 800, 3000), make_host(1, 0, 0)};
+    const auto result = scheduler.select_destinations(ctx, hosts, 2);
+    ASSERT_EQ(result.size(), 2u);
+    EXPECT_EQ(result[0], bb_id(0));
+}
+
+TEST(FilterSchedulerTest, FiltersEliminateFullHosts) {
+    const filter_scheduler scheduler = make_default_scheduler();
+    const flavor f = gp_flavor(4, 32);
+    const schedule_request req = make_request();
+    const request_context ctx{req, f};
+    // host 0 has no RAM left
+    std::vector<host_state> hosts{make_host(0, 0, 4096), make_host(1, 0, 0)};
+    const auto result = scheduler.select_destinations(ctx, hosts, 5);
+    ASSERT_EQ(result.size(), 1u);
+    EXPECT_EQ(result[0], bb_id(1));
+}
+
+TEST(FilterSchedulerTest, NoValidHostYieldsEmpty) {
+    const filter_scheduler scheduler = make_default_scheduler();
+    const flavor f = gp_flavor(10000, 32);  // impossible
+    const schedule_request req = make_request();
+    const request_context ctx{req, f};
+    std::vector<host_state> hosts{make_host(0, 0, 0), make_host(1, 0, 0)};
+    EXPECT_TRUE(scheduler.select_destinations(ctx, hosts, 5).empty());
+}
+
+TEST(FilterSchedulerTest, MaxCandidatesCapsResult) {
+    const filter_scheduler scheduler = make_default_scheduler();
+    const flavor f = gp_flavor();
+    const schedule_request req = make_request();
+    const request_context ctx{req, f};
+    std::vector<host_state> hosts;
+    for (int i = 0; i < 10; ++i) {
+        hosts.push_back(make_host(i, i * 10, i * 100.0));
+    }
+    EXPECT_EQ(scheduler.select_destinations(ctx, hosts, 3).size(), 3u);
+    EXPECT_EQ(scheduler.select_destinations(ctx, hosts, 100).size(), 10u);
+}
+
+TEST(FilterSchedulerTest, ZeroMaxCandidatesThrows) {
+    const filter_scheduler scheduler = make_default_scheduler();
+    const flavor f = gp_flavor();
+    const schedule_request req = make_request();
+    const request_context ctx{req, f};
+    std::vector<host_state> hosts{make_host(0, 0, 0)};
+    EXPECT_THROW(scheduler.select_destinations(ctx, hosts, 0),
+                 precondition_error);
+}
+
+TEST(FilterSchedulerTest, TraceRecordsEliminations) {
+    const filter_scheduler scheduler = make_default_scheduler();
+    const flavor f = gp_flavor(4, 32);
+    const schedule_request req = make_request();
+    const request_context ctx{req, f};
+    std::vector<host_state> hosts{make_host(0, 0, 4096),  // compute-filtered
+                                  make_host(1, 0, 0)};
+    host_state hana = make_host(2, 0, 0);
+    hana.purpose = bb_purpose::hana;  // purpose-filtered
+    hosts.push_back(hana);
+
+    filter_trace trace;
+    scheduler.select_destinations(ctx, hosts, 5, &trace);
+    EXPECT_EQ(trace.survivors, 1u);
+    std::size_t eliminated_total = 0;
+    for (const auto& [name, n] : trace.eliminated) eliminated_total += n;
+    EXPECT_EQ(eliminated_total, 2u);
+}
+
+TEST(FilterSchedulerTest, DeterministicTieBreakById) {
+    const filter_scheduler scheduler = make_default_scheduler();
+    const flavor f = gp_flavor();
+    const schedule_request req = make_request();
+    const request_context ctx{req, f};
+    // identical hosts: weighers all tie, fall back to bb id ordering
+    std::vector<host_state> hosts{make_host(3, 0, 0), make_host(1, 0, 0),
+                                  make_host(2, 0, 0)};
+    const auto result = scheduler.select_destinations(ctx, hosts, 3);
+    ASSERT_EQ(result.size(), 3u);
+    EXPECT_EQ(result[0], bb_id(1));
+    EXPECT_EQ(result[1], bb_id(2));
+    EXPECT_EQ(result[2], bb_id(3));
+}
+
+TEST(FilterSchedulerTest, EmptyHostListYieldsEmpty) {
+    const filter_scheduler scheduler = make_default_scheduler();
+    const flavor f = gp_flavor();
+    const schedule_request req = make_request();
+    const request_context ctx{req, f};
+    EXPECT_TRUE(scheduler.select_destinations(ctx, {}, 5).empty());
+}
+
+TEST(FilterSchedulerTest, AzConstraintHonored) {
+    const filter_scheduler scheduler = make_default_scheduler();
+    const flavor f = gp_flavor();
+    schedule_request req = make_request();
+    req.az = az_id(7);
+    const request_context ctx{req, f};
+    std::vector<host_state> hosts{make_host(0, 0, 0)};
+    EXPECT_TRUE(scheduler.select_destinations(ctx, hosts, 5).empty());
+    hosts[0].az = az_id(7);
+    EXPECT_EQ(scheduler.select_destinations(ctx, hosts, 5).size(), 1u);
+}
+
+}  // namespace
+}  // namespace sci

@@ -1,0 +1,209 @@
+// Tests for sched/server_group: affinity / anti-affinity scheduling.
+
+#include "sched/server_group.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sched/scheduler.hpp"
+
+#include "simcore/error.hpp"
+
+namespace sci {
+namespace {
+
+struct group_fixture {
+    placement_service placement;
+    server_group_registry groups;
+    flavor small{.id = flavor_id(0), .name = "s", .vcpus = 2,
+                 .ram_mib = gib_to_mib(8), .disk_gib = 10.0};
+
+    group_fixture() {
+        for (int i = 0; i < 3; ++i) {
+            placement.register_provider(
+                bb_id(i), provider_inventory{96, gib_to_mib(1024), 1000.0,
+                                             4.0, 1.0});
+        }
+    }
+
+    host_state host(std::int32_t bb) const {
+        host_state h;
+        h.bb = bb_id(bb);
+        h.total_pcpus = 96;
+        h.total_ram_mib = gib_to_mib(1024);
+        h.total_disk_gib = 1000.0;
+        h.cpu_allocation_ratio = 4.0;
+        return h;
+    }
+
+    request_context context(schedule_request& req) const {
+        return request_context{req, small};
+    }
+};
+
+TEST(ServerGroupRegistryTest, CreateAndMembership) {
+    server_group_registry groups;
+    const group_id ha = groups.create("ha-app", group_policy::anti_affinity);
+    EXPECT_EQ(groups.policy_of(ha), group_policy::anti_affinity);
+    EXPECT_EQ(groups.name_of(ha), "ha-app");
+    EXPECT_TRUE(groups.members(ha).empty());
+
+    groups.add_member(ha, vm_id(1));
+    groups.add_member(ha, vm_id(2));
+    EXPECT_EQ(groups.members(ha).size(), 2u);
+    EXPECT_EQ(groups.group_of(vm_id(1)), ha);
+    EXPECT_FALSE(groups.group_of(vm_id(9)).has_value());
+
+    groups.remove_member(vm_id(1));
+    EXPECT_EQ(groups.members(ha).size(), 1u);
+    EXPECT_FALSE(groups.group_of(vm_id(1)).has_value());
+}
+
+TEST(ServerGroupRegistryTest, Validation) {
+    server_group_registry groups;
+    EXPECT_THROW(groups.create("", group_policy::affinity), precondition_error);
+    EXPECT_THROW(groups.policy_of(group_id(5)), precondition_error);
+    const group_id g = groups.create("g", group_policy::affinity);
+    groups.add_member(g, vm_id(1));
+    EXPECT_THROW(groups.add_member(g, vm_id(1)), precondition_error);
+    EXPECT_THROW(groups.remove_member(vm_id(7)), precondition_error);
+}
+
+TEST(ServerGroupFilterTest, NoGroupPassesEverywhere) {
+    group_fixture fx;
+    const server_group_filter filter(fx.groups, fx.placement);
+    schedule_request req;
+    req.vm = vm_id(0);
+    req.flavor = fx.small.id;
+    EXPECT_TRUE(filter.passes(fx.host(0), fx.context(req)));
+}
+
+TEST(ServerGroupFilterTest, AntiAffinityRejectsOccupiedHosts) {
+    group_fixture fx;
+    const group_id ha = fx.groups.create("ha", group_policy::anti_affinity);
+    fx.groups.add_member(ha, vm_id(1));
+    fx.groups.add_member(ha, vm_id(2));
+    fx.placement.claim(vm_id(1), bb_id(0), fx.small);
+
+    schedule_request req;
+    req.vm = vm_id(2);
+    req.flavor = fx.small.id;
+    req.group = ha;
+    const server_group_filter filter(fx.groups, fx.placement);
+    EXPECT_FALSE(filter.passes(fx.host(0), fx.context(req)));
+    EXPECT_TRUE(filter.passes(fx.host(1), fx.context(req)));
+    EXPECT_TRUE(filter.passes(fx.host(2), fx.context(req)));
+}
+
+TEST(ServerGroupFilterTest, AffinityRequiresCoLocation) {
+    group_fixture fx;
+    const group_id pair = fx.groups.create("pair", group_policy::affinity);
+    fx.groups.add_member(pair, vm_id(1));
+    fx.groups.add_member(pair, vm_id(2));
+
+    schedule_request req;
+    req.vm = vm_id(1);
+    req.flavor = fx.small.id;
+    req.group = pair;
+    const server_group_filter filter(fx.groups, fx.placement);
+    // no member placed yet: anywhere goes
+    EXPECT_TRUE(filter.passes(fx.host(0), fx.context(req)));
+    EXPECT_TRUE(filter.passes(fx.host(1), fx.context(req)));
+
+    fx.placement.claim(vm_id(1), bb_id(1), fx.small);
+    req.vm = vm_id(2);
+    EXPECT_FALSE(filter.passes(fx.host(0), fx.context(req)));
+    EXPECT_TRUE(filter.passes(fx.host(1), fx.context(req)));
+}
+
+TEST(ServerGroupFilterTest, SoftAntiAffinityNeverFilters) {
+    group_fixture fx;
+    const group_id soft = fx.groups.create("soft", group_policy::soft_anti_affinity);
+    fx.groups.add_member(soft, vm_id(1));
+    fx.groups.add_member(soft, vm_id(2));
+    fx.placement.claim(vm_id(1), bb_id(0), fx.small);
+
+    schedule_request req;
+    req.vm = vm_id(2);
+    req.flavor = fx.small.id;
+    req.group = soft;
+    const server_group_filter filter(fx.groups, fx.placement);
+    EXPECT_TRUE(filter.passes(fx.host(0), fx.context(req)));
+}
+
+TEST(ServerGroupFilterTest, RequestingVmIgnoresItself) {
+    group_fixture fx;
+    const group_id ha = fx.groups.create("ha", group_policy::anti_affinity);
+    fx.groups.add_member(ha, vm_id(1));
+    fx.placement.claim(vm_id(1), bb_id(0), fx.small);
+
+    // re-scheduling the same VM (e.g. migration) must not self-conflict
+    schedule_request req;
+    req.vm = vm_id(1);
+    req.flavor = fx.small.id;
+    req.group = ha;
+    const server_group_filter filter(fx.groups, fx.placement);
+    EXPECT_TRUE(filter.passes(fx.host(0), fx.context(req)));
+}
+
+TEST(ServerGroupWeigherTest, PrefersHostsWithFewerMembers) {
+    group_fixture fx;
+    const group_id soft = fx.groups.create("soft", group_policy::soft_anti_affinity);
+    for (int i = 1; i <= 3; ++i) fx.groups.add_member(soft, vm_id(i));
+    fx.placement.claim(vm_id(1), bb_id(0), fx.small);
+    fx.placement.claim(vm_id(2), bb_id(0), fx.small);
+
+    schedule_request req;
+    req.vm = vm_id(3);
+    req.flavor = fx.small.id;
+    req.group = soft;
+    const server_group_weigher weigher(fx.groups, fx.placement);
+    EXPECT_LT(weigher.raw(fx.host(0), fx.context(req)),
+              weigher.raw(fx.host(1), fx.context(req)));
+    EXPECT_DOUBLE_EQ(weigher.raw(fx.host(1), fx.context(req)), 0.0);
+}
+
+TEST(ServerGroupSchedulerTest, EndToEndAntiAffinitySpread) {
+    group_fixture fx;
+    const group_id ha = fx.groups.create("ha", group_policy::anti_affinity);
+    for (int i = 0; i < 3; ++i) fx.groups.add_member(ha, vm_id(i));
+
+    // scheduler with the server-group filter appended
+    auto filters = make_default_filters();
+    filters.push_back(
+        std::make_unique<server_group_filter>(fx.groups, fx.placement));
+    filter_scheduler scheduler(std::move(filters), make_spread_weighers(),
+                               make_pack_weighers());
+
+    std::vector<host_state> hosts{fx.host(0), fx.host(1), fx.host(2)};
+    std::set<std::int32_t> used;
+    for (int i = 0; i < 3; ++i) {
+        // refresh the host view with current usage
+        for (host_state& h : hosts) {
+            h.vcpus_used = fx.placement.usage(h.bb).vcpus_used;
+            h.ram_used_mib = fx.placement.usage(h.bb).ram_used_mib;
+            h.instances = fx.placement.usage(h.bb).instances;
+        }
+        schedule_request req;
+        req.vm = vm_id(i);
+        req.flavor = fx.small.id;
+        req.group = ha;
+        const auto ranked =
+            scheduler.select_destinations(request_context{req, fx.small}, hosts, 1);
+        ASSERT_FALSE(ranked.empty());
+        fx.placement.claim(vm_id(i), ranked[0], fx.small);
+        EXPECT_TRUE(used.insert(ranked[0].value()).second)
+            << "replica " << i << " landed on an occupied BB";
+    }
+    EXPECT_EQ(used.size(), 3u);
+}
+
+TEST(GroupPolicyTest, ToString) {
+    EXPECT_EQ(to_string(group_policy::affinity), "affinity");
+    EXPECT_EQ(to_string(group_policy::anti_affinity), "anti-affinity");
+    EXPECT_EQ(to_string(group_policy::soft_anti_affinity), "soft-anti-affinity");
+}
+
+}  // namespace
+}  // namespace sci

@@ -1,0 +1,207 @@
+// Randomized stress / property tests: invariants must survive arbitrary
+// operation sequences and arbitrary seeds.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/engine.hpp"
+#include "drs/drs.hpp"
+#include "sched/placement.hpp"
+#include "simcore/rng.hpp"
+
+namespace sci {
+namespace {
+
+// --- placement service under random claim/release/move ----------------------
+
+TEST(PlacementStressTest, RandomOperationsPreserveAccounting) {
+    rng_stream rng(2024, "placement-stress");
+    placement_service placement;
+    flavor_catalog catalog;
+    std::vector<flavor_id> flavors;
+    flavors.push_back(catalog.add("a", 2, gib_to_mib(8), 10.0,
+                                  workload_class::general_purpose));
+    flavors.push_back(catalog.add("b", 8, gib_to_mib(64), 50.0,
+                                  workload_class::general_purpose));
+    flavors.push_back(catalog.add("c", 32, gib_to_mib(256), 200.0,
+                                  workload_class::hana_db));
+    for (int i = 0; i < 6; ++i) {
+        placement.register_provider(
+            bb_id(i),
+            provider_inventory{192, gib_to_mib(2048), 10000.0, 4.0, 1.0});
+    }
+
+    vm_registry vms;
+    std::map<vm_id, flavor_id> placed;  // alive allocations
+    int claims = 0, releases = 0, moves = 0;
+    for (int step = 0; step < 5000; ++step) {
+        const double action = rng.uniform(0.0, 1.0);
+        if (action < 0.5 || placed.empty()) {
+            const flavor_id fid =
+                flavors[static_cast<std::size_t>(rng.uniform_int(0, 2))];
+            const vm_id vm = vms.create(fid, project_id(0), 0);
+            const bb_id bb(static_cast<std::int32_t>(rng.uniform_int(0, 5)));
+            try {
+                placement.claim(vm, bb, catalog.get(fid));
+                placed.emplace(vm, fid);
+                ++claims;
+            } catch (const capacity_error&) {
+            }
+        } else if (action < 0.8) {
+            auto it = placed.begin();
+            std::advance(it, rng.uniform_int(
+                                 0, static_cast<std::int64_t>(placed.size()) - 1));
+            placement.release(it->first, catalog.get(it->second));
+            placed.erase(it);
+            ++releases;
+        } else {
+            auto it = placed.begin();
+            std::advance(it, rng.uniform_int(
+                                 0, static_cast<std::int64_t>(placed.size()) - 1));
+            const bb_id to(static_cast<std::int32_t>(rng.uniform_int(0, 5)));
+            try {
+                placement.move(it->first, to, catalog.get(it->second));
+                ++moves;
+            } catch (const capacity_error&) {
+            }
+        }
+
+        // invariant: per-provider usage equals the sum over live allocations
+        if (step % 500 == 0) {
+            std::map<bb_id, provider_usage> expected;
+            for (const auto& [vm, fid] : placed) {
+                const auto bb = placement.allocation_of(vm);
+                ASSERT_TRUE(bb.has_value());
+                const flavor& f = catalog.get(fid);
+                auto& u = expected[*bb];
+                u.vcpus_used += f.vcpus;
+                u.ram_used_mib += f.ram_mib;
+                u.instances += 1;
+            }
+            for (bb_id bb : placement.providers()) {
+                const provider_usage& actual = placement.usage(bb);
+                const provider_usage& want = expected[bb];
+                ASSERT_EQ(actual.vcpus_used, want.vcpus_used);
+                ASSERT_EQ(actual.ram_used_mib, want.ram_used_mib);
+                ASSERT_EQ(actual.instances, want.instances);
+                // capacity never exceeded
+                const provider_inventory& inv = placement.inventory(bb);
+                ASSERT_LE(static_cast<double>(actual.vcpus_used),
+                          inv.total_pcpus * inv.cpu_allocation_ratio);
+                ASSERT_LE(static_cast<double>(actual.ram_used_mib),
+                          static_cast<double>(inv.total_ram_mib) *
+                              inv.ram_allocation_ratio);
+            }
+        }
+    }
+    EXPECT_GT(claims, 100);
+    EXPECT_GT(releases, 100);
+    EXPECT_GT(moves, 10);
+}
+
+// --- DRS cluster under random churn + rebalancing ----------------------------
+
+TEST(DrsStressTest, RandomChurnNeverBreaksReservations) {
+    rng_stream rng(7, "drs-stress");
+    fleet f;
+    const region_id r = f.add_region("r");
+    const dc_id dc = f.add_dc(f.add_az(r, "az"), "dc");
+    const bb_id bb = f.add_bb(dc, "bb", bb_purpose::general,
+                              profiles::general_purpose(), 6);
+    flavor_catalog catalog;
+    const flavor_id fid = catalog.add("s", 4, gib_to_mib(16), 20.0,
+                                      workload_class::general_purpose);
+    const flavor& fl = catalog.get(fid);
+
+    drs_cluster cluster(f.get(bb), {});
+    std::map<vm_id, node_id> where;
+    std::map<vm_id, double> demand;
+    vm_registry vms;
+
+    for (int step = 0; step < 2000; ++step) {
+        const double action = rng.uniform(0.0, 1.0);
+        if (action < 0.5 || where.empty()) {
+            const vm_id vm = vms.create(fid, project_id(0), 0);
+            const auto target = cluster.initial_placement(fl);
+            if (target.has_value()) {
+                cluster.place(vm, fl, *target);
+                where.emplace(vm, *target);
+                demand[vm] = rng.uniform(0.5, 8.0);
+            }
+        } else if (action < 0.8) {
+            auto it = where.begin();
+            std::advance(it, rng.uniform_int(
+                                 0, static_cast<std::int64_t>(where.size()) - 1));
+            cluster.remove(it->first, fl, it->second);
+            demand.erase(it->first);
+            where.erase(it);
+        } else {
+            const auto moves = cluster.rebalance(
+                [&](vm_id vm) { return demand.count(vm) ? demand[vm] : 0.0; },
+                [&](vm_id) -> const flavor& { return fl; });
+            for (const drs_migration& m : moves) {
+                ASSERT_EQ(where[m.vm], m.from);
+                where[m.vm] = m.to;
+            }
+        }
+        if (step % 200 == 0) {
+            // invariant: residency matches our shadow map exactly
+            std::size_t resident_total = 0;
+            for (const node_runtime& nr : cluster.nodes()) {
+                resident_total += nr.vm_count();
+                ASSERT_EQ(nr.reserved_vcpus(),
+                          static_cast<core_count>(nr.vm_count()) * fl.vcpus);
+            }
+            ASSERT_EQ(resident_total, where.size());
+            for (const auto& [vm, node] : where) {
+                ASSERT_TRUE(cluster.node(node).hosts(vm));
+            }
+        }
+    }
+}
+
+// --- whole-engine determinism & invariants across seeds ----------------------
+
+class EngineSeedSweepTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineSeedSweepTest, InvariantsHoldForAnySeed) {
+    engine_config config;
+    config.scenario.scale = 0.012;
+    config.scenario.seed = GetParam();
+    config.sampling_interval = 1800;
+    sim_engine engine(config);
+    engine.run();
+
+    // conservation between placement and node runtimes
+    for (const drs_cluster& cluster : engine.clusters()) {
+        core_count vcpus = 0;
+        std::size_t count = 0;
+        for (const node_runtime& nr : cluster.nodes()) {
+            vcpus += nr.reserved_vcpus();
+            count += nr.vm_count();
+        }
+        const provider_usage& usage = engine.placement().usage(cluster.bb());
+        EXPECT_EQ(vcpus, usage.vcpus_used);
+        EXPECT_EQ(count, static_cast<std::size_t>(usage.instances));
+    }
+    // every metric value within physical bounds
+    for (series_id id :
+         engine.store().select(metric_names::host_cpu_contention)) {
+        const running_stats agg = engine.store().window_aggregate(id);
+        if (agg.empty()) continue;
+        EXPECT_GE(agg.min(), 0.0);
+        EXPECT_LE(agg.max(), 100.0);
+    }
+    // event log consistent with stats
+    EXPECT_EQ(engine.events().count(lifecycle_event_kind::create),
+              engine.stats().placements);
+    EXPECT_EQ(engine.events().count(lifecycle_event_kind::remove),
+              engine.stats().deletions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineSeedSweepTest,
+                         testing::Values(1, 7, 42, 1234, 987654321));
+
+}  // namespace
+}  // namespace sci

@@ -1,0 +1,131 @@
+// Tests for analysis/svg: the dependency-free figure renderer.
+
+#include "analysis/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+namespace sci {
+namespace {
+
+heatmap make_heatmap() {
+    heatmap hm;
+    hm.days = 2;
+    hm.columns = {"a", "b"};
+    hm.cells = {{100.0, 0.0},
+                {50.0, std::numeric_limits<double>::quiet_NaN()}};
+    return hm;
+}
+
+bool is_well_formed_svg(const std::string& svg) {
+    return svg.starts_with("<svg") && svg.find("</svg>") != std::string::npos;
+}
+
+TEST(ViridisTest, EndpointsAndMonotonicity) {
+    EXPECT_EQ(viridis_color(0.0), "#440154");  // dark purple-ish
+    EXPECT_EQ(viridis_color(1.0), "#fde725");  // yellow-ish
+    // clamped outside [0,1]
+    EXPECT_EQ(viridis_color(-5.0), viridis_color(0.0));
+    EXPECT_EQ(viridis_color(5.0), viridis_color(1.0));
+    // distinct stops
+    EXPECT_NE(viridis_color(0.25), viridis_color(0.75));
+}
+
+TEST(SeriesColorTest, PaletteCycles) {
+    EXPECT_EQ(series_color(0), series_color(10));
+    EXPECT_NE(series_color(0), series_color(1));
+}
+
+TEST(HeatmapSvgTest, RendersCellsAndSkipsMissing) {
+    std::ostringstream os;
+    svg_options options;
+    options.title = "Figure 5";
+    write_heatmap_svg(os, make_heatmap(), options);
+    const std::string svg = os.str();
+    EXPECT_TRUE(is_well_formed_svg(svg));
+    EXPECT_NE(svg.find("Figure 5"), std::string::npos);
+    // 3 present cells -> 3 colored rects (+1 background +1 border)
+    std::size_t rects = 0;
+    for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+         pos = svg.find("<rect", pos + 1)) {
+        ++rects;
+    }
+    EXPECT_EQ(rects, 5u);
+    // full cell is yellow (100% -> t=1.0)
+    EXPECT_NE(svg.find("#fde725"), std::string::npos);
+}
+
+TEST(HeatmapSvgTest, EmptyHeatmapStillValid) {
+    std::ostringstream os;
+    write_heatmap_svg(os, heatmap{});
+    EXPECT_TRUE(is_well_formed_svg(os.str()));
+}
+
+TEST(LineChartSvgTest, RendersSeriesWithLegend) {
+    std::ostringstream os;
+    svg_series a{"node-1", {1.0, 2.0, 3.0, 2.0}};
+    svg_series b{"node-2", {0.5, 0.5, 0.5, 0.5}};
+    svg_options options;
+    options.x_label = "hour";
+    options.y_label = "ready ms";
+    write_line_chart_svg(os, {a, b}, options);
+    const std::string svg = os.str();
+    EXPECT_TRUE(is_well_formed_svg(svg));
+    EXPECT_NE(svg.find("node-1"), std::string::npos);
+    EXPECT_NE(svg.find("node-2"), std::string::npos);
+    EXPECT_NE(svg.find("polyline"), std::string::npos);
+    EXPECT_NE(svg.find("ready ms"), std::string::npos);
+}
+
+TEST(LineChartSvgTest, NanBreaksLineIntoSegments) {
+    std::ostringstream os;
+    svg_series s{"gap", {1.0, std::numeric_limits<double>::quiet_NaN(), 3.0,
+                         4.0}};
+    write_line_chart_svg(os, {s});
+    const std::string svg = os.str();
+    std::size_t polylines = 0;
+    for (std::size_t pos = svg.find("<polyline"); pos != std::string::npos;
+         pos = svg.find("<polyline", pos + 1)) {
+        ++polylines;
+    }
+    EXPECT_GE(polylines, 2u);  // the gap splits the line
+}
+
+TEST(LineChartSvgTest, EmptyAndConstantInputsAreValid) {
+    std::ostringstream os;
+    write_line_chart_svg(os, {});
+    EXPECT_TRUE(is_well_formed_svg(os.str()));
+    std::ostringstream os2;
+    write_line_chart_svg(os2, {svg_series{"flat", {5.0, 5.0}}});
+    EXPECT_TRUE(is_well_formed_svg(os2.str()));
+}
+
+TEST(CdfSvgTest, RendersCurveWithThresholds) {
+    vm_utilization_cdf cdf;
+    cdf.sorted_means = {0.1, 0.3, 0.6, 0.9};
+    std::ostringstream os;
+    svg_options options;
+    options.title = "Figure 14a";
+    write_cdf_svg(os, cdf, options);
+    const std::string svg = os.str();
+    EXPECT_TRUE(is_well_formed_svg(svg));
+    EXPECT_NE(svg.find("70%"), std::string::npos);
+    EXPECT_NE(svg.find("85%"), std::string::npos);
+    EXPECT_NE(svg.find("polyline"), std::string::npos);
+}
+
+TEST(SvgEscapingTest, TitleIsEscaped) {
+    std::ostringstream os;
+    svg_options options;
+    options.title = "a < b & c > \"d\"";
+    write_heatmap_svg(os, make_heatmap(), options);
+    const std::string svg = os.str();
+    EXPECT_NE(svg.find("a &lt; b &amp; c &gt; &quot;d&quot;"),
+              std::string::npos);
+    EXPECT_EQ(svg.find("a < b &"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sci

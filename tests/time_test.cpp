@@ -1,0 +1,128 @@
+// Tests for simcore/time: calendar math anchored at the paper's
+// observation start (2024-07-31 00:00:00 UTC, a Wednesday).
+
+#include "simcore/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sci {
+namespace {
+
+TEST(TimeTest, DayIndexAtWindowStart) {
+    EXPECT_EQ(day_index(0), 0);
+    EXPECT_EQ(day_index(1), 0);
+    EXPECT_EQ(day_index(seconds_per_day - 1), 0);
+    EXPECT_EQ(day_index(seconds_per_day), 1);
+}
+
+TEST(TimeTest, DayIndexNegativeUsesFloorDivision) {
+    EXPECT_EQ(day_index(-1), -1);
+    EXPECT_EQ(day_index(-seconds_per_day), -1);
+    EXPECT_EQ(day_index(-seconds_per_day - 1), -2);
+}
+
+TEST(TimeTest, SecondOfDayWrapsPositive) {
+    EXPECT_EQ(second_of_day(0), 0);
+    EXPECT_EQ(second_of_day(61), 61);
+    EXPECT_EQ(second_of_day(seconds_per_day + 5), 5);
+}
+
+TEST(TimeTest, SecondOfDayNonNegativeForNegativeTimes) {
+    EXPECT_EQ(second_of_day(-1), seconds_per_day - 1);
+    EXPECT_EQ(second_of_day(-seconds_per_day), 0);
+}
+
+TEST(TimeTest, HourOfDay) {
+    EXPECT_EQ(hour_of_day(0), 0);
+    EXPECT_EQ(hour_of_day(hours(13) + minutes(59)), 13);
+    EXPECT_EQ(hour_of_day(seconds_per_day - 1), 23);
+}
+
+TEST(TimeTest, ObservationStartIsWednesday) {
+    // 2024-07-31 was a Wednesday (dow 2 with Monday = 0)
+    EXPECT_EQ(day_of_week(0), 2);
+}
+
+TEST(TimeTest, WeekdaysProgress) {
+    EXPECT_EQ(day_of_week(days(1)), 3);  // Thursday
+    EXPECT_EQ(day_of_week(days(2)), 4);  // Friday
+    EXPECT_EQ(day_of_week(days(3)), 5);  // Saturday
+    EXPECT_EQ(day_of_week(days(4)), 6);  // Sunday
+    EXPECT_EQ(day_of_week(days(5)), 0);  // Monday
+    EXPECT_EQ(day_of_week(days(12)), 0); // Monday one week later
+}
+
+TEST(TimeTest, WeekendDetection) {
+    EXPECT_FALSE(is_weekend(0));
+    EXPECT_TRUE(is_weekend(days(3)));
+    EXPECT_TRUE(is_weekend(days(4)));
+    EXPECT_FALSE(is_weekend(days(5)));
+}
+
+TEST(TimeTest, WeekendForNegativeTimes) {
+    // 2024-07-28 (3 days before start) was a Sunday
+    EXPECT_TRUE(is_weekend(-days(3)));
+    // 2024-07-29 Monday
+    EXPECT_FALSE(is_weekend(-days(2)));
+}
+
+TEST(TimeTest, CalendarDateAtStart) {
+    const calendar_date d = to_calendar_date(0);
+    EXPECT_EQ(d, (calendar_date{2024, 7, 31}));
+}
+
+TEST(TimeTest, CalendarDateCrossesMonthBoundary) {
+    EXPECT_EQ(to_calendar_date(days(1)), (calendar_date{2024, 8, 1}));
+    EXPECT_EQ(to_calendar_date(days(31)), (calendar_date{2024, 8, 31}));
+    EXPECT_EQ(to_calendar_date(days(32)), (calendar_date{2024, 9, 1}));
+}
+
+TEST(TimeTest, CalendarDateCrossesYearBoundary) {
+    // 2024-07-31 + 154 days = 2025-01-01
+    EXPECT_EQ(to_calendar_date(days(154)), (calendar_date{2025, 1, 1}));
+}
+
+TEST(TimeTest, CalendarDateBeforeWindow) {
+    EXPECT_EQ(to_calendar_date(-days(1)), (calendar_date{2024, 7, 30}));
+    EXPECT_EQ(to_calendar_date(-days(31)), (calendar_date{2024, 6, 30}));
+    // multiple years back (long-lived VMs of Figure 15)
+    EXPECT_EQ(to_calendar_date(-days(366 + 365)), (calendar_date{2022, 7, 31}));
+}
+
+TEST(TimeTest, LeapYearHandled) {
+    // 2024 is a leap year: 2024-07-31 - 153 days = 2024-02-29
+    EXPECT_EQ(to_calendar_date(-days(153)), (calendar_date{2024, 2, 29}));
+}
+
+TEST(TimeTest, FormatTimestamp) {
+    EXPECT_EQ(format_timestamp(0), "2024-07-31 00:00:00");
+    EXPECT_EQ(format_timestamp(hours(9) + minutes(5) + 7), "2024-07-31 09:05:07");
+    EXPECT_EQ(format_timestamp(days(1) + 59), "2024-08-01 00:00:59");
+}
+
+TEST(TimeTest, FormatDate) {
+    EXPECT_EQ(format_date(0), "2024-07-31");
+    EXPECT_EQ(format_date(days(29)), "2024-08-29");
+}
+
+TEST(TimeTest, FormatDurationPicksUnits) {
+    EXPECT_EQ(format_duration(45), "45 s");
+    EXPECT_EQ(format_duration(minutes(5)), "5.0 min");
+    EXPECT_EQ(format_duration(hours(3)), "3.0 h");
+    EXPECT_EQ(format_duration(days(12)), "12.0 d");
+    EXPECT_EQ(format_duration(days(730)), "2.0 y");
+}
+
+TEST(TimeTest, ObservationWindowIs30Days) {
+    EXPECT_EQ(observation_window, 30 * seconds_per_day);
+    EXPECT_EQ(observation_days, 30);
+}
+
+TEST(TimeTest, DurationHelpers) {
+    EXPECT_EQ(minutes(2), 120);
+    EXPECT_EQ(hours(2), 7200);
+    EXPECT_EQ(days(2), 172800);
+}
+
+}  // namespace
+}  // namespace sci

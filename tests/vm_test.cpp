@@ -1,0 +1,114 @@
+// Tests for infra/vm: VM records, lifecycle semantics, registry queries.
+
+#include "infra/vm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+namespace {
+
+TEST(VmRegistryTest, CreateAssignsSequentialIdsAndNames) {
+    vm_registry vms;
+    const vm_id a = vms.create(flavor_id(0), project_id(1), 100);
+    const vm_id b = vms.create(flavor_id(1), project_id(2), 200);
+    EXPECT_EQ(a.value(), 0);
+    EXPECT_EQ(b.value(), 1);
+    EXPECT_NE(vms.get(a).name, vms.get(b).name);
+    EXPECT_TRUE(vms.get(a).name.starts_with("vm-"));
+    EXPECT_EQ(vms.get(a).state, vm_state::pending);
+    EXPECT_EQ(vms.get(a).created_at, 100);
+    EXPECT_EQ(vms.size(), 2u);
+}
+
+TEST(VmRegistryTest, CreateRejectsInvalidFlavor) {
+    vm_registry vms;
+    EXPECT_THROW(vms.create(flavor_id(), project_id(0), 0), precondition_error);
+}
+
+TEST(VmRegistryTest, GetRejectsUnknownId) {
+    vm_registry vms;
+    EXPECT_THROW(vms.get(vm_id(0)), precondition_error);
+    vms.create(flavor_id(0), project_id(0), 0);
+    EXPECT_THROW(vms.get(vm_id(1)), precondition_error);
+}
+
+TEST(VmRecordTest, AliveSemantics) {
+    vm_record rec{.id = vm_id(0), .flavor = flavor_id(0),
+                  .state = vm_state::active, .created_at = 100};
+    EXPECT_FALSE(rec.alive_at(99));
+    EXPECT_TRUE(rec.alive_at(100));
+    EXPECT_TRUE(rec.alive_at(1000000));
+
+    rec.deleted_at = 500;
+    EXPECT_TRUE(rec.alive_at(499));
+    EXPECT_FALSE(rec.alive_at(500));
+    EXPECT_FALSE(rec.alive_at(501));
+}
+
+TEST(VmRecordTest, ErrorVmsNeverAlive) {
+    vm_record rec{.id = vm_id(0), .flavor = flavor_id(0),
+                  .state = vm_state::error, .created_at = 0};
+    EXPECT_FALSE(rec.alive_at(10));
+}
+
+TEST(VmRecordTest, NegativeCreationTimesSupported) {
+    // VMs created years before the observation window (Figure 15)
+    vm_record rec{.id = vm_id(0), .flavor = flavor_id(0),
+                  .state = vm_state::active, .created_at = -days(700)};
+    EXPECT_TRUE(rec.alive_at(0));
+    EXPECT_FALSE(rec.alive_at(-days(701)));
+    EXPECT_EQ(rec.lifetime(0), days(700));
+}
+
+TEST(VmRecordTest, LifetimeUsesDeletionWhenPresent) {
+    vm_record rec{.id = vm_id(0), .flavor = flavor_id(0),
+                  .state = vm_state::deleted, .created_at = 100};
+    rec.deleted_at = 400;
+    EXPECT_EQ(rec.lifetime(100000), 300);
+}
+
+TEST(VmRecordTest, LifetimeNeverNegative) {
+    vm_record rec{.id = vm_id(0), .flavor = flavor_id(0), .created_at = 500};
+    EXPECT_EQ(rec.lifetime(100), 0);
+}
+
+TEST(VmRegistryTest, CountInState) {
+    vm_registry vms;
+    const vm_id a = vms.create(flavor_id(0), project_id(0), 0);
+    vms.create(flavor_id(0), project_id(0), 0);
+    vms.get_mutable(a).state = vm_state::active;
+    EXPECT_EQ(vms.count_in_state(vm_state::active), 1u);
+    EXPECT_EQ(vms.count_in_state(vm_state::pending), 1u);
+    EXPECT_EQ(vms.count_in_state(vm_state::deleted), 0u);
+}
+
+TEST(VmRegistryTest, AliveAtFiltersStates) {
+    vm_registry vms;
+    const vm_id active = vms.create(flavor_id(0), project_id(0), 0);
+    const vm_id deleted = vms.create(flavor_id(0), project_id(0), 0);
+    const vm_id pending = vms.create(flavor_id(0), project_id(0), 0);
+    const vm_id failed = vms.create(flavor_id(0), project_id(0), 0);
+    vms.get_mutable(active).state = vm_state::active;
+    vms.get_mutable(deleted).state = vm_state::deleted;
+    vms.get_mutable(deleted).deleted_at = 50;
+    vms.get_mutable(failed).state = vm_state::error;
+    (void)pending;
+
+    const auto alive_early = vms.alive_at(10);
+    EXPECT_EQ(alive_early.size(), 2u);  // active + not-yet-deleted
+    const auto alive_late = vms.alive_at(100);
+    ASSERT_EQ(alive_late.size(), 1u);
+    EXPECT_EQ(alive_late[0], active);
+}
+
+TEST(VmStateTest, ToString) {
+    EXPECT_EQ(to_string(vm_state::pending), "pending");
+    EXPECT_EQ(to_string(vm_state::active), "active");
+    EXPECT_EQ(to_string(vm_state::deleted), "deleted");
+    EXPECT_EQ(to_string(vm_state::error), "error");
+}
+
+}  // namespace
+}  // namespace sci

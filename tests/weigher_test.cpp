@@ -1,0 +1,194 @@
+// Tests for sched/weigher: min-max normalization and the pack/spread
+// pipelines of Figure 3.
+
+#include "sched/weigher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/error.hpp"
+
+namespace sci {
+namespace {
+
+flavor gp_flavor() {
+    return flavor{.id = flavor_id(0), .name = "f", .vcpus = 4,
+                  .ram_mib = gib_to_mib(32), .disk_gib = 50.0};
+}
+
+host_state make_host(core_count vcpus_used, double ram_used_gib,
+                     int instances = 0) {
+    host_state h;
+    h.bb = bb_id(0);
+    h.purpose = bb_purpose::general;
+    h.total_pcpus = 96;
+    h.total_ram_mib = gib_to_mib(1024);
+    h.total_disk_gib = 7680.0;
+    h.cpu_allocation_ratio = 4.0;
+    h.ram_allocation_ratio = 1.0;
+    h.vcpus_used = vcpus_used;
+    h.ram_used_mib = gib_to_mib(ram_used_gib);
+    h.instances = instances;
+    return h;
+}
+
+TEST(WeigherRawTest, CpuWeigherPrefersFreeCpu) {
+    const flavor f = gp_flavor();
+    schedule_request req;
+    req.flavor = f.id;
+    const request_context ctx{req, f};
+    EXPECT_GT(cpu_weigher().raw(make_host(0, 0), ctx),
+              cpu_weigher().raw(make_host(100, 0), ctx));
+}
+
+TEST(WeigherRawTest, RamWeigherPrefersFreeRam) {
+    const flavor f = gp_flavor();
+    schedule_request req;
+    const request_context ctx{req, f};
+    EXPECT_GT(ram_weigher().raw(make_host(0, 0), ctx),
+              ram_weigher().raw(make_host(0, 512), ctx));
+}
+
+TEST(WeigherRawTest, DiskWeigher) {
+    const flavor f = gp_flavor();
+    schedule_request req;
+    const request_context ctx{req, f};
+    host_state a = make_host(0, 0);
+    host_state b = make_host(0, 0);
+    b.disk_used_gib = 1000.0;
+    EXPECT_GT(disk_weigher().raw(a, ctx), disk_weigher().raw(b, ctx));
+}
+
+TEST(WeigherRawTest, NumInstancesWeigherPrefersFewer) {
+    const flavor f = gp_flavor();
+    schedule_request req;
+    const request_context ctx{req, f};
+    EXPECT_GT(num_instances_weigher().raw(make_host(0, 0, 1), ctx),
+              num_instances_weigher().raw(make_host(0, 0, 50), ctx));
+}
+
+TEST(WeigherRawTest, ContentionWeigherPrefersCalm) {
+    const flavor f = gp_flavor();
+    schedule_request req;
+    const request_context ctx{req, f};
+    host_state calm = make_host(0, 0);
+    host_state hot = make_host(0, 0);
+    hot.avg_cpu_contention_pct = 30.0;
+    EXPECT_GT(contention_weigher().raw(calm, ctx),
+              contention_weigher().raw(hot, ctx));
+}
+
+TEST(ScoreHostsTest, NormalizesToUnitRange) {
+    const flavor f = gp_flavor();
+    schedule_request req;
+    const request_context ctx{req, f};
+    std::vector<host_state> hosts{make_host(0, 0), make_host(200, 0),
+                                  make_host(384, 0)};
+    std::vector<weighted_weigher> ws;
+    ws.push_back({std::make_unique<cpu_weigher>(), 1.0});
+    const std::vector<double> scores = score_hosts(hosts, ctx, ws);
+    ASSERT_EQ(scores.size(), 3u);
+    EXPECT_DOUBLE_EQ(scores[0], 1.0);  // most free
+    EXPECT_DOUBLE_EQ(scores[2], 0.0);  // least free
+    EXPECT_GT(scores[1], 0.0);
+    EXPECT_LT(scores[1], 1.0);
+}
+
+TEST(ScoreHostsTest, TiedHostsContributeZero) {
+    const flavor f = gp_flavor();
+    schedule_request req;
+    const request_context ctx{req, f};
+    std::vector<host_state> hosts{make_host(10, 0), make_host(10, 0)};
+    std::vector<weighted_weigher> ws;
+    ws.push_back({std::make_unique<cpu_weigher>(), 5.0});
+    const std::vector<double> scores = score_hosts(hosts, ctx, ws);
+    EXPECT_DOUBLE_EQ(scores[0], 0.0);
+    EXPECT_DOUBLE_EQ(scores[1], 0.0);
+}
+
+TEST(ScoreHostsTest, NegativeMultiplierInvertsPreference) {
+    const flavor f = gp_flavor();
+    schedule_request req;
+    const request_context ctx{req, f};
+    std::vector<host_state> hosts{make_host(0, 100), make_host(0, 900)};
+    std::vector<weighted_weigher> ws;
+    ws.push_back({std::make_unique<ram_weigher>(), -1.0});
+    const std::vector<double> scores = score_hosts(hosts, ctx, ws);
+    EXPECT_LT(scores[0], scores[1]);  // fuller host wins at negative weight
+}
+
+TEST(ScoreHostsTest, MultipleWeighersSum) {
+    const flavor f = gp_flavor();
+    schedule_request req;
+    const request_context ctx{req, f};
+    // host0: most free CPU; host1: most free RAM
+    std::vector<host_state> hosts{make_host(0, 900), make_host(300, 0)};
+    std::vector<weighted_weigher> ws;
+    ws.push_back({std::make_unique<cpu_weigher>(), 1.0});
+    ws.push_back({std::make_unique<ram_weigher>(), 1.0});
+    const std::vector<double> scores = score_hosts(hosts, ctx, ws);
+    EXPECT_DOUBLE_EQ(scores[0], 1.0);  // 1 (cpu) + 0 (ram)
+    EXPECT_DOUBLE_EQ(scores[1], 1.0);  // 0 (cpu) + 1 (ram)
+}
+
+TEST(ScoreHostsTest, MultiplierScalesContribution) {
+    const flavor f = gp_flavor();
+    schedule_request req;
+    const request_context ctx{req, f};
+    std::vector<host_state> hosts{make_host(0, 0), make_host(300, 0)};
+    std::vector<weighted_weigher> ws;
+    ws.push_back({std::make_unique<cpu_weigher>(), 2.5});
+    const std::vector<double> scores = score_hosts(hosts, ctx, ws);
+    EXPECT_DOUBLE_EQ(scores[0], 2.5);
+}
+
+TEST(ScoreHostsTest, EmptyHostsOk) {
+    const flavor f = gp_flavor();
+    schedule_request req;
+    const request_context ctx{req, f};
+    std::vector<weighted_weigher> ws;
+    ws.push_back({std::make_unique<cpu_weigher>(), 1.0});
+    EXPECT_TRUE(score_hosts({}, ctx, ws).empty());
+}
+
+TEST(ScoreHostsTest, NullWeigherThrows) {
+    const flavor f = gp_flavor();
+    schedule_request req;
+    const request_context ctx{req, f};
+    std::vector<host_state> hosts{make_host(0, 0)};
+    std::vector<weighted_weigher> ws;
+    ws.push_back({nullptr, 1.0});
+    EXPECT_THROW(score_hosts(hosts, ctx, ws), precondition_error);
+}
+
+TEST(PipelinesTest, SpreadPrefersEmptyHost) {
+    const flavor f = gp_flavor();
+    schedule_request req;
+    const request_context ctx{req, f};
+    std::vector<host_state> hosts{make_host(300, 900, 50), make_host(0, 0, 0)};
+    const auto ws = make_spread_weighers();
+    const std::vector<double> scores = score_hosts(hosts, ctx, ws);
+    EXPECT_GT(scores[1], scores[0]);
+}
+
+TEST(PipelinesTest, PackPrefersFullHost) {
+    const flavor f = gp_flavor();
+    schedule_request req;
+    const request_context ctx{req, f};
+    std::vector<host_state> hosts{make_host(300, 900, 50), make_host(0, 0, 0)};
+    const auto ws = make_pack_weighers();
+    const std::vector<double> scores = score_hosts(hosts, ctx, ws);
+    EXPECT_GT(scores[0], scores[1]);
+}
+
+TEST(PipelinesTest, Names) {
+    EXPECT_EQ(cpu_weigher().name(), "CPUWeigher");
+    EXPECT_EQ(ram_weigher().name(), "RAMWeigher");
+    EXPECT_EQ(disk_weigher().name(), "DiskWeigher");
+    EXPECT_EQ(num_instances_weigher().name(), "NumInstancesWeigher");
+    EXPECT_EQ(contention_weigher().name(), "ContentionWeigher");
+}
+
+}  // namespace
+}  // namespace sci

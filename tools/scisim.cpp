@@ -1,0 +1,241 @@
+// scisim — command-line driver for the SAP Cloud Infrastructure
+// reproduction.
+//
+//   scisim simulate [--scale S] [--seed N] [--out DIR]   run + export dataset
+//   scisim report   [--scale S] [--seed N]               run + key findings
+//   scisim analyze  --out DIR                            analyze an exported
+//                                                        dataset (no sim)
+//   scisim advisor  [--scale S] [--seed N]               overcommit advice
+//   scisim fleet                                         Table 5 overview
+//
+// Scale 1.0 reproduces the paper's full region (1,800 nodes / 48,000 VMs);
+// the default 0.05 runs in seconds on a laptop.
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include <fstream>
+
+#include "analysis/advisor.hpp"
+#include "analysis/figures.hpp"
+#include "analysis/render.hpp"
+#include "core/engine.hpp"
+#include "core/report.hpp"
+#include "data/dataset.hpp"
+
+namespace {
+
+struct cli_options {
+    double scale = 0.05;
+    std::uint64_t seed = 42;
+    std::filesystem::path out_dir = "sci_dataset";
+    std::filesystem::path markdown_file;  ///< report: write markdown here
+};
+
+cli_options parse_options(int argc, char** argv, int first) {
+    cli_options options;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--scale") {
+            options.scale = std::atof(next());
+        } else if (arg == "--seed") {
+            options.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--out") {
+            options.out_dir = next();
+        } else if (arg == "--markdown") {
+            options.markdown_file = next();
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            std::exit(2);
+        }
+    }
+    if (options.scale <= 0.0) {
+        std::cerr << "--scale must be positive\n";
+        std::exit(2);
+    }
+    return options;
+}
+
+sci::sim_engine run_engine(const cli_options& options) {
+    sci::engine_config config;
+    config.scenario.scale = options.scale;
+    config.scenario.seed = options.seed;
+    std::cout << "simulating 30 days at scale " << options.scale << " (seed "
+              << options.seed << ") ...\n";
+    sci::sim_engine engine(config);
+    engine.run();
+    const sci::run_stats& stats = engine.stats();
+    std::cout << "  " << engine.infrastructure().node_count() << " nodes, "
+              << stats.placements << " placements, " << stats.deletions
+              << " deletions, " << stats.drs_migrations << " DRS migrations, "
+              << stats.scrapes << " scrapes\n";
+    return engine;
+}
+
+int cmd_simulate(const cli_options& options) {
+    const sci::sim_engine engine = run_engine(options);
+    std::cout << "exporting dataset to " << options.out_dir << " ...\n";
+    const auto report = sci::export_dataset(engine.store(), options.out_dir);
+    const std::size_t events = sci::export_events_csv(
+        engine.events(), options.out_dir / "events.csv");
+    std::cout << "  " << report.metrics_exported << " metrics, "
+              << report.series_exported << " series, " << report.daily_rows
+              << " daily rows, " << events << " scheduling events\n";
+    return 0;
+}
+
+int cmd_report(const cli_options& options) {
+    sci::sim_engine engine = run_engine(options);
+    if (!options.markdown_file.empty()) {
+        std::ofstream out(options.markdown_file);
+        if (!out.good()) {
+            std::cerr << "cannot write " << options.markdown_file << "\n";
+            return 1;
+        }
+        sci::write_markdown_report(out, engine);
+        std::cout << "wrote markdown report to " << options.markdown_file
+                  << "\n";
+        return 0;
+    }
+    const sci::fleet& fleet = engine.infrastructure();
+    const sci::dc_id dc = fleet.dcs().front().id;
+
+    std::cout << "\n-- Figure 5: % free CPU per node ("
+              << fleet.get(dc).name << ") --\n"
+              << render_heatmap_ascii(
+                     sci::fig5_free_cpu_per_node(engine.store(), fleet, dc));
+
+    double worst_mean = 0.0, worst_max = 0.0;
+    for (const auto& day : sci::fig9_contention_by_day(engine.store())) {
+        worst_mean = std::max(worst_mean, day.mean_pct);
+        worst_max = std::max(worst_max, day.max_pct);
+    }
+    std::cout << "\n-- contention -- worst daily mean "
+              << sci::format_double(worst_mean) << "%, worst node max "
+              << sci::format_double(worst_max) << "% (paper: <5% / >40%)\n";
+
+    const auto cpu = sci::fig14a_cpu_utilization(engine.store());
+    const auto mem = sci::fig14b_memory_utilization(engine.store());
+    std::cout << "-- VM CPU util -- " << sci::format_double(cpu.classes.under_pct)
+              << "% under / " << sci::format_double(cpu.classes.optimal_pct)
+              << "% optimal / " << sci::format_double(cpu.classes.over_pct)
+              << "% over\n";
+    std::cout << "-- VM mem util -- " << sci::format_double(mem.classes.under_pct)
+              << "% under / " << sci::format_double(mem.classes.optimal_pct)
+              << "% optimal / " << sci::format_double(mem.classes.over_pct)
+              << "% over\n";
+
+    std::cout << "-- events -- creates "
+              << engine.events().count(sci::lifecycle_event_kind::create)
+              << ", deletes "
+              << engine.events().count(sci::lifecycle_event_kind::remove)
+              << ", migrations "
+              << engine.events().count(sci::lifecycle_event_kind::migrate)
+              << ", evacuations "
+              << engine.events().count(sci::lifecycle_event_kind::evacuate)
+              << "\n";
+    return 0;
+}
+
+int cmd_analyze(const cli_options& options) {
+    std::cout << "importing dataset from " << options.out_dir << " ...\n";
+    const sci::metric_store store = sci::import_dataset(options.out_dir);
+    std::cout << "  " << store.series_count() << " series, "
+              << store.total_samples() << " samples (daily aggregates)\n\n";
+
+    double worst_mean = 0.0, worst_max = 0.0;
+    for (const auto& day : sci::fig9_contention_by_day(store)) {
+        worst_mean = std::max(worst_mean, day.mean_pct);
+        worst_max = std::max(worst_max, day.max_pct);
+    }
+    std::cout << "-- contention -- worst daily mean "
+              << sci::format_double(worst_mean) << "%, worst node max "
+              << sci::format_double(worst_max) << "%\n";
+    const auto cpu = sci::fig14a_cpu_utilization(store);
+    const auto mem = sci::fig14b_memory_utilization(store);
+    std::cout << "-- VM CPU util -- " << sci::format_double(cpu.classes.under_pct)
+              << "% under / " << sci::format_double(cpu.classes.optimal_pct)
+              << "% optimal / " << sci::format_double(cpu.classes.over_pct)
+              << "% over (" << cpu.classes.vm_count << " VMs)\n";
+    std::cout << "-- VM mem util -- " << sci::format_double(mem.classes.under_pct)
+              << "% under / " << sci::format_double(mem.classes.optimal_pct)
+              << "% optimal / " << sci::format_double(mem.classes.over_pct)
+              << "% over\n";
+    // events, if exported
+    const auto events_file = options.out_dir / "events.csv";
+    if (std::filesystem::exists(events_file)) {
+        const auto events = sci::import_events_csv(events_file);
+        std::cout << "-- events -- " << events.size()
+                  << " scheduling events in events.csv\n";
+    }
+    return 0;
+}
+
+int cmd_advisor(const cli_options& options) {
+    const sci::sim_engine engine = run_engine(options);
+    const auto recs = sci::recommend_cpu_overcommit(
+        engine.store(), engine.infrastructure(), engine.placement(), {});
+    sci::table_printer table({"building block", "purpose", "current ratio",
+                              "p95 util %", "max contention %", "recommended"});
+    for (const auto& r : recs) {
+        table.add_row({r.bb_name, std::string(to_string(r.purpose)),
+                       sci::format_double(r.current_ratio),
+                       sci::format_double(r.observed_p95_util_pct),
+                       sci::format_double(r.observed_max_contention_pct),
+                       sci::format_double(r.recommended_ratio)});
+    }
+    std::cout << "\n" << table.to_string();
+    return 0;
+}
+
+int cmd_fleet() {
+    const sci::scenario global = sci::make_global_scenario();
+    sci::table_printer table({"region", "dc", "hypervisors", "VMs (paper)"});
+    std::size_t index = 0;
+    for (const sci::dc_spec& spec : sci::table5_datacenters()) {
+        const sci::datacenter& dc = global.infrastructure.dcs()[index++];
+        table.add_row({std::to_string(spec.region_id), spec.dc_name,
+                       std::to_string(
+                           global.infrastructure.nodes_of_dc(dc.id).size()),
+                       std::to_string(spec.vms)});
+    }
+    std::cout << table.to_string();
+    return 0;
+}
+
+void usage() {
+    std::cout << "usage: scisim <simulate|report|analyze|advisor|fleet> "
+                 "[--scale S] [--seed N] [--out DIR] [--markdown FILE]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string command = argv[1];
+    try {
+        if (command == "simulate") return cmd_simulate(parse_options(argc, argv, 2));
+        if (command == "report") return cmd_report(parse_options(argc, argv, 2));
+        if (command == "analyze") return cmd_analyze(parse_options(argc, argv, 2));
+        if (command == "advisor") return cmd_advisor(parse_options(argc, argv, 2));
+        if (command == "fleet") return cmd_fleet();
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    usage();
+    return 2;
+}
