@@ -3,8 +3,55 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
+#include <vector>
 
 namespace sci::benchutil {
+
+namespace {
+
+struct bench_result {
+    std::string name;
+    double wall_ms;
+    double samples_per_s;
+};
+
+std::vector<bench_result>& bench_results() {
+    static std::vector<bench_result> results;
+    return results;
+}
+
+void write_bench_json() {
+    const std::vector<bench_result>& results = bench_results();
+    if (results.empty()) return;
+    const char* path = std::getenv("SCI_BENCH_JSON");
+    if (path == nullptr || *path == '\0') path = "BENCH_engine.json";
+    std::FILE* out = std::fopen(path, "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "record_bench: cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(out, "{\n  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        std::fprintf(out,
+                     "    {\"name\": \"%s\", \"wall_ms\": %.3f, "
+                     "\"samples_per_s\": %.0f}%s\n",
+                     results[i].name.c_str(), results[i].wall_ms,
+                     results[i].samples_per_s,
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("[bench] wrote %zu result(s) to %s\n", results.size(), path);
+}
+
+}  // namespace
+
+void record_bench(std::string_view name, double wall_ms, double samples_per_s) {
+    if (bench_results().empty()) std::atexit(write_bench_json);
+    bench_results().push_back(
+        bench_result{std::string(name), wall_ms, samples_per_s});
+}
 
 double env_scale() {
     const char* v = std::getenv("SCI_SCALE");

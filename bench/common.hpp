@@ -31,4 +31,10 @@ sim_engine& shared_engine();
 /// Print the standard bench banner.
 void print_header(std::string_view artifact, std::string_view paper_claim);
 
+/// Record one perf measurement into the run's JSON summary.  Results are
+/// flushed to SCI_BENCH_JSON (default "BENCH_engine.json") at process
+/// exit, as `{"benchmarks": [{"name", "wall_ms", "samples_per_s"}, ...]}`
+/// — the perf trajectory future PRs diff against.
+void record_bench(std::string_view name, double wall_ms, double samples_per_s);
+
 }  // namespace sci::benchutil

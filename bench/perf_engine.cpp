@@ -1,30 +1,62 @@
 // Microbenchmark (google-benchmark): end-to-end engine throughput — how
-// fast the simulator plays the 30-day window at a given fleet scale, and
-// the cost of the individual hot paths (placement, scrape).
+// fast the simulator plays the 30-day window at a given fleet scale, the
+// scaling of the thread-pooled scrape pipeline, and the cost of the
+// individual hot paths (placement, scrape).
+//
+// bm_full_window args are {scale_permille, threads}: threads = 0 runs the
+// serial fallback, N runs the pool.  Output is bit-identical either way
+// (fixed-shard demand reduction), so the axis measures pure speedup.
+// Every full-window result is also recorded into BENCH_engine.json (see
+// benchutil::record_bench) so future PRs can track the trajectory.
 //
 // Full-scale reference: the paper's region (1,800 nodes / 48,000 VMs at
 // 300 s scrape cadence) plays in a few minutes on a laptop.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <limits>
+#include <string>
+
+#include "common.hpp"
 #include "core/engine.hpp"
 
 namespace {
 
 void bm_full_window(benchmark::State& state) {
     const double scale = static_cast<double>(state.range(0)) / 1000.0;
+    const auto threads = static_cast<unsigned>(state.range(1));
+    double best_ms = std::numeric_limits<double>::infinity();
+    double samples_per_s = 0.0;
     for (auto _ : state) {
         sci::engine_config config;
         config.scenario.scale = scale;
         config.scenario.seed = 42;
+        config.threads = threads;
         sci::sim_engine engine(config);
+        const auto begin = std::chrono::steady_clock::now();
         engine.run();
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - begin)
+                .count();
+        if (ms < best_ms) {
+            best_ms = ms;
+            samples_per_s =
+                static_cast<double>(engine.store().total_samples()) /
+                (ms / 1000.0);
+        }
         benchmark::DoNotOptimize(engine.stats().scrapes);
         state.counters["placements"] =
             static_cast<double>(engine.stats().placements);
         state.counters["samples"] =
             static_cast<double>(engine.store().total_samples());
+        state.counters["samples/s"] = samples_per_s;
     }
+    sci::benchutil::record_bench("bm_full_window/scale=" +
+                                     std::to_string(state.range(0)) +
+                                     "m/threads=" + std::to_string(threads),
+                                 best_ms, samples_per_s);
 }
 
 void bm_initial_placement(benchmark::State& state) {
@@ -41,9 +73,11 @@ void bm_initial_placement(benchmark::State& state) {
 
 void bm_single_day(benchmark::State& state) {
     // setup once, then play single days incrementally
+    const auto threads = static_cast<unsigned>(state.range(0));
     sci::engine_config config;
     config.scenario.scale = 0.05;
     config.scenario.seed = 42;
+    config.threads = threads;
     sci::sim_engine engine(config);
     engine.setup();
     sci::sim_time until = 0;
@@ -60,8 +94,19 @@ void bm_single_day(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK(bm_full_window)->Arg(10)->Arg(25)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_full_window)
+    ->Args({25, 0})
+    ->Args({50, 0})
+    ->Args({50, 1})
+    ->Args({50, 2})
+    ->Args({50, 4})
+    ->Args({100, 4})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_initial_placement)->Arg(25)->Arg(50)->Unit(benchmark::kMillisecond);
-BENCHMARK(bm_single_day)->Unit(benchmark::kMillisecond)->Iterations(25);
+BENCHMARK(bm_single_day)
+    ->Arg(0)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(25);
 
 BENCHMARK_MAIN();

@@ -2,10 +2,18 @@
 // query throughput.  The production pipeline sustains samples from 1,800
 // nodes and 48,000 VMs every 30–300 s (Section 4); the store's streaming
 // day/hour compaction is what keeps that tractable.
+//
+// bm_scrape_column mirrors the engine's scrape pipeline shape in
+// isolation: demand evaluation fanned over a worker pool (Arg = threads;
+// 0 = serial) into a column buffer, then appended serially in VM order.
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "simcore/thread_pool.hpp"
 #include "telemetry/store.hpp"
+#include "workload/behavior.hpp"
 
 namespace {
 
@@ -74,9 +82,55 @@ void bm_select(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * series_count);
 }
 
+void bm_scrape_column(benchmark::State& state) {
+    using namespace sci;
+    constexpr std::size_t vm_count = 4096;
+    constexpr unsigned shard_count = 16;  // fixed, as in sim_engine::scrape
+    const auto threads = static_cast<unsigned>(state.range(0));
+    thread_pool pool(threads);
+
+    // synthetic behaviors: the same pure per-instant math the engine runs
+    std::vector<vm_behavior> behaviors(vm_count);
+    for (std::size_t i = 0; i < vm_count; ++i) {
+        behaviors[i].seed = splitmix64(i + 1);
+        behaviors[i].cpu_mean_ratio = 0.2 + 0.5 * static_cast<double>(i % 7) / 7.0;
+        behaviors[i].diurnal_amplitude = 0.4;
+        behaviors[i].bursty = i % 9 == 0;
+    }
+    metric_store store(metric_registry::standard_catalog());
+    std::vector<series_id> ids;
+    ids.reserve(vm_count);
+    for (std::size_t i = 0; i < vm_count; ++i) {
+        ids.push_back(store.open_series(
+            metric_names::vm_cpu_usage_ratio,
+            label_set{{"vm", "vm-" + std::to_string(i)}}));
+    }
+    std::vector<double> column(vm_count);
+
+    sim_time t = 0;
+    for (auto _ : state) {
+        pool.parallel_for(
+            0, shard_count, [&](unsigned, std::size_t s_begin, std::size_t s_end) {
+                for (std::size_t s = s_begin; s < s_end; ++s) {
+                    const auto [lo, hi] = thread_pool::shard(
+                        0, vm_count, static_cast<unsigned>(s), shard_count);
+                    for (std::size_t i = lo; i < hi; ++i) {
+                        column[i] = behaviors[i].cpu_ratio_at(t);
+                    }
+                }
+            });
+        for (std::size_t i = 0; i < vm_count; ++i) {
+            store.append(ids[i], t, column[i]);
+        }
+        t = (t + 300) % observation_window;
+    }
+    state.SetItemsProcessed(state.iterations() * vm_count);
+}
+
 }  // namespace
 
 BENCHMARK(bm_append)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(bm_scrape_column)->Arg(0)->Arg(1)->Arg(2)->Arg(4);
 BENCHMARK(bm_append_hourly_metric);
 BENCHMARK(bm_open_series);
 BENCHMARK(bm_select)->Arg(1000)->Arg(10000);

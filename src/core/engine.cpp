@@ -31,6 +31,7 @@ void sim_engine::setup() {
     setup_providers();
     setup_node_churn();
     build_population();
+    setup_scrape_pipeline();
     place_initial_population();
     schedule_window_events();
     schedule_resizes();
@@ -185,6 +186,61 @@ void sim_engine::build_population() {
                                              scenario_.mix, lifetimes_, vms_);
 }
 
+unsigned sim_engine::worker_threads() const {
+    return config_.threads.value_or(thread_pool::env_threads());
+}
+
+void sim_engine::run_sharded(std::size_t count, const thread_pool::range_fn& fn) {
+    if (pool_ != nullptr) {
+        pool_->parallel_for(0, count, fn);
+    } else if (count > 0) {
+        fn(0, 0, count);
+    }
+}
+
+void sim_engine::setup_scrape_pipeline() {
+    const fleet& f = scenario_.infrastructure;
+    const unsigned workers = worker_threads();
+    if (workers > 0) pool_ = std::make_unique<thread_pool>(workers);
+
+    // Size every id-indexed cache to the whole planned population up
+    // front: the parallel per-VM pass must never resize a shared vector,
+    // and the serial path sheds the lazy-resize branch from its hot loop.
+    const std::size_t population = vms_.size();
+    behavior_cache_.resize(population);
+    behavior_cached_.assign(population, 0);
+    vm_cpu_series_.resize(population);
+    vm_mem_series_.resize(population);
+
+    // Pre-sample every planned VM's behavior.  sample() is pure in
+    // (vm, flavor, project), so the fan-out is deterministic per index.
+    const std::span<const vm_record> records = vms_.all();
+    run_sharded(population, [&](unsigned, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            const vm_record& rec = records[i];
+            const auto idx = static_cast<std::size_t>(rec.id.value());
+            behavior_cache_[idx] = behaviors_.sample(
+                rec.id, scenario_.catalog.get(rec.flavor), rec.project);
+            behavior_cached_[idx] = 1;
+        }
+    });
+
+    shard_demand_.assign(scrape_shard_count,
+                         std::vector<node_demand>(f.node_count()));
+    scrape_nodes_.clear();
+    scrape_nodes_.reserve(f.node_count());
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+        for (const node_runtime& nr : clusters_[c].nodes()) {
+            scrape_nodes_.push_back(
+                scrape_node{&nr, &f.get(nr.id()),
+                            static_cast<std::uint32_t>(nr.id().value()),
+                            static_cast<std::uint32_t>(c)});
+        }
+    }
+    node_snap_buf_.resize(scrape_nodes_.size());
+    node_avail_buf_.resize(scrape_nodes_.size());
+}
+
 void sim_engine::place_initial_population() {
     // place in creation order: the fleet's history replayed
     std::vector<const vm_plan*> order;
@@ -314,6 +370,9 @@ void sim_engine::open_vm_series(const vm_record& rec) {
         vm_cpu_series_.resize(idx + 1);
         vm_mem_series_.resize(idx + 1);
     }
+    // the labels are stable per VM, so a series opened once (e.g. before
+    // an evacuation re-place) needs no repeat store lookup
+    if (vm_cpu_series_[idx].valid()) return;
     const label_set labels{{"vm", rec.name}};
     vm_cpu_series_[idx] =
         store_.open_series(metric_names::vm_cpu_usage_ratio, labels);
@@ -492,60 +551,119 @@ double sim_engine::vm_cpu_demand_cores(vm_id vm, sim_time t) {
 
 void sim_engine::scrape(sim_time t) {
     const fleet& f = scenario_.infrastructure;
-    std::fill(demand_scratch_.begin(), demand_scratch_.end(), node_demand{});
 
-    // --- per-VM demand + VM metrics ------------------------------------
+    // --- stage 0 (serial): snapshot the active set in VM-id order -------
+    scrape_active_.clear();
     for (const vm_record& rec : vms_.all()) {
         if (rec.state != vm_state::active) continue;
-        const flavor& fl = scenario_.catalog.get(rec.flavor);
-        const vm_behavior& b = behavior_of(rec.id);
-        const double cpu_ratio = b.cpu_ratio_at(t);
-        const double mem_ratio = b.mem_ratio_at(t, t - rec.created_at);
-        const auto node_idx = static_cast<std::size_t>(rec.placed_node.value());
-        // pinned-QoS VMs hold dedicated cores; others share the pool
-        const double shared_cores =
-            fl.cpu_pinned ? 0.0 : cpu_ratio * static_cast<double>(fl.vcpus);
-        demand_scratch_[node_idx].add(
-            shared_cores,
-            static_cast<mebibytes>(mem_ratio * static_cast<double>(fl.ram_mib)),
-            b.tx_at(t), b.rx_at(t), b.disk_fill * fl.disk_gib);
-        if (fl.cpu_pinned) {
-            demand_scratch_[node_idx].pinned_cores +=
-                static_cast<double>(fl.vcpus);
-        }
-
         const auto idx = static_cast<std::size_t>(rec.id.value());
-        store_.append(vm_cpu_series_[idx], t, cpu_ratio);
-        store_.append(vm_mem_series_[idx], t, mem_ratio);
+        scrape_active_.push_back(
+            active_vm{rec.id, static_cast<std::uint32_t>(rec.placed_node.value()),
+                      &scenario_.catalog.get(rec.flavor), rec.created_at,
+                      vm_cpu_series_[idx], vm_mem_series_[idx]});
+    }
+    const std::size_t n_active = scrape_active_.size();
+    scrape_cpu_col_.resize(n_active);
+    scrape_mem_col_.resize(n_active);
+
+    // --- stage 1 (parallel): per-VM demand into fixed shards ------------
+    // The active list is split by scrape_shard_count — never by worker
+    // count — so each shard's accumulation order is the same whether the
+    // shards run on 0, 1 or N workers.  Sample values land in per-VM
+    // column slots; nothing shared is written.
+    run_sharded(scrape_shard_count,
+                [&](unsigned, std::size_t s_begin, std::size_t s_end) {
+        for (std::size_t s = s_begin; s < s_end; ++s) {
+            std::vector<node_demand>& scratch = shard_demand_[s];
+            std::fill(scratch.begin(), scratch.end(), node_demand{});
+            const auto [vm_lo, vm_hi] = thread_pool::shard(
+                0, n_active, static_cast<unsigned>(s), scrape_shard_count);
+            for (std::size_t i = vm_lo; i < vm_hi; ++i) {
+                const active_vm& a = scrape_active_[i];
+                const flavor& fl = *a.fl;
+                const vm_behavior& b = behavior_of(a.id);
+                const double cpu_ratio = b.cpu_ratio_at(t);
+                const double mem_ratio = b.mem_ratio_at(t, t - a.created_at);
+                // pinned-QoS VMs hold dedicated cores; others share the pool
+                const double shared_cores =
+                    fl.cpu_pinned ? 0.0
+                                  : cpu_ratio * static_cast<double>(fl.vcpus);
+                node_demand& d = scratch[a.node_idx];
+                d.add(shared_cores,
+                      static_cast<mebibytes>(mem_ratio *
+                                             static_cast<double>(fl.ram_mib)),
+                      b.tx_at(t), b.rx_at(t), b.disk_fill * fl.disk_gib);
+                if (fl.cpu_pinned) {
+                    d.pinned_cores += static_cast<double>(fl.vcpus);
+                }
+                scrape_cpu_col_[i] = cpu_ratio;
+                scrape_mem_col_[i] = mem_ratio;
+            }
+        }
+    });
+
+    // --- stage 2 (parallel): reduce shards per node + node snapshots ----
+    // per node, partials merge in shard order 0..N — a fixed grouping —
+    // and evaluate_node is pure, so snapshots land in disjoint buffer slots
+    run_sharded(scrape_nodes_.size(),
+                [&](unsigned, std::size_t n_begin, std::size_t n_end) {
+        for (std::size_t k = n_begin; k < n_end; ++k) {
+            const scrape_node& sn = scrape_nodes_[k];
+            node_demand total = shard_demand_[0][sn.node_idx];
+            for (unsigned s = 1; s < scrape_shard_count; ++s) {
+                total.merge(shard_demand_[s][sn.node_idx]);
+            }
+            demand_scratch_[sn.node_idx] = total;
+            const bool available = sn.meta->available_at(t);
+            node_avail_buf_[k] = available ? 1 : 0;
+            node_snap_buf_[k] = available
+                                    ? evaluate_node(sn.nr->profile(), total,
+                                                    config_.sampling_interval)
+                                    : node_snapshot{};
+        }
+    });
+
+    // --- stage 3 (serial): append in the canonical order ----------------
+    for (std::size_t i = 0; i < n_active; ++i) {
+        const active_vm& a = scrape_active_[i];
+        store_.append(a.cpu_series, t, scrape_cpu_col_[i]);
+        store_.append(a.mem_series, t, scrape_mem_col_[i]);
     }
 
-    // --- per-node metrics + per-BB contention ---------------------------
-    for (const drs_cluster& cluster : clusters_) {
-        // feed the scheduler the *hottest* node of each BB: mean contention
-        // washes out single noisy-neighbor nodes the filter should react to
-        running_stats bb_contention_stats;
-        for (const node_runtime& nr : cluster.nodes()) {
-            const compute_node& meta = f.get(nr.id());
-            if (!meta.available_at(t)) continue;  // white heatmap cell
-            const auto node_idx = static_cast<std::size_t>(nr.id().value());
-            const node_snapshot snap = evaluate_node(
-                nr.profile(), demand_scratch_[node_idx], config_.sampling_interval);
-            const node_series& s = node_series_[node_idx];
-            store_.append(s.cpu_util, t, snap.cpu_util_pct);
-            store_.append(s.contention, t, snap.cpu_contention_pct);
-            store_.append(s.ready, t, snap.cpu_ready_ms);
-            store_.append(s.mem, t, snap.mem_usage_pct);
-            store_.append(s.tx, t, snap.tx_kbps);
-            store_.append(s.rx, t, snap.rx_kbps);
-            store_.append(s.disk, t, snap.storage_used_gib);
-            bb_contention_stats.add(snap.cpu_contention_pct);
+    // per-node series + per-BB contention; scrape_nodes_ is cluster-major,
+    // so one running_stats accumulates each cluster's available nodes.
+    // Feed the scheduler the *hottest* node of each BB: mean contention
+    // washes out single noisy-neighbor nodes the filter should react to.
+    running_stats bb_contention_stats;
+    std::uint32_t current_cluster = 0;
+    bool have_cluster = false;
+    const auto flush_cluster = [&] {
+        if (!have_cluster || bb_contention_stats.empty()) return;
+        double& ewma = bb_contention_ewma_[static_cast<std::size_t>(
+            clusters_[current_cluster].bb().value())];
+        ewma = 0.7 * ewma + 0.3 * bb_contention_stats.max();
+    };
+    for (std::size_t k = 0; k < scrape_nodes_.size(); ++k) {
+        const scrape_node& sn = scrape_nodes_[k];
+        if (!have_cluster || sn.cluster_idx != current_cluster) {
+            flush_cluster();
+            bb_contention_stats = running_stats{};
+            current_cluster = sn.cluster_idx;
+            have_cluster = true;
         }
-        if (!bb_contention_stats.empty()) {
-            double& ewma =
-                bb_contention_ewma_[static_cast<std::size_t>(cluster.bb().value())];
-            ewma = 0.7 * ewma + 0.3 * bb_contention_stats.max();
-        }
+        if (node_avail_buf_[k] == 0) continue;  // white heatmap cell
+        const node_snapshot& snap = node_snap_buf_[k];
+        const node_series& s = node_series_[sn.node_idx];
+        store_.append(s.cpu_util, t, snap.cpu_util_pct);
+        store_.append(s.contention, t, snap.cpu_contention_pct);
+        store_.append(s.ready, t, snap.cpu_ready_ms);
+        store_.append(s.mem, t, snap.mem_usage_pct);
+        store_.append(s.tx, t, snap.tx_kbps);
+        store_.append(s.rx, t, snap.rx_kbps);
+        store_.append(s.disk, t, snap.storage_used_gib);
+        bb_contention_stats.add(snap.cpu_contention_pct);
     }
+    flush_cluster();
 
     // --- per-BB placement gauges (Nova MySQL exporter) -------------------
     for (const building_block& bb : f.bbs()) {

@@ -31,6 +31,7 @@
 #include "rebalancer/cross_bb.hpp"
 #include "sched/conductor.hpp"
 #include "simcore/event_queue.hpp"
+#include "simcore/thread_pool.hpp"
 #include "telemetry/store.hpp"
 #include "workload/behavior.hpp"
 #include "workload/population.hpp"
@@ -74,6 +75,12 @@ struct engine_config {
     cross_bb_config cross_bb;
     /// Cost model applied to every DRS / cross-BB migration.
     migration_cost_config migration_cost;
+    /// Worker threads for the scrape pipeline.  nullopt reads the
+    /// SCI_THREADS environment variable; 0 evaluates serially.  Output is
+    /// bit-identical at any thread count: demand is sharded by a fixed
+    /// shard count and reduced in shard order, and all store appends stay
+    /// serial in VM/node order (see sim_engine::scrape).
+    std::optional<unsigned> threads;
 };
 
 /// Aggregate counters of one simulation run.
@@ -131,10 +138,14 @@ public:
     /// Instantaneous CPU demand (cores) of a VM at time t.
     double vm_cpu_demand_cores(vm_id vm, sim_time t);
 
+    /// Resolved scrape worker count (config override, else SCI_THREADS).
+    unsigned worker_threads() const;
+
 private:
     void setup_providers();
     void setup_node_churn();
     void build_population();
+    void setup_scrape_pipeline();
     void place_initial_population();
     void schedule_window_events();
 
@@ -186,6 +197,41 @@ private:
     series_id instances_series_;
     std::vector<double> bb_contention_ewma_;  ///< per bb id value
     std::vector<node_demand> demand_scratch_;  ///< per node id value
+
+    // --- parallel scrape pipeline ---------------------------------------
+    // Demand is evaluated in scrape_shard_count fixed shards of the active
+    // VM list regardless of worker count, and shard partials are reduced
+    // in shard order — so the floating-point grouping (and therefore every
+    // emitted sample) is bit-identical whether 0, 1 or N workers run.
+    static constexpr unsigned scrape_shard_count = 16;
+
+    /// Run fn over [0, count) — sharded across the pool, or inline when
+    /// the engine is configured serial.
+    void run_sharded(std::size_t count, const thread_pool::range_fn& fn);
+
+    struct active_vm {
+        vm_id id;
+        std::uint32_t node_idx;    ///< placed node id value
+        const flavor* fl;          ///< hoisted catalog lookup
+        sim_time created_at;
+        series_id cpu_series, mem_series;
+    };
+    struct scrape_node {
+        const node_runtime* nr;
+        const compute_node* meta;
+        std::uint32_t node_idx;     ///< node id value
+        std::uint32_t cluster_idx;  ///< ordinal into clusters_
+    };
+
+    std::unique_ptr<thread_pool> pool_;  ///< null when running serial
+    std::vector<active_vm> scrape_active_;      ///< rebuilt each scrape
+    std::vector<double> scrape_cpu_col_;        ///< per active VM
+    std::vector<double> scrape_mem_col_;        ///< per active VM
+    /// Per fixed shard: one node_demand per node id value.
+    std::vector<std::vector<node_demand>> shard_demand_;
+    std::vector<scrape_node> scrape_nodes_;     ///< cluster-major, built once
+    std::vector<node_snapshot> node_snap_buf_;  ///< per scrape_nodes_ entry
+    std::vector<char> node_avail_buf_;          ///< per scrape_nodes_ entry
 };
 
 }  // namespace sci

@@ -46,6 +46,19 @@ struct node_demand {
         storage_gib += disk;
         ++vm_count;
     }
+
+    /// Fold another partial demand into this one (sharded scrape
+    /// reduction; callers must merge shards in a fixed order so the
+    /// floating-point grouping stays deterministic).
+    void merge(const node_demand& o) {
+        cpu_cores += o.cpu_cores;
+        pinned_cores += o.pinned_cores;
+        mem_mib += o.mem_mib;
+        tx_kbps += o.tx_kbps;
+        rx_kbps += o.rx_kbps;
+        storage_gib += o.storage_gib;
+        vm_count += o.vm_count;
+    }
 };
 
 /// Observable host metrics for one sampling interval.
