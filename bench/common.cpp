@@ -1,5 +1,6 @@
 #include "common.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -21,11 +22,45 @@ std::vector<bench_result>& bench_results() {
     return results;
 }
 
+/// Entries already in the summary file (written by another bench binary
+/// of the same run).  The format is our own, so a line scan suffices.
+std::vector<bench_result> read_existing(const char* path) {
+    std::vector<bench_result> existing;
+    std::FILE* in = std::fopen(path, "r");
+    if (in == nullptr) return existing;
+    char line[512];
+    while (std::fgets(line, sizeof line, in) != nullptr) {
+        char name[256];
+        double wall = 0.0;
+        double rate = 0.0;
+        if (std::sscanf(line,
+                        " {\"name\": \"%255[^\"]\", \"wall_ms\": %lf, "
+                        "\"samples_per_s\": %lf",
+                        name, &wall, &rate) == 3) {
+            existing.push_back(bench_result{name, wall, rate});
+        }
+    }
+    std::fclose(in);
+    return existing;
+}
+
 void write_bench_json() {
-    const std::vector<bench_result>& results = bench_results();
-    if (results.empty()) return;
+    if (bench_results().empty()) return;
     const char* path = std::getenv("SCI_BENCH_JSON");
     if (path == nullptr || *path == '\0') path = "BENCH_engine.json";
+    // merge with what other binaries wrote: same-name entries are
+    // replaced by this process's measurement, the rest are preserved
+    std::vector<bench_result> results = read_existing(path);
+    for (const bench_result& fresh : bench_results()) {
+        const auto it = std::find_if(
+            results.begin(), results.end(),
+            [&](const bench_result& r) { return r.name == fresh.name; });
+        if (it != results.end()) {
+            *it = fresh;
+        } else {
+            results.push_back(fresh);
+        }
+    }
     std::FILE* out = std::fopen(path, "w");
     if (out == nullptr) {
         std::fprintf(stderr, "record_bench: cannot write %s\n", path);

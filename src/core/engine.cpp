@@ -35,6 +35,7 @@ void sim_engine::setup() {
     place_initial_population();
     schedule_window_events();
     schedule_resizes();
+    setup_faults();
 }
 
 void sim_engine::run() {
@@ -227,6 +228,10 @@ void sim_engine::setup_scrape_pipeline() {
 
     shard_demand_.assign(scrape_shard_count,
                          std::vector<node_demand>(f.node_count()));
+    // fault-layer per-node state; inert defaults (no host down, full
+    // capacity) so the zero-fault path computes exactly what it always did
+    node_down_.assign(f.node_count(), 0);
+    node_cpu_factor_.assign(f.node_count(), 1.0);
     scrape_nodes_.clear();
     scrape_nodes_.reserve(f.node_count());
     for (std::size_t c = 0; c < clusters_.size(); ++c) {
@@ -297,8 +302,8 @@ placement_policy sim_engine::policy_for(vm_id vm, const flavor& f) const {
                                                        : placement_policy::pack;
 }
 
-bool sim_engine::place_vm(vm_id vm, sim_time when) {
-    if (config_.holistic) return place_vm_holistic(vm, when);
+bool sim_engine::place_vm(vm_id vm, sim_time when, lifecycle_event_kind kind) {
+    if (config_.holistic) return place_vm_holistic(vm, when, kind);
 
     vm_record& rec = vms_.get_mutable(vm);
     const flavor& f = scenario_.catalog.get(rec.flavor);
@@ -354,10 +359,11 @@ bool sim_engine::place_vm(vm_id vm, sim_time when) {
     rec.state = vm_state::active;
     rec.created_at = std::min(rec.created_at, when);
     ++stats_.placements;
+    active_insert(vm);
 
     open_vm_series(rec);
     events_.record(lifecycle_event{.t = when,
-                                   .kind = lifecycle_event_kind::create,
+                                   .kind = kind,
                                    .vm = vm,
                                    .bb = rec.placed_bb,
                                    .to = rec.placed_node});
@@ -380,7 +386,7 @@ void sim_engine::open_vm_series(const vm_record& rec) {
         store_.open_series(metric_names::vm_memory_consumed_ratio, labels);
 }
 
-void sim_engine::account_migration(vm_id vm, sim_time t) {
+migration_estimate sim_engine::estimate_vm_migration(vm_id vm, sim_time t) {
     const vm_record& rec = vms_.get(vm);
     const flavor& f = scenario_.catalog.get(rec.flavor);
     const auto resident = static_cast<mebibytes>(
@@ -388,14 +394,18 @@ void sim_engine::account_migration(vm_id vm, sim_time t) {
         static_cast<double>(f.ram_mib));
     const double dirty = estimate_dirty_rate(
         vm_cpu_demand_cores(vm, t), f.wclass == workload_class::hana_db);
-    const migration_estimate est =
-        estimate_live_migration(resident, dirty, config_.migration_cost);
+    return estimate_live_migration(resident, dirty, config_.migration_cost);
+}
+
+void sim_engine::account_migration(vm_id vm, sim_time t) {
+    const migration_estimate est = estimate_vm_migration(vm, t);
     stats_.migration_seconds += est.total_seconds;
     stats_.max_migration_downtime_ms =
         std::max(stats_.max_migration_downtime_ms, est.downtime_ms);
 }
 
-bool sim_engine::place_vm_holistic(vm_id vm, sim_time when) {
+bool sim_engine::place_vm_holistic(vm_id vm, sim_time when,
+                                   lifecycle_event_kind kind) {
     vm_record& rec = vms_.get_mutable(vm);
     const flavor& f = scenario_.catalog.get(rec.flavor);
     const placement_policy policy = policy_for(vm, f);
@@ -448,10 +458,11 @@ bool sim_engine::place_vm_holistic(vm_id vm, sim_time when) {
     rec.state = vm_state::active;
     rec.created_at = std::min(rec.created_at, when);
     ++stats_.placements;
+    active_insert(vm);
 
     open_vm_series(rec);
     events_.record(lifecycle_event{.t = when,
-                                   .kind = lifecycle_event_kind::create,
+                                   .kind = kind,
                                    .vm = vm,
                                    .bb = rec.placed_bb,
                                    .to = rec.placed_node});
@@ -460,6 +471,18 @@ bool sim_engine::place_vm_holistic(vm_id vm, sim_time when) {
 
 void sim_engine::delete_vm(vm_id vm, sim_time when) {
     vm_record& rec = vms_.get_mutable(vm);
+    if (ha_ != nullptr && ha_->cancel(vm)) {
+        // the owner deleted a crash victim while it was still down; its
+        // resources were already released at crash time, so just retire it
+        rec.state = vm_state::deleted;
+        rec.deleted_at = when;
+        ++stats_.deletions;
+        events_.record(lifecycle_event{.t = when,
+                                       .kind = lifecycle_event_kind::remove,
+                                       .vm = vm,
+                                       .bb = rec.placed_bb});
+        return;
+    }
     if (rec.state != vm_state::active) return;
     const flavor& f = scenario_.catalog.get(rec.flavor);
     cluster_of(rec.placed_bb).remove(vm, f, rec.placed_node);
@@ -467,6 +490,7 @@ void sim_engine::delete_vm(vm_id vm, sim_time when) {
     rec.state = vm_state::deleted;
     rec.deleted_at = when;
     ++stats_.deletions;
+    active_erase(vm);
     events_.record(lifecycle_event{.t = when,
                                    .kind = lifecycle_event_kind::remove,
                                    .vm = vm,
@@ -475,12 +499,20 @@ void sim_engine::delete_vm(vm_id vm, sim_time when) {
 }
 
 void sim_engine::decommission_node(node_id node, sim_time t) {
+    cluster_of(scenario_.infrastructure.get(node).bb)
+        .node(node)
+        .set_accepting(false);
+    evacuate_node(node, t, lifecycle_event_kind::evacuate);
+}
+
+std::size_t sim_engine::evacuate_node(node_id node, sim_time t,
+                                      lifecycle_event_kind kind) {
     const compute_node& meta = scenario_.infrastructure.get(node);
     drs_cluster& cluster = cluster_of(meta.bb);
     node_runtime& nr = cluster.node(node);
-    nr.set_accepting(false);
 
-    // evacuate: re-place every resident within the cluster
+    // re-place every resident within the cluster (set iteration order is
+    // deterministic here: residents are only mutated by the serial loop)
     const std::vector<vm_id> residents(nr.residents().begin(),
                                        nr.residents().end());
     for (vm_id vm : residents) {
@@ -505,6 +537,7 @@ void sim_engine::decommission_node(node_id node, sim_time t) {
                 rec.state = vm_state::deleted;
                 rec.deleted_at = t;
                 ++stats_.deletions;
+                active_erase(vm);
                 continue;
             }
             target = best->id();
@@ -516,12 +549,13 @@ void sim_engine::decommission_node(node_id node, sim_time t) {
         ++stats_.evacuations;
         account_migration(vm, t);
         events_.record(lifecycle_event{.t = t,
-                                       .kind = lifecycle_event_kind::evacuate,
+                                       .kind = kind,
                                        .vm = vm,
                                        .bb = meta.bb,
                                        .from = node,
                                        .to = *target});
     }
+    return residents.size();
 }
 
 // ---------------------------------------------------------------------------
@@ -553,12 +587,15 @@ void sim_engine::scrape(sim_time t) {
     const fleet& f = scenario_.infrastructure;
 
     // --- stage 0 (serial): snapshot the active set in VM-id order -------
+    // active_list_ is maintained incrementally (create / delete / crash),
+    // already in ascending id order — the walk over every VM ever created
+    // is gone, but the snapshot is element-for-element what it produced.
     scrape_active_.clear();
-    for (const vm_record& rec : vms_.all()) {
-        if (rec.state != vm_state::active) continue;
-        const auto idx = static_cast<std::size_t>(rec.id.value());
+    for (const vm_id id : active_list_) {
+        const vm_record& rec = vms_.get(id);
+        const auto idx = static_cast<std::size_t>(id.value());
         scrape_active_.push_back(
-            active_vm{rec.id, static_cast<std::uint32_t>(rec.placed_node.value()),
+            active_vm{id, static_cast<std::uint32_t>(rec.placed_node.value()),
                       &scenario_.catalog.get(rec.flavor), rec.created_at,
                       vm_cpu_series_[idx], vm_mem_series_[idx]});
     }
@@ -614,12 +651,32 @@ void sim_engine::scrape(sim_time t) {
                 total.merge(shard_demand_[s][sn.node_idx]);
             }
             demand_scratch_[sn.node_idx] = total;
-            const bool available = sn.meta->available_at(t);
+            // crashed / in-maintenance hosts export nothing (white cells),
+            // like planned unavailability; node_down_ is all-zero when the
+            // fault layer is off, so this branch reduces to the old check
+            const bool available =
+                sn.meta->available_at(t) && node_down_[sn.node_idx] == 0;
             node_avail_buf_[k] = available ? 1 : 0;
-            node_snap_buf_[k] = available
-                                    ? evaluate_node(sn.nr->profile(), total,
-                                                    config_.sampling_interval)
-                                    : node_snapshot{};
+            if (!available) {
+                node_snap_buf_[k] = node_snapshot{};
+                continue;
+            }
+            const double cpu_factor = node_cpu_factor_[sn.node_idx];
+            if (cpu_factor == 1.0) {
+                // untouched profile: the exact pre-fault float path
+                node_snap_buf_[k] = evaluate_node(sn.nr->profile(), total,
+                                                  config_.sampling_interval);
+            } else {
+                // degraded host: contention is evaluated against the
+                // shrunken effective core count (sci::fault degrade window)
+                hardware_profile degraded = sn.nr->profile();
+                degraded.pcpu_cores = std::max<std::int32_t>(
+                    1, static_cast<std::int32_t>(std::lround(
+                           cpu_factor *
+                           static_cast<double>(degraded.pcpu_cores))));
+                node_snap_buf_[k] =
+                    evaluate_node(degraded, total, config_.sampling_interval);
+            }
         }
     });
 
@@ -694,13 +751,41 @@ void sim_engine::drs_pass(sim_time t) {
     const vm_flavor_fn flavor_of = [this](vm_id vm) -> const flavor& {
         return scenario_.catalog.get(vms_.get(vm).flavor);
     };
-    for (drs_cluster& cluster : clusters_) {
-        const std::vector<drs_migration> moved =
-            cluster.rebalance(demand, flavor_of);
-        for (const drs_migration& m : moved) {
+    // Fan the per-cluster balancing across the pool: each cluster touches
+    // only its own node runtimes, and the demand/flavor oracles are pure
+    // per VM (a VM resides in exactly one cluster, so even the lazy
+    // behavior-cache fills land in disjoint slots pre-sized at setup).
+    drs_moved_buf_.resize(clusters_.size());
+    run_sharded(clusters_.size(),
+                [&](unsigned, std::size_t begin, std::size_t end) {
+        for (std::size_t c = begin; c < end; ++c) {
+            drs_moved_buf_[c] = clusters_[c].rebalance(demand, flavor_of);
+        }
+    });
+
+    // Commit serially in cluster order — bookkeeping, events and abort
+    // rollbacks happen in exactly the order the old serial loop produced,
+    // so runs stay bit-identical at any worker count.
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+        drs_cluster& cluster = clusters_[c];
+        for (const drs_migration& m : drs_moved_buf_[c]) {
+            if (migration_aborted()) {
+                // pre-copy failed mid-stream (sci::fault): the VM never
+                // left its source — roll the reservation back and bill
+                // the wasted pre-copy bandwidth
+                const flavor& f = scenario_.catalog.get(vms_.get(m.vm).flavor);
+                cluster.remove(m.vm, f, m.to);
+                cluster.place(m.vm, f, m.from);
+                cluster.record_abort();
+                ++stats_.migration_aborts;
+                stats_.wasted_migration_seconds +=
+                    estimate_vm_migration(m.vm, t).total_seconds;
+                continue;
+            }
             vm_record& rec = vms_.get_mutable(m.vm);
             rec.placed_node = m.to;
             ++rec.migration_count;
+            ++stats_.drs_migrations;
             account_migration(m.vm, t);
             events_.record(lifecycle_event{.t = t,
                                            .kind = lifecycle_event_kind::migrate,
@@ -709,7 +794,6 @@ void sim_engine::drs_pass(sim_time t) {
                                            .from = m.from,
                                            .to = m.to});
         }
-        stats_.drs_migrations += moved.size();
     }
     const sim_time next = t + config_.drs_interval;
     if (next < observation_window) {
@@ -751,6 +835,13 @@ void sim_engine::cross_bb_pass(sim_time t) {
         drs_cluster& to_cluster = cluster_of(move.to);
         const std::optional<node_id> target = to_cluster.initial_placement(f);
         if (!target.has_value()) continue;  // node-level fragmentation
+        if (migration_aborted()) {
+            // the cross-BB pre-copy failed; nothing was committed yet, so
+            // only the wasted bandwidth is billed
+            ++stats_.migration_aborts;
+            stats_.wasted_migration_seconds += move.estimate.total_seconds;
+            continue;
+        }
         const node_id old_node = rec.placed_node;
         placement_.move(move.vm, move.to, f);
         cluster_of(move.from).remove(move.vm, f, old_node);
@@ -867,6 +958,138 @@ void sim_engine::resize_vm(vm_id vm, sim_time t) {
                                    .bb = rec.placed_bb,
                                    .from = rec.placed_node,
                                    .to = rec.placed_node});
+}
+
+// ---------------------------------------------------------------------------
+// fault injection & HA recovery
+// ---------------------------------------------------------------------------
+
+void sim_engine::setup_faults() {
+    if (!config_.fault.enabled()) return;
+    const fault_config& fc = config_.fault;
+    ha_ = std::make_unique<ha_controller>(fc.ha_retry_backoff,
+                                          fc.ha_max_restart_attempts);
+    if (fc.migration_abort_probability > 0.0) {
+        mig_abort_rng_.emplace(config_.scenario.seed, "fault-migration-aborts");
+    }
+    if (fc.claim_failure_probability > 0.0) {
+        // sequential draws are safe: the hook only fires from the serial
+        // event loop (placements, HA restarts), never from pool workers
+        claim_fault_rng_.emplace(config_.scenario.seed, "fault-claim-races");
+        conductor_->set_claim_fault([this](vm_id, bb_id, int) {
+            return claim_fault_rng_->chance(
+                config_.fault.claim_failure_probability);
+        });
+    }
+    for (const fault_event& event : compile_fault_schedule(
+             fc, scenario_.infrastructure, config_.scenario.seed)) {
+        const fault_event ev = event;
+        queue_.schedule_at(ev.t, [this, ev](sim_time t) { apply_fault(ev, t); });
+    }
+}
+
+void sim_engine::apply_fault(const fault_event& event, sim_time t) {
+    const auto idx = static_cast<std::size_t>(event.node.value());
+    const compute_node& meta = scenario_.infrastructure.get(event.node);
+    node_runtime& nr = cluster_of(meta.bb).node(event.node);
+    switch (event.kind) {
+        case fault_event_kind::host_crash:
+            crash_node(event.node, t);
+            break;
+        case fault_event_kind::host_repair:
+            node_down_[idx] = 0;
+            if (meta.available_at(t)) nr.set_accepting(true);
+            break;
+        case fault_event_kind::degrade_begin:
+            node_cpu_factor_[idx] = event.cpu_factor;
+            break;
+        case fault_event_kind::degrade_end:
+            node_cpu_factor_[idx] = 1.0;
+            break;
+        case fault_event_kind::maintenance_begin:
+            if (node_down_[idx] != 0) break;  // already crashed: skip
+            nr.set_accepting(false);
+            node_down_[idx] = 1;
+            stats_.maintenance_evacuations +=
+                evacuate_node(event.node, t, lifecycle_event_kind::evacuate);
+            break;
+        case fault_event_kind::maintenance_end:
+            node_down_[idx] = 0;
+            if (meta.available_at(t)) nr.set_accepting(true);
+            break;
+    }
+}
+
+void sim_engine::crash_node(node_id node, sim_time t) {
+    const compute_node& meta = scenario_.infrastructure.get(node);
+    drs_cluster& cluster = cluster_of(meta.bb);
+    node_runtime& nr = cluster.node(node);
+    nr.set_accepting(false);
+    node_down_[static_cast<std::size_t>(node.value())] = 1;
+    ++stats_.host_crashes;
+
+    // every resident dies with the host; HA re-places them after the
+    // failure-detection delay, through the real conductor
+    std::vector<vm_id> victims(nr.residents().begin(), nr.residents().end());
+    std::sort(victims.begin(), victims.end());  // hash-set order isn't stable
+    for (const vm_id vm : victims) {
+        vm_record& rec = vms_.get_mutable(vm);
+        const flavor& f = scenario_.catalog.get(rec.flavor);
+        cluster.remove(vm, f, node);
+        placement_.release(vm, f);
+        rec.state = vm_state::pending;  // down until HA re-places it
+        active_erase(vm);
+        ++stats_.crash_victims;
+        events_.record(lifecycle_event{.t = t,
+                                       .kind = lifecycle_event_kind::crash,
+                                       .vm = vm,
+                                       .bb = meta.bb,
+                                       .from = node});
+        ha_->on_crash(vm, t);
+        queue_.schedule_at(t + config_.fault.ha_restart_delay,
+                           [this, vm](sim_time tr) { ha_restart(vm, tr); });
+    }
+}
+
+void sim_engine::ha_restart(vm_id vm, sim_time t) {
+    if (ha_ == nullptr || !ha_->pending(vm)) return;  // deleted meanwhile
+    if (place_vm(vm, t, lifecycle_event_kind::ha_restart)) {
+        ha_->on_restart_success(vm, t);
+        ++stats_.ha_restarts;
+        return;
+    }
+    ++stats_.ha_restart_failures;
+    if (const std::optional<sim_time> retry = ha_->on_restart_failure(vm, t)) {
+        queue_.schedule_at(*retry,
+                           [this, vm](sim_time tr) { ha_restart(vm, tr); });
+    }
+    // else: attempts exhausted — the victim stays down (vm_state::error)
+}
+
+bool sim_engine::migration_aborted() {
+    return mig_abort_rng_.has_value() &&
+           mig_abort_rng_->chance(config_.fault.migration_abort_probability);
+}
+
+std::uint64_t sim_engine::transient_claim_failures() const {
+    return conductor_ != nullptr ? conductor_->transient_claim_failure_count()
+                                 : 0;
+}
+
+void sim_engine::active_insert(vm_id vm) {
+    const auto it =
+        std::lower_bound(active_list_.begin(), active_list_.end(), vm);
+    expects(it == active_list_.end() || *it != vm,
+            "sim_engine::active_insert: vm already active");
+    active_list_.insert(it, vm);
+}
+
+void sim_engine::active_erase(vm_id vm) {
+    const auto it =
+        std::lower_bound(active_list_.begin(), active_list_.end(), vm);
+    expects(it != active_list_.end() && *it == vm,
+            "sim_engine::active_erase: vm not active");
+    active_list_.erase(it);
 }
 
 drs_cluster& sim_engine::cluster_of(bb_id bb) {

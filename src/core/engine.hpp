@@ -25,12 +25,15 @@
 #include "core/scenario.hpp"
 #include "drs/drs.hpp"
 #include "drs/migration.hpp"
+#include "fault/fault.hpp"
+#include "fault/ha.hpp"
 #include "hypervisor/node_runtime.hpp"
 #include "infra/event_log.hpp"
 #include "infra/vm.hpp"
 #include "rebalancer/cross_bb.hpp"
 #include "sched/conductor.hpp"
 #include "simcore/event_queue.hpp"
+#include "simcore/rng.hpp"
 #include "simcore/thread_pool.hpp"
 #include "telemetry/store.hpp"
 #include "workload/behavior.hpp"
@@ -75,12 +78,18 @@ struct engine_config {
     cross_bb_config cross_bb;
     /// Cost model applied to every DRS / cross-BB migration.
     migration_cost_config migration_cost;
-    /// Worker threads for the scrape pipeline.  nullopt reads the
-    /// SCI_THREADS environment variable; 0 evaluates serially.  Output is
-    /// bit-identical at any thread count: demand is sharded by a fixed
-    /// shard count and reduced in shard order, and all store appends stay
-    /// serial in VM/node order (see sim_engine::scrape).
+    /// Worker threads for the scrape pipeline and the DRS balancing
+    /// fan-out.  nullopt reads the SCI_THREADS environment variable; 0
+    /// evaluates serially.  Output is bit-identical at any thread count:
+    /// demand is sharded by a fixed shard count and reduced in shard
+    /// order, all store appends stay serial in VM/node order (see
+    /// sim_engine::scrape), and DRS results commit serially in cluster
+    /// order (see sim_engine::drs_pass).
     std::optional<unsigned> threads;
+    /// Deterministic fault injection (sci::fault).  The default (all
+    /// rates zero) is fully inert: no schedule is compiled, no RNG
+    /// streams are opened, and runs reproduce byte-for-byte.
+    fault_config fault;
 };
 
 /// Aggregate counters of one simulation run.
@@ -104,6 +113,16 @@ struct run_stats {
     double migration_seconds = 0.0;
     /// Worst estimated stop-and-copy downtime of any migration (ms).
     double max_migration_downtime_ms = 0.0;
+
+    // --- fault injection & HA recovery (all zero when faults are off) ----
+    std::uint64_t host_crashes = 0;     ///< injected hypervisor failures
+    std::uint64_t crash_victims = 0;    ///< VMs killed by host crashes
+    std::uint64_t ha_restarts = 0;      ///< victims re-placed by HA
+    std::uint64_t ha_restart_failures = 0;  ///< failed restart attempts
+    std::uint64_t migration_aborts = 0;     ///< DRS/cross-BB aborts
+    std::uint64_t maintenance_evacuations = 0;  ///< unplanned maintenance moves
+    /// Pre-copy work thrown away by aborted migrations (seconds).
+    double wasted_migration_seconds = 0.0;
 };
 
 class sim_engine {
@@ -132,6 +151,14 @@ public:
     const placement_service& placement() const { return placement_; }
     const event_log& events() const { return events_; }
 
+    /// HA recovery controller; null unless config().fault.enabled().
+    const ha_controller* ha() const { return ha_.get(); }
+    /// Injected claim races absorbed by the conductor's retry loop.
+    std::uint64_t transient_claim_failures() const;
+    /// VMs currently active (incrementally maintained; equals the
+    /// registry's count_in_state(vm_state::active)).
+    std::size_t active_vm_count() const { return active_list_.size(); }
+
     /// Behavior of a VM (sampled lazily, cached).
     const vm_behavior& behavior_of(vm_id vm);
 
@@ -149,17 +176,39 @@ private:
     void place_initial_population();
     void schedule_window_events();
 
-    bool place_vm(vm_id vm, sim_time when);
-    bool place_vm_holistic(vm_id vm, sim_time when);
+    bool place_vm(vm_id vm, sim_time when,
+                  lifecycle_event_kind kind = lifecycle_event_kind::create);
+    bool place_vm_holistic(vm_id vm, sim_time when, lifecycle_event_kind kind);
     void delete_vm(vm_id vm, sim_time when);
     void scrape(sim_time t);
     void drs_pass(sim_time t);
     void cross_bb_pass(sim_time t);
     void decommission_node(node_id node, sim_time t);
+    /// Re-place every resident of `node` within its cluster, recording
+    /// events of `kind`.  Returns the number of VMs moved (or terminated
+    /// when the cluster was fully out of service).
+    std::size_t evacuate_node(node_id node, sim_time t,
+                              lifecycle_event_kind kind);
     void schedule_resizes();
     void resize_vm(vm_id vm, sim_time t);
+    migration_estimate estimate_vm_migration(vm_id vm, sim_time t);
     void account_migration(vm_id vm, sim_time t);
     void open_vm_series(const vm_record& rec);
+
+    // --- fault injection & HA recovery -----------------------------------
+    void setup_faults();
+    void apply_fault(const fault_event& event, sim_time t);
+    void crash_node(node_id node, sim_time t);
+    void ha_restart(vm_id vm, sim_time t);
+    /// Draw the next migration-abort decision (false when aborts are off).
+    bool migration_aborted();
+
+    // --- incremental active-VM list --------------------------------------
+    // Ascending vm-id list of active VMs, updated on create / delete /
+    // crash / HA restart, so scrape stage 0 walks only live VMs instead
+    // of every VM ever created.
+    void active_insert(vm_id vm);
+    void active_erase(vm_id vm);
 
     placement_policy policy_for(vm_id vm, const flavor& f) const;
     drs_cluster& cluster_of(bb_id bb);
@@ -224,6 +273,7 @@ private:
     };
 
     std::unique_ptr<thread_pool> pool_;  ///< null when running serial
+    std::vector<vm_id> active_list_;     ///< active VMs, ascending id
     std::vector<active_vm> scrape_active_;      ///< rebuilt each scrape
     std::vector<double> scrape_cpu_col_;        ///< per active VM
     std::vector<double> scrape_mem_col_;        ///< per active VM
@@ -232,6 +282,22 @@ private:
     std::vector<scrape_node> scrape_nodes_;     ///< cluster-major, built once
     std::vector<node_snapshot> node_snap_buf_;  ///< per scrape_nodes_ entry
     std::vector<char> node_avail_buf_;          ///< per scrape_nodes_ entry
+
+    // --- parallel DRS fan-out ---------------------------------------------
+    // Clusters rebalance independently (each touches only its own nodes;
+    // the demand/flavor oracles are pure per VM and a VM resides in
+    // exactly one cluster), so the balancing pass fans clusters across
+    // the pool and commits results — events, stats, abort rollbacks —
+    // serially in cluster order, keeping runs bit-identical at any
+    // worker count.
+    std::vector<std::vector<drs_migration>> drs_moved_buf_;  ///< per cluster
+
+    // --- fault injection state (engaged only when fault.enabled()) ------
+    std::unique_ptr<ha_controller> ha_;        ///< null when faults are off
+    std::vector<char> node_down_;              ///< crashed / in maintenance
+    std::vector<double> node_cpu_factor_;      ///< degraded-capacity factor
+    std::optional<rng_stream> mig_abort_rng_;  ///< serial event-loop draws
+    std::optional<rng_stream> claim_fault_rng_;
 };
 
 }  // namespace sci

@@ -7,6 +7,7 @@
 
 #include "analysis/figures.hpp"
 #include "analysis/render.hpp"
+#include "simcore/stats.hpp"
 
 namespace sci {
 
@@ -161,6 +162,38 @@ void write_markdown_report(std::ostream& os, sim_engine& engine,
        << format_double(stats.migration_seconds, 0)
        << " s total migration time, worst downtime "
        << format_double(stats.max_migration_downtime_ms, 1) << " ms.\n";
+
+    // --- availability (only when fault injection is configured) ------------
+    if (engine.config().fault.enabled()) {
+        const ha_controller& ha = *engine.ha();
+        os << "\n### Availability (sci::fault injection)\n\n"
+           << "Injected " << stats.host_crashes << " host crashes killing "
+           << stats.crash_victims << " VMs; HA restarted " << stats.ha_restarts
+           << " (" << stats.ha_restart_failures << " failed attempts, "
+           << ha.abandoned_vms() << " abandoned, " << ha.cancelled_vms()
+           << " deleted while down); " << stats.maintenance_evacuations
+           << " maintenance evacuations.\n\n";
+        const std::span<const double> downtime = ha.downtime_samples();
+        if (!downtime.empty()) {
+            std::vector<double> sorted(downtime.begin(), downtime.end());
+            std::sort(sorted.begin(), sorted.end());
+            os << "| metric | value |\n|---|---|\n"
+               << "| restarted VMs | " << sorted.size() << " |\n"
+               << "| MTTR | " << format_double(ha.mttr(), 1) << " s |\n"
+               << "| downtime p50 | " << format_double(exact_quantile(sorted, 0.50), 1)
+               << " s |\n"
+               << "| downtime p95 | " << format_double(exact_quantile(sorted, 0.95), 1)
+               << " s |\n"
+               << "| downtime max | " << format_double(sorted.back(), 1)
+               << " s |\n\n";
+        }
+        os << "Scheduler pressure: " << stats.placement_failures
+           << " NoValidHost, " << engine.transient_claim_failures()
+           << " transient claim failures absorbed by retries; "
+           << stats.migration_aborts << " migrations aborted mid-copy wasting "
+           << format_double(stats.wasted_migration_seconds, 0)
+           << " s of pre-copy work.\n";
+    }
 }
 
 std::string markdown_report(sim_engine& engine, const report_options& options) {

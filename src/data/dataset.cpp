@@ -200,7 +200,9 @@ std::vector<lifecycle_event> import_events_csv(
                        lifecycle_event_kind::migrate,
                        lifecycle_event_kind::evacuate,
                        lifecycle_event_kind::resize,
-                       lifecycle_event_kind::remove}) {
+                       lifecycle_event_kind::remove,
+                       lifecycle_event_kind::crash,
+                       lifecycle_event_kind::ha_restart}) {
             if (s == to_string(k)) return k;
         }
         throw error("import_events_csv: unknown event kind '" + s + "'");

@@ -96,6 +96,18 @@ public:
     /// Total migrations applied over the cluster's lifetime.
     std::uint64_t migration_count() const { return migrations_; }
 
+    /// An applied migration aborted mid-copy (sci::fault): the caller
+    /// rolled the VM back to its source node; the pre-copy bandwidth was
+    /// still spent.  Recorded here so DRS cost accounting can separate
+    /// useful from wasted migration work.
+    void record_abort() { ++aborts_; }
+    std::uint64_t abort_count() const { return aborts_; }
+
+    /// Migrations that completed (applied minus aborted).
+    std::uint64_t completed_migration_count() const {
+        return migrations_ - aborts_;
+    }
+
 private:
     /// Node CPU demand in cores (sum over residents).
     double node_demand_cores(const node_runtime& nr,
@@ -105,6 +117,7 @@ private:
     drs_config config_;
     std::vector<node_runtime> nodes_;
     std::uint64_t migrations_ = 0;
+    std::uint64_t aborts_ = 0;
 };
 
 }  // namespace sci

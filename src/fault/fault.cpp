@@ -1,0 +1,147 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simcore/error.hpp"
+#include "simcore/rng.hpp"
+
+namespace sci {
+
+std::string_view to_string(fault_event_kind k) {
+    switch (k) {
+        case fault_event_kind::host_crash: return "host_crash";
+        case fault_event_kind::host_repair: return "host_repair";
+        case fault_event_kind::degrade_begin: return "degrade_begin";
+        case fault_event_kind::degrade_end: return "degrade_end";
+        case fault_event_kind::maintenance_begin: return "maintenance_begin";
+        case fault_event_kind::maintenance_end: return "maintenance_end";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/// Pick `count` distinct node indices (uniform, without replacement).
+std::vector<std::size_t> pick_distinct_nodes(rng_stream& rng,
+                                             std::size_t node_count,
+                                             std::size_t count) {
+    std::vector<std::size_t> indices(node_count);
+    for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+    std::vector<std::size_t> picked;
+    for (std::size_t p = 0; p < count && !indices.empty(); ++p) {
+        const auto slot = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(indices.size()) - 1));
+        picked.push_back(indices[slot]);
+        indices.erase(indices.begin() + static_cast<std::ptrdiff_t>(slot));
+    }
+    return picked;
+}
+
+}  // namespace
+
+std::vector<fault_event> compile_fault_schedule(const fault_config& config,
+                                                const fleet& infrastructure,
+                                                std::uint64_t seed) {
+    expects(config.host_crash_rate_per_day >= 0.0 &&
+                config.claim_failure_probability >= 0.0 &&
+                config.claim_failure_probability <= 1.0 &&
+                config.migration_abort_probability >= 0.0 &&
+                config.migration_abort_probability <= 1.0 &&
+                config.degraded_node_fraction >= 0.0 &&
+                config.degraded_node_fraction <= 1.0 &&
+                config.maintenance_windows >= 0,
+            "compile_fault_schedule: rates out of range");
+    expects(config.degraded_cpu_factor > 0.0 && config.degraded_cpu_factor <= 1.0,
+            "compile_fault_schedule: degraded_cpu_factor must be in (0, 1]");
+    expects(config.ha_restart_delay >= 0 && config.ha_retry_backoff >= 0 &&
+                config.ha_max_restart_attempts >= 1 &&
+                config.crash_repair_time >= 0,
+            "compile_fault_schedule: HA policy out of range");
+
+    std::vector<fault_event> schedule;
+    if (!config.enabled()) return schedule;
+    const std::size_t node_count = infrastructure.node_count();
+
+    // --- host crashes: exponential inter-arrival per node ----------------
+    // One child stream per node index keeps the schedule a pure function
+    // of (node, seed): adding nodes or reordering iteration never
+    // perturbs another node's crash times.
+    if (config.host_crash_rate_per_day > 0.0) {
+        const rng_stream parent(seed, "fault-crashes");
+        const double mean_gap = static_cast<double>(seconds_per_day) /
+                                config.host_crash_rate_per_day;
+        for (std::size_t i = 0; i < node_count; ++i) {
+            rng_stream rng = parent.child(i);
+            double t = rng.exponential_mean(mean_gap);
+            while (t < static_cast<double>(observation_window)) {
+                const auto at = static_cast<sim_time>(t);
+                const node_id node(static_cast<std::int32_t>(i));
+                schedule.push_back(fault_event{
+                    .t = at, .kind = fault_event_kind::host_crash, .node = node});
+                if (config.crash_repair_time == 0) break;  // host never returns
+                const sim_time repaired = at + config.crash_repair_time;
+                if (repaired < observation_window) {
+                    schedule.push_back(
+                        fault_event{.t = repaired,
+                                    .kind = fault_event_kind::host_repair,
+                                    .node = node});
+                }
+                // next crash only after the host is back in service
+                t = static_cast<double>(repaired) + rng.exponential_mean(mean_gap);
+            }
+        }
+    }
+
+    // --- degraded hosts: one capacity dip per picked node ----------------
+    if (config.degraded_node_fraction > 0.0) {
+        rng_stream rng(seed, "fault-degrade");
+        const auto count = static_cast<std::size_t>(std::lround(
+            config.degraded_node_fraction * static_cast<double>(node_count)));
+        for (const std::size_t idx : pick_distinct_nodes(rng, node_count, count)) {
+            const auto begin = static_cast<sim_time>(
+                rng.uniform(0.05, 0.70) * static_cast<double>(observation_window));
+            const auto length = static_cast<sim_duration>(
+                rng.uniform(0.05, 0.25) * static_cast<double>(observation_window));
+            const sim_time end =
+                std::min<sim_time>(begin + length, observation_window - 1);
+            const node_id node(static_cast<std::int32_t>(idx));
+            schedule.push_back(fault_event{.t = begin,
+                                           .kind = fault_event_kind::degrade_begin,
+                                           .node = node,
+                                           .cpu_factor = config.degraded_cpu_factor});
+            schedule.push_back(fault_event{
+                .t = end, .kind = fault_event_kind::degrade_end, .node = node});
+        }
+    }
+
+    // --- unplanned maintenance windows -----------------------------------
+    if (config.maintenance_windows > 0 && node_count > 0) {
+        rng_stream rng(seed, "fault-maintenance");
+        for (int w = 0; w < config.maintenance_windows; ++w) {
+            const auto idx = static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(node_count) - 1));
+            const auto begin = static_cast<sim_time>(
+                rng.uniform(0.10, 0.85) * static_cast<double>(observation_window));
+            const sim_time end = std::min<sim_time>(
+                begin + config.maintenance_duration, observation_window - 1);
+            const node_id node(static_cast<std::int32_t>(idx));
+            schedule.push_back(
+                fault_event{.t = begin,
+                            .kind = fault_event_kind::maintenance_begin,
+                            .node = node});
+            schedule.push_back(fault_event{
+                .t = end, .kind = fault_event_kind::maintenance_end, .node = node});
+        }
+    }
+
+    // stable by time: same-instant faults keep generation order, which is
+    // itself deterministic (crash < degrade < maintenance, node-ordered)
+    std::stable_sort(schedule.begin(), schedule.end(),
+                     [](const fault_event& a, const fault_event& b) {
+                         return a.t < b.t;
+                     });
+    return schedule;
+}
+
+}  // namespace sci

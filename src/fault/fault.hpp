@@ -1,0 +1,100 @@
+#pragma once
+
+// sci::fault — deterministic fault injection.
+//
+// The paper is a reality check: real fleets lose hypervisors, abort live
+// migrations, and restart VMs under HA — the dataset only shows the
+// *planned* side (decommissions, resizes).  This module compiles a
+// seed-driven fault schedule at engine setup so the robustness narrative
+// (Nova's "greedy approach with retries", NoValidHost under pressure, DRS
+// churn after host loss) can be reproduced and quantified.
+//
+// Everything is a pure function of (fault_config, fleet, master seed):
+// crash times come from per-node child RNG streams, so the schedule is
+// independent of node iteration order, thread count, and of every other
+// consumer of the master seed.  A default-constructed fault_config (all
+// rates zero) compiles to an empty schedule and the engine's fault layer
+// stays completely inert — no RNG draws, no queue events, no extra state.
+
+#include <string_view>
+#include <vector>
+
+#include "infra/fleet.hpp"
+#include "infra/ids.hpp"
+#include "simcore/time.hpp"
+
+namespace sci {
+
+/// Knobs of the fault layer.  All rates default to zero: the injector is
+/// fully inert and existing runs reproduce byte-for-byte.
+struct fault_config {
+    /// Expected hypervisor crashes per node per day (exponential
+    /// inter-arrival per node).  A crash kills resident VMs; HA restarts
+    /// them through the real Nova conductor.
+    double host_crash_rate_per_day = 0.0;
+    /// Probability that one placement claim transiently fails (claim
+    /// races / RPC timeouts), exercising the conductor's retry loop.
+    double claim_failure_probability = 0.0;
+    /// Probability that an individual DRS / cross-BB live migration
+    /// aborts mid-copy; the pre-copy work is wasted and the VM stays put.
+    double migration_abort_probability = 0.0;
+    /// Fraction of nodes that suffer one degraded interval in-window
+    /// (failing DIMM/fan, firmware throttling): effective CPU capacity is
+    /// scaled by degraded_cpu_factor in the contention model.
+    double degraded_node_fraction = 0.0;
+    double degraded_cpu_factor = 0.6;
+    /// Number of unplanned single-node maintenance windows (evacuate,
+    /// hold out of service, recommission).
+    int maintenance_windows = 0;
+    sim_duration maintenance_duration = hours(6);
+
+    // --- HA controller policy -------------------------------------------
+    /// Detection + restart latency before the first re-placement attempt.
+    sim_duration ha_restart_delay = 120;
+    /// Backoff between failed restart attempts.
+    sim_duration ha_retry_backoff = 600;
+    /// Attempts before a victim is abandoned (stays in error state).
+    int ha_max_restart_attempts = 5;
+    /// Wall-clock until a crashed host rejoins its cluster (0 = never).
+    sim_duration crash_repair_time = days(2);
+
+    /// Whether any fault source is active.  False for the default config:
+    /// the engine then skips the fault layer entirely.
+    bool enabled() const {
+        return host_crash_rate_per_day > 0.0 ||
+               claim_failure_probability > 0.0 ||
+               migration_abort_probability > 0.0 ||
+               degraded_node_fraction > 0.0 || maintenance_windows > 0;
+    }
+};
+
+enum class fault_event_kind {
+    host_crash,         ///< hypervisor dies; residents need HA restarts
+    host_repair,        ///< crashed host rejoins the cluster
+    degrade_begin,      ///< effective CPU capacity shrinks
+    degrade_end,        ///< capacity restored
+    maintenance_begin,  ///< evacuate + hold out of service
+    maintenance_end,    ///< recommission
+};
+
+std::string_view to_string(fault_event_kind k);
+
+/// One compiled fault: what happens to which node at what instant.
+struct fault_event {
+    sim_time t = 0;
+    fault_event_kind kind = fault_event_kind::host_crash;
+    node_id node;
+    /// Effective-capacity factor for degrade_begin events (else 1.0).
+    double cpu_factor = 1.0;
+};
+
+/// Compile the deterministic fault schedule for one run: every fault the
+/// window will see, sorted by time (ties keep generation order: crashes,
+/// then degradations, then maintenance; by node id within each source).
+/// Pure in (config, fleet size, seed); empty when config.enabled() is
+/// false.
+std::vector<fault_event> compile_fault_schedule(const fault_config& config,
+                                                const fleet& infrastructure,
+                                                std::uint64_t seed);
+
+}  // namespace sci

@@ -1,0 +1,58 @@
+#include "fault/ha.hpp"
+
+#include "simcore/error.hpp"
+
+namespace sci {
+
+ha_controller::ha_controller(sim_duration retry_backoff,
+                             int max_restart_attempts)
+    : retry_backoff_(retry_backoff),
+      max_restart_attempts_(max_restart_attempts) {
+    expects(retry_backoff_ >= 0, "ha_controller: negative retry backoff");
+    expects(max_restart_attempts_ >= 1, "ha_controller: need >= 1 attempt");
+}
+
+void ha_controller::on_crash(vm_id vm, sim_time t) {
+    expects(vm.valid(), "ha_controller::on_crash: invalid vm");
+    const auto [it, inserted] = pending_.insert({vm, victim{t, 0}});
+    (void)it;
+    expects(inserted, "ha_controller::on_crash: restart already pending");
+    ++crashed_;
+}
+
+bool ha_controller::cancel(vm_id vm) {
+    if (pending_.erase(vm) == 0) return false;
+    ++cancelled_;
+    return true;
+}
+
+void ha_controller::on_restart_success(vm_id vm, sim_time t) {
+    const auto it = pending_.find(vm);
+    expects(it != pending_.end(),
+            "ha_controller::on_restart_success: no pending restart");
+    downtime_.push_back(static_cast<double>(t - it->second.crashed_at));
+    pending_.erase(it);
+    ++restarted_;
+}
+
+std::optional<sim_time> ha_controller::on_restart_failure(vm_id vm, sim_time t) {
+    const auto it = pending_.find(vm);
+    expects(it != pending_.end(),
+            "ha_controller::on_restart_failure: no pending restart");
+    ++failed_attempts_;
+    if (++it->second.attempts >= max_restart_attempts_) {
+        pending_.erase(it);
+        ++abandoned_;
+        return std::nullopt;
+    }
+    return t + retry_backoff_;
+}
+
+double ha_controller::mttr() const {
+    if (downtime_.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double d : downtime_) sum += d;
+    return sum / static_cast<double>(downtime_.size());
+}
+
+}  // namespace sci

@@ -14,6 +14,8 @@ std::string_view to_string(lifecycle_event_kind k) {
         case lifecycle_event_kind::evacuate: return "evacuate";
         case lifecycle_event_kind::resize: return "resize";
         case lifecycle_event_kind::remove: return "delete";
+        case lifecycle_event_kind::crash: return "crash";
+        case lifecycle_event_kind::ha_restart: return "ha_restart";
     }
     return "unknown";
 }

@@ -25,6 +25,8 @@ enum class lifecycle_event_kind {
     evacuate,       ///< forced migration off a decommissioned node
     resize,         ///< flavor change (grow or shrink)
     remove,         ///< VM deleted
+    crash,          ///< VM killed by a hypervisor failure (sci::fault)
+    ha_restart,     ///< HA re-placed a crash victim
 };
 
 std::string_view to_string(lifecycle_event_kind k);

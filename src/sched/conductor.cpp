@@ -69,6 +69,11 @@ placement_outcome conductor::schedule_and_claim(const schedule_request& request)
 
         for (bb_id candidate : candidates) {
             ++outcome.attempts;
+            if (claim_fault_ &&
+                claim_fault_(request.vm, candidate, outcome.attempts)) {
+                ++transient_claim_failures_;
+                continue;  // injected claim race: try the next alternate
+            }
             try {
                 placement_.claim(request.vm, candidate, f);
                 outcome.success = true;

@@ -46,6 +46,15 @@ public:
         contention_feed_ = std::move(feed);
     }
 
+    /// Optional fault hook (sci::fault): called before each placement
+    /// claim with (vm, candidate, attempt); returning true makes the
+    /// claim transiently fail — the lost claim race / RPC timeout the
+    /// paper's "greedy approach with retries" exists to absorb — and the
+    /// conductor moves on to the next alternate.
+    void set_claim_fault(std::function<bool(vm_id, bb_id, int)> fault) {
+        claim_fault_ = std::move(fault);
+    }
+
     /// Current scheduler view of every registered provider.
     std::vector<host_state> build_host_states() const;
 
@@ -53,6 +62,9 @@ public:
     std::uint64_t scheduled_count() const { return scheduled_; }
     std::uint64_t no_valid_host_count() const { return no_valid_host_; }
     std::uint64_t retry_count() const { return retries_; }
+    std::uint64_t transient_claim_failure_count() const {
+        return transient_claim_failures_;
+    }
 
 private:
     const fleet& fleet_;
@@ -60,10 +72,12 @@ private:
     placement_service& placement_;
     filter_scheduler scheduler_;
     std::function<double(bb_id)> contention_feed_;
+    std::function<bool(vm_id, bb_id, int)> claim_fault_;
 
     std::uint64_t scheduled_ = 0;
     std::uint64_t no_valid_host_ = 0;
     std::uint64_t retries_ = 0;
+    std::uint64_t transient_claim_failures_ = 0;
 };
 
 }  // namespace sci

@@ -51,6 +51,13 @@ void expect_stats_equal(const run_stats& a, const run_stats& b) {
     EXPECT_EQ(a.resize_failures, b.resize_failures);
     EXPECT_EQ(a.migration_seconds, b.migration_seconds);  // bitwise: ==
     EXPECT_EQ(a.max_migration_downtime_ms, b.max_migration_downtime_ms);
+    EXPECT_EQ(a.host_crashes, b.host_crashes);
+    EXPECT_EQ(a.crash_victims, b.crash_victims);
+    EXPECT_EQ(a.ha_restarts, b.ha_restarts);
+    EXPECT_EQ(a.ha_restart_failures, b.ha_restart_failures);
+    EXPECT_EQ(a.migration_aborts, b.migration_aborts);
+    EXPECT_EQ(a.maintenance_evacuations, b.maintenance_evacuations);
+    EXPECT_EQ(a.wasted_migration_seconds, b.wasted_migration_seconds);
 }
 
 TEST(ParallelScrapeTest, StatsAreBitIdenticalAcrossThreadCounts) {

@@ -33,6 +33,7 @@ struct cli_options {
     std::uint64_t seed = 42;
     std::filesystem::path out_dir = "sci_dataset";
     std::filesystem::path markdown_file;  ///< report: write markdown here
+    sci::fault_config fault;              ///< inert unless a knob is set
 };
 
 cli_options parse_options(int argc, char** argv, int first) {
@@ -54,6 +55,18 @@ cli_options parse_options(int argc, char** argv, int first) {
             options.out_dir = next();
         } else if (arg == "--markdown") {
             options.markdown_file = next();
+        } else if (arg == "--crash-rate") {
+            options.fault.host_crash_rate_per_day = std::atof(next());
+        } else if (arg == "--claim-fail") {
+            options.fault.claim_failure_probability = std::atof(next());
+        } else if (arg == "--mig-abort") {
+            options.fault.migration_abort_probability = std::atof(next());
+        } else if (arg == "--degraded") {
+            options.fault.degraded_node_fraction = std::atof(next());
+        } else if (arg == "--degraded-cpu-factor") {
+            options.fault.degraded_cpu_factor = std::atof(next());
+        } else if (arg == "--maintenance") {
+            options.fault.maintenance_windows = std::atoi(next());
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             std::exit(2);
@@ -70,6 +83,7 @@ sci::sim_engine run_engine(const cli_options& options) {
     sci::engine_config config;
     config.scenario.scale = options.scale;
     config.scenario.seed = options.seed;
+    config.fault = options.fault;
     std::cout << "simulating 30 days at scale " << options.scale << " (seed "
               << options.seed << ") ...\n";
     sci::sim_engine engine(config);
@@ -79,6 +93,12 @@ sci::sim_engine run_engine(const cli_options& options) {
               << stats.placements << " placements, " << stats.deletions
               << " deletions, " << stats.drs_migrations << " DRS migrations, "
               << stats.scrapes << " scrapes\n";
+    if (config.fault.enabled()) {
+        std::cout << "  faults: " << stats.host_crashes << " host crashes, "
+                  << stats.crash_victims << " victims, " << stats.ha_restarts
+                  << " HA restarts, " << stats.migration_aborts
+                  << " migration aborts\n";
+    }
     return engine;
 }
 
@@ -215,7 +235,17 @@ int cmd_fleet() {
 
 void usage() {
     std::cout << "usage: scisim <simulate|report|analyze|advisor|fleet> "
-                 "[--scale S] [--seed N] [--out DIR] [--markdown FILE]\n";
+                 "[--scale S] [--seed N] [--out DIR] [--markdown FILE]\n"
+                 "fault injection (sci::fault; all default off):\n"
+                 "  --crash-rate R            host crashes per node per day\n"
+                 "  --claim-fail P            transient placement-claim failure "
+                 "probability\n"
+                 "  --mig-abort P             live-migration abort probability\n"
+                 "  --degraded F              fraction of nodes degraded "
+                 "in-window\n"
+                 "  --degraded-cpu-factor C   effective CPU factor while "
+                 "degraded (default 0.6)\n"
+                 "  --maintenance N           unplanned maintenance windows\n";
 }
 
 }  // namespace
