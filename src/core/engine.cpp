@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -247,6 +248,7 @@ void sim_engine::setup_scrape_pipeline() {
 }
 
 void sim_engine::place_initial_population() {
+    const auto wall_begin = std::chrono::steady_clock::now();
     // place in creation order: the fleet's history replayed
     std::vector<const vm_plan*> order;
     order.reserve(population_plan_.initial.size());
@@ -255,13 +257,80 @@ void sim_engine::place_initial_population() {
                      [](const vm_plan* a, const vm_plan* b) {
                          return a->created_at < b->created_at;
                      });
-    for (const vm_plan* plan : order) {
-        if (place_vm(plan->vm, plan->created_at) && plan->deleted_at.has_value()) {
-            const vm_id vm = plan->vm;
-            queue_.schedule_at(*plan->deleted_at,
-                               [this, vm](sim_time t) { delete_vm(vm, t); });
+
+    const auto schedule_deletion = [this](const vm_plan* plan) {
+        if (!plan->deleted_at.has_value()) return;
+        const vm_id vm = plan->vm;
+        queue_.schedule_at(*plan->deleted_at,
+                           [this, vm](sim_time t) { delete_vm(vm, t); });
+    };
+
+    if (config_.holistic) {
+        // the holistic ablation places straight onto nodes — no conductor,
+        // nothing to speculate against
+        for (const vm_plan* plan : order) {
+            if (place_vm(plan->vm, plan->created_at)) schedule_deletion(plan);
         }
+        stats_.initial_placement_wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - wall_begin)
+                .count();
+        return;
     }
+
+    // Speculative batched placement.  The pipeline runs at EVERY thread
+    // count (pool workers when configured, inline otherwise): the commit
+    // is exact, so placements match the old serial loop byte for byte,
+    // and running it unconditionally keeps the speculation counters —
+    // which appear in the report — identical at any SCI_THREADS.
+    //
+    // Speculation raws may be reused at commit only while every host
+    // field they read is unchanged; that includes the contention feed,
+    // which is safe here because no scrape has run yet (the first fires
+    // at t = 0, after setup), so the EWMA is zero on both sides.
+    const std::size_t n = order.size();
+    const std::size_t batch = std::min(n, placement_batch_size);
+    spec_slots_.resize(batch);
+    spec_requests_.resize(batch);
+    const filter_scheduler& scheduler = conductor_->scheduler();
+    for (std::size_t begin = 0; begin < n; begin += placement_batch_size) {
+        const std::size_t count = std::min(placement_batch_size, n - begin);
+        // serial prep: requests (policy sampling stays on the main thread)
+        for (std::size_t i = 0; i < count; ++i) {
+            const vm_record& rec = vms_.get(order[begin + i]->vm);
+            schedule_request& rq = spec_requests_[i];
+            rq = schedule_request{};
+            rq.vm = rec.id;
+            rq.flavor = rec.flavor;
+            rq.project = rec.project;
+            rq.policy = policy_for(rec.id, scenario_.catalog.get(rec.flavor));
+        }
+        // immutable snapshot of the live host view for this batch
+        spec_snapshot_ = conductor_->host_states();  // copy reuses capacity
+        conductor_->begin_speculation_epoch();
+        run_sharded(count, [&](unsigned, std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                const schedule_request& rq = spec_requests_[i];
+                const request_context ctx{rq, scenario_.catalog.get(rq.flavor)};
+                scheduler.speculate(ctx, spec_snapshot_, spec_slots_[i]);
+            }
+        });
+        // serial commit pass, in creation order
+        for (std::size_t i = 0; i < count; ++i) {
+            const vm_plan* plan = order[begin + i];
+            if (place_vm(plan->vm, plan->created_at,
+                         lifecycle_event_kind::create, &spec_slots_[i])) {
+                schedule_deletion(plan);
+            }
+        }
+        conductor_->end_speculation_epoch();
+    }
+    stats_.speculative_placements = conductor_->speculative_placement_count();
+    stats_.speculation_misses = conductor_->speculation_miss_count();
+    stats_.initial_placement_wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_begin)
+            .count();
 }
 
 void sim_engine::schedule_window_events() {
@@ -302,7 +371,8 @@ placement_policy sim_engine::policy_for(vm_id vm, const flavor& f) const {
                                                        : placement_policy::pack;
 }
 
-bool sim_engine::place_vm(vm_id vm, sim_time when, lifecycle_event_kind kind) {
+bool sim_engine::place_vm(vm_id vm, sim_time when, lifecycle_event_kind kind,
+                          const host_speculation* spec) {
     if (config_.holistic) return place_vm_holistic(vm, when, kind);
 
     vm_record& rec = vms_.get_mutable(vm);
@@ -313,7 +383,10 @@ bool sim_engine::place_vm(vm_id vm, sim_time when, lifecycle_event_kind kind) {
     request.project = rec.project;
     request.policy = policy_for(vm, f);
 
-    const placement_outcome outcome = conductor_->schedule_and_claim(request);
+    // On a speculation miss the conductor resets the outcome before the
+    // serial re-placement, so its attempts are counted exactly once here.
+    const placement_outcome outcome =
+        conductor_->schedule_and_claim(request, spec);
     stats_.scheduler_retries +=
         outcome.attempts > 0 ? static_cast<std::uint64_t>(outcome.attempts - 1) : 0;
     if (!outcome.success) {

@@ -114,6 +114,20 @@ struct run_stats {
     /// Worst estimated stop-and-copy downtime of any migration (ms).
     double max_migration_downtime_ms = 0.0;
 
+    // --- speculative initial placement -----------------------------------
+    // The batched pipeline runs at every thread count (inline when
+    // serial), so these counters — which appear in the report — are
+    // identical at any SCI_THREADS.
+    /// Initial placements committed straight from a worker's speculative
+    /// filter+weigh result (exactly revalidated at commit).
+    std::uint64_t speculative_placements = 0;
+    /// Speculations fully invalidated by earlier commits in their batch;
+    /// the VM was re-placed through the serial retry loop.
+    std::uint64_t speculation_misses = 0;
+    /// Wall-clock of place_initial_population (host timing for benches —
+    /// NOT part of the deterministic output, excluded from comparisons).
+    double initial_placement_wall_ms = 0.0;
+
     // --- fault injection & HA recovery (all zero when faults are off) ----
     std::uint64_t host_crashes = 0;     ///< injected hypervisor failures
     std::uint64_t crash_victims = 0;    ///< VMs killed by host crashes
@@ -177,7 +191,8 @@ private:
     void schedule_window_events();
 
     bool place_vm(vm_id vm, sim_time when,
-                  lifecycle_event_kind kind = lifecycle_event_kind::create);
+                  lifecycle_event_kind kind = lifecycle_event_kind::create,
+                  const host_speculation* spec = nullptr);
     bool place_vm_holistic(vm_id vm, sim_time when, lifecycle_event_kind kind);
     void delete_vm(vm_id vm, sim_time when);
     void scrape(sim_time t);
@@ -282,6 +297,19 @@ private:
     std::vector<scrape_node> scrape_nodes_;     ///< cluster-major, built once
     std::vector<node_snapshot> node_snap_buf_;  ///< per scrape_nodes_ entry
     std::vector<char> node_avail_buf_;          ///< per scrape_nodes_ entry
+
+    // --- speculative initial placement ------------------------------------
+    // The creation-ordered plan is consumed in fixed-size batches: workers
+    // run filter + raw-weigh for every VM of a batch against an immutable
+    // snapshot of the conductor's host view (filter_scheduler::speculate),
+    // then a serial commit pass walks the batch in creation order and
+    // commits each speculation exactly (commit_speculation revalidates
+    // only providers claimed since the snapshot).  Placements are
+    // byte-identical to the old serial loop at any worker count.
+    static constexpr std::size_t placement_batch_size = 256;
+    std::vector<host_speculation> spec_slots_;     ///< per VM in batch
+    std::vector<schedule_request> spec_requests_;  ///< per VM in batch
+    std::vector<host_state> spec_snapshot_;        ///< immutable per batch
 
     // --- parallel DRS fan-out ---------------------------------------------
     // Clusters rebalance independently (each touches only its own nodes;

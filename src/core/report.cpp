@@ -161,7 +161,12 @@ void write_markdown_report(std::ostream& os, sim_engine& engine,
        << log.count(lifecycle_event_kind::schedule_fail) << "; estimated "
        << format_double(stats.migration_seconds, 0)
        << " s total migration time, worst downtime "
-       << format_double(stats.max_migration_downtime_ms, 1) << " ms.\n";
+       << format_double(stats.max_migration_downtime_ms, 1) << " ms.\n\n"
+       << "Scheduler: " << stats.scheduler_retries
+       << " claim retries; speculative initial placement committed "
+       << stats.speculative_placements << " VMs from worker speculation with "
+       << stats.speculation_misses
+       << " misses re-placed through the serial retry loop.\n";
 
     // --- availability (only when fault injection is configured) ------------
     if (engine.config().fault.enabled()) {

@@ -88,7 +88,8 @@ std::vector<drs_migration> drs_cluster::rebalance(
     if (!config_.enabled || nodes_.size() < 2) return applied;
 
     // cache per-node demand; updated incrementally as we move VMs
-    std::vector<double> demands(nodes_.size());
+    std::vector<double>& demands = demand_scratch_;
+    demands.resize(nodes_.size());
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
         demands[i] = node_demand_cores(nodes_[i], demand);
     }

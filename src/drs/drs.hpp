@@ -118,6 +118,7 @@ private:
     std::vector<node_runtime> nodes_;
     std::uint64_t migrations_ = 0;
     std::uint64_t aborts_ = 0;
+    std::vector<double> demand_scratch_;  ///< per-node demand, reused per pass
 };
 
 }  // namespace sci

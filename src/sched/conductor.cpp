@@ -1,5 +1,7 @@
 #include "sched/conductor.hpp"
 
+#include <algorithm>
+
 #include "simcore/error.hpp"
 #include "workload/calibration.hpp"
 
@@ -55,16 +57,98 @@ std::vector<host_state> conductor::build_host_states() const {
     return states;
 }
 
-placement_outcome conductor::schedule_and_claim(const schedule_request& request) {
+const std::vector<host_state>& conductor::host_states() {
+    refresh_host_states();
+    return states_;
+}
+
+void conductor::refresh_host_states() {
+    const std::vector<bb_id>& providers = placement_.providers();
+    if (states_.size() != providers.size()) {
+        // first call (or providers registered since): full build, caching
+        // the pointer-stable usage records for the incremental refreshes
+        states_ = build_host_states();
+        usage_refs_.clear();
+        usage_refs_.reserve(providers.size());
+        provider_pos_.clear();
+        for (std::uint32_t i = 0; i < providers.size(); ++i) {
+            usage_refs_.push_back(&placement_.usage(providers[i]));
+            const auto value = static_cast<std::size_t>(providers[i].value());
+            if (provider_pos_.size() <= value) provider_pos_.resize(value + 1);
+            provider_pos_[value] = i;
+        }
+        states_version_ = placement_.version();
+        return;
+    }
+    // Usage unchanged and no (unversioned) telemetry feed: view is current.
+    if (!contention_feed_ && states_version_ == placement_.version()) return;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        const provider_usage& use = *usage_refs_[i];
+        host_state& s = states_[i];
+        s.vcpus_used = use.vcpus_used;
+        s.ram_used_mib = use.ram_used_mib;
+        s.disk_used_gib = use.disk_used_gib;
+        s.instances = use.instances;
+        if (contention_feed_) s.avg_cpu_contention_pct = contention_feed_(s.bb);
+    }
+    states_version_ = placement_.version();
+}
+
+void conductor::begin_speculation_epoch() {
+    refresh_host_states();  // also (re)builds provider_pos_
+    spec_dirty_.assign(states_.size(), 0);
+}
+
+void conductor::end_speculation_epoch() { spec_dirty_.clear(); }
+
+void conductor::mark_claimed(bb_id bb) {
+    if (spec_dirty_.empty()) return;
+    spec_dirty_[provider_pos_[static_cast<std::size_t>(bb.value())]] = 1;
+}
+
+placement_outcome conductor::schedule_and_claim(const schedule_request& request,
+                                                const host_speculation* spec) {
     const flavor& f = catalog_.get(request.flavor);
     const request_context ctx{request, f};
     placement_outcome outcome;
 
+    if (spec != nullptr && spec->valid && !spec_dirty_.empty()) {
+        const std::vector<host_state>& hosts = host_states();
+        const std::span<const bb_id> candidates = scheduler_.commit_speculation(
+            ctx, hosts, *spec, spec_dirty_, 5, scratch_);
+        for (bb_id candidate : candidates) {
+            ++outcome.attempts;
+            if (claim_fault_ &&
+                claim_fault_(request.vm, candidate, outcome.attempts)) {
+                ++transient_claim_failures_;
+                continue;  // injected claim race: try the next alternate
+            }
+            try {
+                placement_.claim(request.vm, candidate, f);
+                mark_claimed(candidate);
+                outcome.success = true;
+                outcome.bb = candidate;
+                ++scheduled_;
+                retries_ += static_cast<std::uint64_t>(outcome.attempts - 1);
+                ++speculative_placements_;
+                return outcome;
+            } catch (const capacity_error&) {
+                continue;  // race lost: try the next alternate
+            }
+        }
+        // Miss: every corrected candidate was claimed away (or the set is
+        // empty).  Re-place through the pristine loop below, resetting the
+        // attempt count — the loop replays those candidates, and counting
+        // both passes would double-bill the retries stat.
+        ++speculation_misses_;
+        outcome = placement_outcome{};
+    }
+
     for (int round = 0; round <= request.max_retries; ++round) {
-        const std::vector<host_state> hosts = build_host_states();
+        const std::vector<host_state>& hosts = host_states();
         // a handful of alternates per round, like Nova's alternate list
-        const std::vector<bb_id> candidates =
-            scheduler_.select_destinations(ctx, hosts, 5);
+        const std::span<const bb_id> candidates =
+            scheduler_.select_destinations(ctx, hosts, 5, scratch_);
         if (candidates.empty()) break;
 
         for (bb_id candidate : candidates) {
@@ -76,6 +160,7 @@ placement_outcome conductor::schedule_and_claim(const schedule_request& request)
             }
             try {
                 placement_.claim(request.vm, candidate, f);
+                mark_claimed(candidate);
                 outcome.success = true;
                 outcome.bb = candidate;
                 ++scheduled_;

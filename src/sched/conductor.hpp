@@ -5,6 +5,12 @@
 // scheduler for ranked candidates, claims greedily with retries (the
 // paper: "Nova implements a greedy approach with retries reapplying
 // filters and weighers, which yields multiple suitable candidates").
+//
+// The host view is maintained incrementally: topology/capacity fields are
+// built once (the fleet and provider inventories are fixed after setup),
+// and the usage fields refresh only when the placement service's version
+// counter moved since the last request — the per-request full rebuild of
+// the old code is gone from the hot path.
 
 #include <functional>
 #include <vector>
@@ -38,7 +44,16 @@ public:
 
     /// Schedule and claim one VM.  Does not mutate the vm_registry; the
     /// caller applies the outcome (and assigns a node via DRS).
-    placement_outcome schedule_and_claim(const schedule_request& request);
+    ///
+    /// `spec` (optional) is this request's speculative filter+weigh
+    /// result against the current epoch's snapshot: the conductor commits
+    /// it through filter_scheduler::commit_speculation — exact, so the
+    /// claimed host matches what the pristine path would pick — and only
+    /// falls back to the full retry loop when every corrected candidate
+    /// is gone (counted as a speculation miss, with the attempt count
+    /// reset so retries are not double-counted).
+    placement_outcome schedule_and_claim(const schedule_request& request,
+                                         const host_speculation* spec = nullptr);
 
     /// Optional telemetry feed: average CPU contention per BB, consumed by
     /// contention-aware filters/weighers.
@@ -55,8 +70,28 @@ public:
         claim_fault_ = std::move(fault);
     }
 
-    /// Current scheduler view of every registered provider.
+    /// Current scheduler view of every registered provider, freshly built
+    /// (snapshot semantics — the caller owns the copy).
     std::vector<host_state> build_host_states() const;
+
+    /// Incrementally maintained live host view (see file comment).  The
+    /// reference stays valid and index-aligned with spec dirty masks
+    /// until providers are (re)registered.  With a contention feed
+    /// installed the telemetry fields are re-pulled on every call, since
+    /// the feed is not versioned — matching the old rebuild-per-request
+    /// behaviour exactly.
+    const std::vector<host_state>& host_states();
+
+    /// The scheduler pipeline (immutable — safe to share with workers
+    /// running filter_scheduler::speculate off-thread).
+    const filter_scheduler& scheduler() const { return scheduler_; }
+
+    // --- speculative placement epochs ------------------------------------
+    /// Start an epoch: until end_speculation_epoch(), every successful
+    /// claim marks its provider dirty, so commit_speculation can exactly
+    /// revalidate results speculated against the epoch's opening snapshot.
+    void begin_speculation_epoch();
+    void end_speculation_epoch();
 
     /// Cumulative counters.
     std::uint64_t scheduled_count() const { return scheduled_; }
@@ -65,8 +100,18 @@ public:
     std::uint64_t transient_claim_failure_count() const {
         return transient_claim_failures_;
     }
+    /// Placements committed straight from a speculation.
+    std::uint64_t speculative_placement_count() const {
+        return speculative_placements_;
+    }
+    /// Speculations whose corrected candidates were all gone at commit
+    /// time; the request went through the full retry loop instead.
+    std::uint64_t speculation_miss_count() const { return speculation_misses_; }
 
 private:
+    void refresh_host_states();
+    void mark_claimed(bb_id bb);
+
     const fleet& fleet_;
     const flavor_catalog& catalog_;
     placement_service& placement_;
@@ -74,10 +119,25 @@ private:
     std::function<double(bb_id)> contention_feed_;
     std::function<bool(vm_id, bb_id, int)> claim_fault_;
 
+    // incremental host view: usage structs live in the placement service's
+    // pointer-stable map (providers are never erased), so cached pointers
+    // refresh the mutable fields in place
+    std::vector<host_state> states_;
+    std::vector<const provider_usage*> usage_refs_;
+    std::uint64_t states_version_ = 0;
+
+    // speculation epoch state (empty dirty mask = no epoch active)
+    std::vector<char> spec_dirty_;          ///< per provider index
+    std::vector<std::uint32_t> provider_pos_;  ///< bb id value -> index
+
+    sched_scratch scratch_;  ///< serial claim path working buffers
+
     std::uint64_t scheduled_ = 0;
     std::uint64_t no_valid_host_ = 0;
     std::uint64_t retries_ = 0;
     std::uint64_t transient_claim_failures_ = 0;
+    std::uint64_t speculative_placements_ = 0;
+    std::uint64_t speculation_misses_ = 0;
 };
 
 }  // namespace sci

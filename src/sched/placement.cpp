@@ -70,6 +70,7 @@ void placement_service::claim(vm_id vm, bb_id bb, const flavor& f) {
     r.usage.disk_used_gib += f.disk_gib;
     r.usage.instances += 1;
     allocations_.emplace(vm, bb);
+    ++version_;
 }
 
 void placement_service::release(vm_id vm, const flavor& f) {
@@ -85,6 +86,7 @@ void placement_service::release(vm_id vm, const flavor& f) {
                 r.usage.instances >= 0,
             "placement_service::release: usage went negative");
     allocations_.erase(it);
+    ++version_;
 }
 
 void placement_service::move(vm_id vm, bb_id to, const flavor& f) {

@@ -8,6 +8,7 @@
 // allocation ratios and either records the allocation or throws
 // capacity_error — modelling the race the Nova retry loop exists for.
 
+#include <cstdint>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -66,6 +67,11 @@ public:
 
     std::size_t allocation_count() const { return allocations_.size(); }
 
+    /// Monotonic mutation counter, bumped by every claim/release (and so
+    /// twice by move).  Lets callers cache derived views of the usage
+    /// table and refresh only when something actually changed.
+    std::uint64_t version() const { return version_; }
+
 private:
     struct provider_record {
         provider_inventory inventory;
@@ -78,6 +84,7 @@ private:
     std::unordered_map<bb_id, provider_record> providers_;
     std::vector<bb_id> order_;
     std::unordered_map<vm_id, bb_id> allocations_;
+    std::uint64_t version_ = 0;
 };
 
 }  // namespace sci

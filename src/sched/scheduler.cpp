@@ -1,6 +1,7 @@
 #include "sched/scheduler.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "simcore/error.hpp"
@@ -15,13 +16,35 @@ filter_scheduler::filter_scheduler(
       spread_weighers_(std::move(spread_weighers)),
       pack_weighers_(std::move(pack_weighers)) {}
 
-std::vector<bb_id> filter_scheduler::select_destinations(
+std::span<const bb_id> filter_scheduler::rank_survivors(
+    std::size_t max_candidates, sched_scratch& scratch) const {
+    auto& order = scratch.order;
+    order.resize(scratch.survivors.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         if (scratch.scores[a] != scratch.scores[b]) {
+                             return scratch.scores[a] > scratch.scores[b];
+                         }
+                         // determinism
+                         return scratch.survivors[a]->bb < scratch.survivors[b]->bb;
+                     });
+    const std::size_t n = std::min(max_candidates, order.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        scratch.candidates.push_back(scratch.survivors[order[i]]->bb);
+    }
+    return scratch.candidates;
+}
+
+std::span<const bb_id> filter_scheduler::select_destinations(
     const request_context& ctx, std::span<const host_state> hosts,
-    std::size_t max_candidates, filter_trace* trace) const {
+    std::size_t max_candidates, sched_scratch& scratch,
+    filter_trace* trace) const {
     expects(max_candidates > 0, "select_destinations: need max_candidates >= 1");
 
     // --- filter stage ----------------------------------------------------
-    std::vector<const host_state*> survivors;
+    auto& survivors = scratch.survivors;
+    survivors.clear();
     survivors.reserve(hosts.size());
     for (const host_state& h : hosts) survivors.push_back(&h);
 
@@ -37,32 +60,122 @@ std::vector<bb_id> filter_scheduler::select_destinations(
         if (survivors.empty()) break;
     }
     if (trace != nullptr) trace->survivors = survivors.size();
+    scratch.candidates.clear();
     if (survivors.empty()) return {};
 
-    // --- weighing stage ----------------------------------------------------
-    std::vector<host_state> candidate_states;
-    candidate_states.reserve(survivors.size());
-    for (const host_state* h : survivors) candidate_states.push_back(*h);
+    // --- weighing stage --------------------------------------------------
+    score_hosts_into(survivors, ctx, weighers_for(ctx.request.policy),
+                     scratch.scores, scratch.raws);
+    return rank_survivors(max_candidates, scratch);
+}
 
-    const auto& weighers = ctx.request.policy == placement_policy::pack
-                               ? pack_weighers_
-                               : spread_weighers_;
-    const std::vector<double> scores =
-        score_hosts(candidate_states, ctx, weighers);
+std::vector<bb_id> filter_scheduler::select_destinations(
+    const request_context& ctx, std::span<const host_state> hosts,
+    std::size_t max_candidates, filter_trace* trace) const {
+    sched_scratch scratch;
+    const std::span<const bb_id> out =
+        select_destinations(ctx, hosts, max_candidates, scratch, trace);
+    return {out.begin(), out.end()};
+}
 
-    std::vector<std::size_t> order(survivors.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-        if (scores[a] != scores[b]) return scores[a] > scores[b];
-        return candidate_states[a].bb < candidate_states[b].bb;  // determinism
-    });
-
-    std::vector<bb_id> out;
-    out.reserve(std::min(max_candidates, order.size()));
-    for (std::size_t i = 0; i < order.size() && out.size() < max_candidates; ++i) {
-        out.push_back(candidate_states[order[i]].bb);
+void filter_scheduler::speculate(const request_context& ctx,
+                                 std::span<const host_state> snapshot,
+                                 host_speculation& out) const {
+    out.reset();
+    // Per-host filter chain with short-circuit: the surviving *set* is the
+    // same as the sequential erase_if chain (filters are pure predicates).
+    for (std::uint32_t i = 0; i < snapshot.size(); ++i) {
+        bool pass = true;
+        for (const auto& filter : filters_) {
+            if (!filter->passes(snapshot[i], ctx)) {
+                pass = false;
+                break;
+            }
+        }
+        if (pass) out.survivors.push_back(i);
     }
-    return out;
+    const std::span<const weighted_weigher> weighers =
+        weighers_for(ctx.request.policy);
+    out.weigher_count = static_cast<std::uint32_t>(weighers.size());
+    out.raws.reserve(weighers.size() * out.survivors.size());
+    for (const weighted_weigher& ww : weighers) {
+        for (const std::uint32_t idx : out.survivors) {
+            out.raws.push_back(ww.weigher->raw(snapshot[idx], ctx));
+        }
+    }
+    out.valid = true;
+}
+
+std::span<const bb_id> filter_scheduler::commit_speculation(
+    const request_context& ctx, std::span<const host_state> hosts,
+    const host_speculation& spec, std::span<const char> dirty,
+    std::size_t max_candidates, sched_scratch& scratch) const {
+    expects(max_candidates > 0, "commit_speculation: need max_candidates >= 1");
+    const std::span<const weighted_weigher> weighers =
+        weighers_for(ctx.request.policy);
+    expects(spec.valid && spec.weigher_count == weighers.size(),
+            "commit_speculation: speculation does not match the request");
+    expects(dirty.size() == hosts.size(),
+            "commit_speculation: dirty mask size mismatch");
+
+    // --- exact revalidation ----------------------------------------------
+    // Usage only grew since the snapshot, so every filter is fail-stable: a
+    // host rejected at snapshot time cannot pass now and the surviving set
+    // can only shrink.  Clean hosts carry bitwise-identical usage, so only
+    // dirty survivors need the filter chain re-run.
+    auto& survivors = scratch.survivors;
+    auto& host_idx = scratch.survivor_idx;
+    auto& spec_row = scratch.spec_row;
+    survivors.clear();
+    host_idx.clear();
+    spec_row.clear();
+    for (std::uint32_t row = 0; row < spec.survivors.size(); ++row) {
+        const std::uint32_t idx = spec.survivors[row];
+        const host_state& h = hosts[idx];
+        if (dirty[idx] != 0) {
+            bool pass = true;
+            for (const auto& filter : filters_) {
+                if (!filter->passes(h, ctx)) {
+                    pass = false;
+                    break;
+                }
+            }
+            if (!pass) continue;
+        }
+        survivors.push_back(&h);
+        host_idx.push_back(idx);
+        spec_row.push_back(row);
+    }
+    scratch.candidates.clear();
+    if (survivors.empty()) return {};
+
+    // --- weighing over the corrected set ---------------------------------
+    // Same arithmetic order as score_hosts_into; clean survivors reuse
+    // their snapshot raws verbatim, dirty ones re-weigh the live view.
+    const std::size_t n = survivors.size();
+    const std::size_t spec_n = spec.survivors.size();
+    auto& totals = scratch.scores;
+    auto& raws = scratch.raws;
+    totals.assign(n, 0.0);
+    raws.resize(n);
+    for (std::size_t w = 0; w < weighers.size(); ++w) {
+        const weighted_weigher& ww = weighers[w];
+        double lo = std::numeric_limits<double>::infinity();
+        double hi = -std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < n; ++i) {
+            raws[i] = dirty[host_idx[i]] != 0
+                          ? ww.weigher->raw(*survivors[i], ctx)
+                          : spec.raws[w * spec_n + spec_row[i]];
+            lo = std::min(lo, raws[i]);
+            hi = std::max(hi, raws[i]);
+        }
+        const double range = hi - lo;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double norm = range > 0.0 ? (raws[i] - lo) / range : 0.0;
+            totals[i] += ww.multiplier * norm;
+        }
+    }
+    return rank_survivors(max_candidates, scratch);
 }
 
 filter_scheduler make_default_scheduler() {

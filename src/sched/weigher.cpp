@@ -7,17 +7,18 @@
 
 namespace sci {
 
-std::vector<double> score_hosts(std::span<const host_state> hosts,
-                                const request_context& ctx,
-                                std::span<const weighted_weigher> weighers) {
-    std::vector<double> totals(hosts.size(), 0.0);
-    std::vector<double> raws(hosts.size());
+void score_hosts_into(std::span<const host_state* const> hosts,
+                      const request_context& ctx,
+                      std::span<const weighted_weigher> weighers,
+                      std::vector<double>& totals, std::vector<double>& raws) {
+    totals.assign(hosts.size(), 0.0);
+    raws.resize(hosts.size());
     for (const weighted_weigher& ww : weighers) {
         expects(ww.weigher != nullptr, "score_hosts: null weigher");
         double lo = std::numeric_limits<double>::infinity();
         double hi = -std::numeric_limits<double>::infinity();
         for (std::size_t i = 0; i < hosts.size(); ++i) {
-            raws[i] = ww.weigher->raw(hosts[i], ctx);
+            raws[i] = ww.weigher->raw(*hosts[i], ctx);
             lo = std::min(lo, raws[i]);
             hi = std::max(hi, raws[i]);
         }
@@ -28,6 +29,17 @@ std::vector<double> score_hosts(std::span<const host_state> hosts,
             totals[i] += ww.multiplier * norm;
         }
     }
+}
+
+std::vector<double> score_hosts(std::span<const host_state> hosts,
+                                const request_context& ctx,
+                                std::span<const weighted_weigher> weighers) {
+    std::vector<const host_state*> ptrs;
+    ptrs.reserve(hosts.size());
+    for (const host_state& h : hosts) ptrs.push_back(&h);
+    std::vector<double> totals;
+    std::vector<double> raws;
+    score_hosts_into(ptrs, ctx, weighers, totals, raws);
     return totals;
 }
 

@@ -87,6 +87,15 @@ std::vector<double> score_hosts(std::span<const host_state> hosts,
                                 const request_context& ctx,
                                 std::span<const weighted_weigher> weighers);
 
+/// Zero-copy variant: weighs through host pointers (no candidate copy)
+/// and writes into caller-provided buffers — `totals` is resized and
+/// overwritten, `raws` is per-weigher scratch.  Arithmetic order is
+/// identical to score_hosts, so results are bitwise equal.
+void score_hosts_into(std::span<const host_state* const> hosts,
+                      const request_context& ctx,
+                      std::span<const weighted_weigher> weighers,
+                      std::vector<double>& totals, std::vector<double>& raws);
+
 /// Default spreading pipeline (general purpose): CPU + RAM positive.
 std::vector<weighted_weigher> make_spread_weighers();
 

@@ -51,6 +51,9 @@ void expect_stats_equal(const run_stats& a, const run_stats& b) {
     EXPECT_EQ(a.resize_failures, b.resize_failures);
     EXPECT_EQ(a.migration_seconds, b.migration_seconds);  // bitwise: ==
     EXPECT_EQ(a.max_migration_downtime_ms, b.max_migration_downtime_ms);
+    EXPECT_EQ(a.speculative_placements, b.speculative_placements);
+    EXPECT_EQ(a.speculation_misses, b.speculation_misses);
+    // initial_placement_wall_ms is host timing, deliberately not compared
     EXPECT_EQ(a.host_crashes, b.host_crashes);
     EXPECT_EQ(a.crash_victims, b.crash_victims);
     EXPECT_EQ(a.ha_restarts, b.ha_restarts);
