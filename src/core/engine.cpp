@@ -334,16 +334,27 @@ void sim_engine::place_initial_population() {
 }
 
 void sim_engine::schedule_window_events() {
-    // churn arrivals
+    // Churn arrivals: a pre-sorted cursor drained by one self-rescheduling
+    // event instead of one heap entry per arrival.  The drain sits in a
+    // pinned sequence slot reserved HERE — where the per-arrival closures
+    // used to be scheduled — so at a tied timestamp it still fires after
+    // everything scheduled earlier in setup (node churn, initial-VM
+    // deletions) and before everything scheduled later (the events below,
+    // resizes, faults, and anything scheduled at runtime), exactly like
+    // the per-arrival events it replaces.
+    arrivals_.reserve(population_plan_.arrivals.size());
     for (const vm_plan& plan : population_plan_.arrivals) {
-        const vm_id vm = plan.vm;
-        const std::optional<sim_time> deleted_at = plan.deleted_at;
-        queue_.schedule_at(plan.created_at, [this, vm, deleted_at](sim_time t) {
-            if (place_vm(vm, t) && deleted_at.has_value()) {
-                queue_.schedule_at(*deleted_at,
-                                   [this, vm](sim_time td) { delete_vm(vm, td); });
-            }
-        });
+        arrivals_.push_back({plan.vm, plan.created_at, plan.deleted_at});
+    }
+    std::stable_sort(arrivals_.begin(), arrivals_.end(),
+                     [](const churn_arrival& a, const churn_arrival& b) {
+                         return a.created_at < b.created_at;
+                     });
+    arrival_drain_seq_ = queue_.reserve_seq();
+    if (!arrivals_.empty()) {
+        queue_.schedule_at_pinned(arrivals_.front().created_at,
+                                  arrival_drain_seq_,
+                                  [this](sim_time t) { drain_arrivals(t); });
     }
     // scrapes (self-rescheduling)
     queue_.schedule_at(0, [this](sim_time t) { scrape(t); });
@@ -355,6 +366,119 @@ void sim_engine::schedule_window_events() {
         queue_.schedule_at(config_.cross_bb_interval,
                            [this](sim_time t) { cross_bb_pass(t); });
     }
+}
+
+void sim_engine::drain_arrivals(sim_time t) {
+    const auto wall_begin = std::chrono::steady_clock::now();
+    const bool speculative = !config_.holistic;
+    while (arrival_cursor_ < arrivals_.size() &&
+           arrivals_[arrival_cursor_].created_at == t) {
+        if (speculative) {
+            // Re-checked per arrival: a shrink can happen mid-drain (the
+            // forced-fit failure path releases the claim it just made).
+            if (window_spec_active_ &&
+                (placement_.shrink_version() != spec_shrink_version_ ||
+                 (config_.contention_aware && stats_.scrapes != spec_scrapes_))) {
+                // usage no longer monotone since the snapshot (or the
+                // contention feed moved): the uncommitted tail cannot be
+                // committed exactly — drop it and re-speculate below
+                stats_.window_speculation_invalidated +=
+                    static_cast<std::uint64_t>(spec_end_ - arrival_cursor_);
+                conductor_->end_speculation_epoch();
+                window_spec_active_ = false;
+            }
+            if (!window_spec_active_ || arrival_cursor_ >= spec_end_) {
+                if (window_spec_active_) conductor_->end_speculation_epoch();
+                speculate_arrival_batch(t);
+            }
+        }
+        const host_speculation* spec =
+            window_spec_active_ ? &spec_slots_[arrival_cursor_ - spec_begin_]
+                                : nullptr;
+        const vm_id vm = arrivals_[arrival_cursor_].vm;
+        const std::optional<sim_time> deleted_at =
+            arrivals_[arrival_cursor_].deleted_at;
+        ++arrival_cursor_;
+        const std::uint64_t spec_ok = conductor_->speculative_placement_count();
+        const std::uint64_t spec_miss = conductor_->speculation_miss_count();
+        if (place_vm(vm, t, lifecycle_event_kind::create, spec) &&
+            deleted_at.has_value()) {
+            queue_.schedule_at(*deleted_at,
+                               [this, vm](sim_time td) { delete_vm(vm, td); });
+        }
+        stats_.window_speculative_placements +=
+            conductor_->speculative_placement_count() - spec_ok;
+        stats_.window_speculation_misses +=
+            conductor_->speculation_miss_count() - spec_miss;
+    }
+    if (window_spec_active_ && arrival_cursor_ >= spec_end_) {
+        // batch fully committed: close the epoch so claim bookkeeping
+        // stops until the next batch opens one
+        conductor_->end_speculation_epoch();
+        window_spec_active_ = false;
+    }
+    if (arrival_cursor_ < arrivals_.size()) {
+        // re-arm in the same pinned slot: the tie order above holds at
+        // every future timestamp too
+        queue_.schedule_at_pinned(arrivals_[arrival_cursor_].created_at,
+                                  arrival_drain_seq_,
+                                  [this](sim_time next) { drain_arrivals(next); });
+    }
+    stats_.churn_placement_wall_ms +=
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_begin)
+            .count();
+}
+
+void sim_engine::speculate_arrival_batch(sim_time t) {
+    // batch = the pending arrivals of the current scrape interval (the
+    // longest stretch over which the contention feed is guaranteed
+    // stationary), capped at placement_batch_size
+    const sim_time horizon =
+        (t / config_.sampling_interval + 1) * config_.sampling_interval;
+    std::size_t end = arrival_cursor_;
+    while (end < arrivals_.size() && arrivals_[end].created_at < horizon &&
+           end - arrival_cursor_ < placement_batch_size) {
+        ++end;
+    }
+    const std::size_t count = end - arrival_cursor_;
+    // the caller only speculates when an arrival is due at t, so the
+    // batch is never empty (arrivals_[cursor].created_at == t < horizon)
+    if (spec_slots_.size() < count) {
+        spec_slots_.resize(count);
+        spec_requests_.resize(count);
+    }
+    const filter_scheduler& scheduler = conductor_->scheduler();
+    // serial prep: requests (policy sampling stays on the main thread)
+    for (std::size_t i = 0; i < count; ++i) {
+        const vm_record& rec = vms_.get(arrivals_[arrival_cursor_ + i].vm);
+        schedule_request& rq = spec_requests_[i];
+        rq = schedule_request{};
+        rq.vm = rec.id;
+        rq.flavor = rec.flavor;
+        rq.project = rec.project;
+        rq.policy = policy_for(rec.id, scenario_.catalog.get(rec.flavor));
+    }
+    // immutable snapshot of the live host view for this batch
+    spec_snapshot_ = conductor_->host_states();  // copy reuses capacity
+    conductor_->begin_speculation_epoch();
+    run_sharded(count, [&](unsigned, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            const schedule_request& rq = spec_requests_[i];
+            const request_context ctx{rq, scenario_.catalog.get(rq.flavor)};
+            scheduler.speculate(ctx, spec_snapshot_, spec_slots_[i]);
+        }
+    });
+    spec_begin_ = arrival_cursor_;
+    spec_end_ = end;
+    spec_shrink_version_ = placement_.shrink_version();
+    spec_scrapes_ = stats_.scrapes;
+    window_spec_active_ = true;
+    ++stats_.window_batches;
+    stats_.window_speculations += static_cast<std::uint64_t>(count);
+    churn_batch_spans_.push_back({arrivals_[spec_begin_].created_at,
+                                  arrivals_[end - 1].created_at,
+                                  static_cast<std::uint32_t>(count)});
 }
 
 // ---------------------------------------------------------------------------

@@ -128,6 +128,25 @@ struct run_stats {
     /// NOT part of the deterministic output, excluded from comparisons).
     double initial_placement_wall_ms = 0.0;
 
+    // --- batched churn-arrival placement ----------------------------------
+    // In-window arrivals are grouped per scrape interval and driven
+    // through the same speculate/commit pipeline (inline when serial), so
+    // every counter here is identical at any SCI_THREADS.
+    std::uint64_t window_batches = 0;       ///< speculation batches launched
+    std::uint64_t window_speculations = 0;  ///< arrivals speculated in-window
+    /// Arrivals committed straight from a window speculation.
+    std::uint64_t window_speculative_placements = 0;
+    /// Window speculations whose corrected candidates were exhausted at
+    /// commit; the arrival continued through the ordinary retry rounds.
+    std::uint64_t window_speculation_misses = 0;
+    /// Speculations dropped before commit because provider usage shrank
+    /// (deletion / evacuation / crash / resize) or the contention feed
+    /// moved since the batch snapshot; the tail of the batch re-speculates.
+    std::uint64_t window_speculation_invalidated = 0;
+    /// Wall-clock spent draining churn arrivals (host timing for benches —
+    /// NOT part of the deterministic output, excluded from comparisons).
+    double churn_placement_wall_ms = 0.0;
+
     // --- fault injection & HA recovery (all zero when faults are off) ----
     std::uint64_t host_crashes = 0;     ///< injected hypervisor failures
     std::uint64_t crash_victims = 0;    ///< VMs killed by host crashes
@@ -182,6 +201,16 @@ public:
     /// Resolved scrape worker count (config override, else SCI_THREADS).
     unsigned worker_threads() const;
 
+    /// Arrival-time span of one speculated churn batch (diagnostics: lets
+    /// tests prove batches straddled deletion / fault events in-window).
+    struct churn_batch_span {
+        sim_time first, last;
+        std::uint32_t size;
+    };
+    const std::vector<churn_batch_span>& churn_batches() const {
+        return churn_batch_spans_;
+    }
+
 private:
     void setup_providers();
     void setup_node_churn();
@@ -189,6 +218,8 @@ private:
     void setup_scrape_pipeline();
     void place_initial_population();
     void schedule_window_events();
+    void drain_arrivals(sim_time t);
+    void speculate_arrival_batch(sim_time t);
 
     bool place_vm(vm_id vm, sim_time when,
                   lifecycle_event_kind kind = lifecycle_event_kind::create,
@@ -310,6 +341,35 @@ private:
     std::vector<host_speculation> spec_slots_;     ///< per VM in batch
     std::vector<schedule_request> spec_requests_;  ///< per VM in batch
     std::vector<host_state> spec_snapshot_;        ///< immutable per batch
+
+    // --- batched churn-arrival placement ----------------------------------
+    // In-window arrivals are pre-sorted by creation time and drained by
+    // ONE self-rescheduling event pinned to a reserved heap sequence slot
+    // (event_queue::schedule_at_pinned), so the tie order at equal
+    // timestamps is exactly the per-arrival schedule it replaces while the
+    // heap carries O(1) arrival entries instead of one per arrival.  Each
+    // drain extends the same speculate/commit pipeline into the event
+    // loop: the arrivals of the current scrape interval (capped at
+    // placement_batch_size) speculate against an immutable snapshot on
+    // the pool, then commit serially in event-time order.  A shrink
+    // (deletion / evacuation / crash / resize / cross-BB move) or a
+    // contention-feed move breaks the monotone-usage precondition of
+    // commit_speculation, so the uncommitted tail is dropped and
+    // re-speculated on the spot against the live view.
+    struct churn_arrival {
+        vm_id vm;
+        sim_time created_at;
+        std::optional<sim_time> deleted_at;
+    };
+    std::vector<churn_arrival> arrivals_;    ///< stable-sorted by created_at
+    std::size_t arrival_cursor_ = 0;         ///< next arrival to commit
+    std::uint64_t arrival_drain_seq_ = 0;    ///< pinned heap sequence slot
+    bool window_spec_active_ = false;        ///< a batch awaits commit
+    std::size_t spec_begin_ = 0;             ///< batch range in arrivals_
+    std::size_t spec_end_ = 0;
+    std::uint64_t spec_shrink_version_ = 0;  ///< shrink counter at snapshot
+    std::uint64_t spec_scrapes_ = 0;         ///< scrape count at snapshot
+    std::vector<churn_batch_span> churn_batch_spans_;
 
     // --- parallel DRS fan-out ---------------------------------------------
     // Clusters rebalance independently (each touches only its own nodes;

@@ -166,7 +166,13 @@ void write_markdown_report(std::ostream& os, sim_engine& engine,
        << " claim retries; speculative initial placement committed "
        << stats.speculative_placements << " VMs from worker speculation with "
        << stats.speculation_misses
-       << " misses re-placed through the serial retry loop.\n";
+       << " misses re-placed through the serial retry loop.\n"
+       << "Churn batching: " << stats.window_batches << " in-window batches"
+       << " speculated " << stats.window_speculations << " arrivals, committed "
+       << stats.window_speculative_placements << " speculatively ("
+       << stats.window_speculation_misses << " misses, "
+       << stats.window_speculation_invalidated
+       << " invalidated by usage shrinks or telemetry refreshes).\n";
 
     // --- availability (only when fault injection is configured) ------------
     if (engine.config().fault.enabled()) {

@@ -112,44 +112,26 @@ placement_outcome conductor::schedule_and_claim(const schedule_request& request,
     const request_context ctx{request, f};
     placement_outcome outcome;
 
-    if (spec != nullptr && spec->valid && !spec_dirty_.empty()) {
-        const std::vector<host_state>& hosts = host_states();
-        const std::span<const bb_id> candidates = scheduler_.commit_speculation(
-            ctx, hosts, *spec, spec_dirty_, 5, scratch_);
-        for (bb_id candidate : candidates) {
-            ++outcome.attempts;
-            if (claim_fault_ &&
-                claim_fault_(request.vm, candidate, outcome.attempts)) {
-                ++transient_claim_failures_;
-                continue;  // injected claim race: try the next alternate
-            }
-            try {
-                placement_.claim(request.vm, candidate, f);
-                mark_claimed(candidate);
-                outcome.success = true;
-                outcome.bb = candidate;
-                ++scheduled_;
-                retries_ += static_cast<std::uint64_t>(outcome.attempts - 1);
-                ++speculative_placements_;
-                return outcome;
-            } catch (const capacity_error&) {
-                continue;  // race lost: try the next alternate
-            }
-        }
-        // Miss: every corrected candidate was claimed away (or the set is
-        // empty).  Re-place through the pristine loop below, resetting the
-        // attempt count — the loop replays those candidates, and counting
-        // both passes would double-bill the retries stat.
-        ++speculation_misses_;
-        outcome = placement_outcome{};
-    }
-
+    // A valid speculation replaces round 0's filter+weigh: the corrected
+    // candidate list is bitwise what select_destinations would return
+    // (the caller guarantees monotone usage since the snapshot), so the
+    // claim/fault sequence — including injected-fault RNG draws — matches
+    // the pristine loop exactly.  On a miss the loop simply continues
+    // into round 1 with a fresh selection, again exactly like the
+    // pristine loop; nothing is replayed or double-counted.
+    const bool use_spec = spec != nullptr && spec->valid && !spec_dirty_.empty();
     for (int round = 0; round <= request.max_retries; ++round) {
         const std::vector<host_state>& hosts = host_states();
+        const bool from_spec = round == 0 && use_spec;
         // a handful of alternates per round, like Nova's alternate list
         const std::span<const bb_id> candidates =
-            scheduler_.select_destinations(ctx, hosts, 5, scratch_);
-        if (candidates.empty()) break;
+            from_spec ? scheduler_.commit_speculation(ctx, hosts, *spec,
+                                                      spec_dirty_, 5, scratch_)
+                      : scheduler_.select_destinations(ctx, hosts, 5, scratch_);
+        if (candidates.empty()) {
+            if (from_spec) ++speculation_misses_;
+            break;
+        }
 
         for (bb_id candidate : candidates) {
             ++outcome.attempts;
@@ -165,11 +147,15 @@ placement_outcome conductor::schedule_and_claim(const schedule_request& request,
                 outcome.bb = candidate;
                 ++scheduled_;
                 retries_ += static_cast<std::uint64_t>(outcome.attempts - 1);
+                if (from_spec) ++speculative_placements_;
                 return outcome;
             } catch (const capacity_error&) {
                 continue;  // race lost: try the next alternate
             }
         }
+        // the speculated alternates are exhausted: later rounds re-select
+        // against the live view, exactly as the pristine loop would
+        if (from_spec) ++speculation_misses_;
     }
     ++no_valid_host_;
     return outcome;

@@ -47,11 +47,12 @@ public:
     ///
     /// `spec` (optional) is this request's speculative filter+weigh
     /// result against the current epoch's snapshot: the conductor commits
-    /// it through filter_scheduler::commit_speculation — exact, so the
-    /// claimed host matches what the pristine path would pick — and only
-    /// falls back to the full retry loop when every corrected candidate
-    /// is gone (counted as a speculation miss, with the attempt count
-    /// reset so retries are not double-counted).
+    /// it through filter_scheduler::commit_speculation, whose corrected
+    /// candidate list serves as round 0 of the retry loop — exact, so the
+    /// claim sequence (including injected claim-fault draws) is bitwise
+    /// what the pristine path would produce.  When round 0 yields no
+    /// placement (counted as a speculation miss) the loop continues into
+    /// round 1 with a fresh selection, exactly like the pristine loop.
     placement_outcome schedule_and_claim(const schedule_request& request,
                                          const host_speculation* spec = nullptr);
 

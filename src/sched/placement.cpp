@@ -87,6 +87,7 @@ void placement_service::release(vm_id vm, const flavor& f) {
             "placement_service::release: usage went negative");
     allocations_.erase(it);
     ++version_;
+    ++shrink_version_;
 }
 
 void placement_service::move(vm_id vm, bb_id to, const flavor& f) {

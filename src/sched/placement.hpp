@@ -72,6 +72,14 @@ public:
     /// table and refresh only when something actually changed.
     std::uint64_t version() const { return version_; }
 
+    /// Monotonic counter bumped only by release() (and therefore by
+    /// move()).  While it is unchanged, usage has grown monotonically —
+    /// the precondition under which speculative filter+weigh results can
+    /// be committed exactly (filter_scheduler::commit_speculation).  The
+    /// engine samples it when a batch is speculated and drops the batch
+    /// the moment a deletion/evacuation/resize shrinks any provider.
+    std::uint64_t shrink_version() const { return shrink_version_; }
+
 private:
     struct provider_record {
         provider_inventory inventory;
@@ -85,6 +93,7 @@ private:
     std::vector<bb_id> order_;
     std::unordered_map<vm_id, bb_id> allocations_;
     std::uint64_t version_ = 0;
+    std::uint64_t shrink_version_ = 0;
 };
 
 }  // namespace sci

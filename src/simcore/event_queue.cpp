@@ -19,6 +19,20 @@ event_handle event_queue::schedule_after(sim_duration delay, callback fn) {
     return schedule_at(now_ + delay, std::move(fn));
 }
 
+event_handle event_queue::schedule_at_pinned(sim_time at, std::uint64_t seq,
+                                             callback fn) {
+    expects(at >= now_,
+            "event_queue::schedule_at_pinned: cannot schedule in the past");
+    expects(seq < next_seq_,
+            "event_queue::schedule_at_pinned: sequence slot not reserved");
+    expects(static_cast<bool>(fn), "event_queue::schedule_at_pinned: null callback");
+    const event_handle handle = next_handle_++;
+    heap_.push(entry{at, seq, handle});
+    callbacks_.emplace(handle, std::move(fn));
+    ++live_events_;
+    return handle;
+}
+
 bool event_queue::cancel(event_handle handle) {
     const auto it = callbacks_.find(handle);
     if (it == callbacks_.end()) return false;

@@ -29,6 +29,20 @@ public:
     /// Schedule `fn` after `delay` seconds (delay >= 0).
     event_handle schedule_after(sim_duration delay, callback fn);
 
+    /// Reserve a tie-break sequence slot at the current allocation point
+    /// without scheduling anything.  Events later scheduled through
+    /// schedule_at_pinned with this slot order among equal-timestamp
+    /// events as if they had been scheduled right now — which lets a
+    /// self-rescheduling event (e.g. the engine's churn-arrival drain)
+    /// keep a fixed position in the FIFO tie order no matter when it
+    /// re-arms itself.
+    std::uint64_t reserve_seq() { return next_seq_++; }
+
+    /// Schedule `fn` at `at` with an explicit reserved tie-break slot.
+    /// At most one live event may hold a given slot at a time (otherwise
+    /// their mutual order at equal timestamps would be unspecified).
+    event_handle schedule_at_pinned(sim_time at, std::uint64_t seq, callback fn);
+
     /// Cancel a previously scheduled event.  Returns false if the event
     /// already fired or was already cancelled.
     bool cancel(event_handle handle);

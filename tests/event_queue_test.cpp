@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
+
+#include "simcore/error.hpp"
 
 namespace sci {
 namespace {
@@ -159,6 +162,33 @@ TEST(EventQueueTest, CancelFromWithinCallback) {
     q.schedule_at(10, [&](sim_time) { q.cancel(second); });
     q.run();
     EXPECT_FALSE(second_fired);
+}
+
+TEST(EventQueueTest, PinnedSeqKeepsTieOrderAcrossReschedules) {
+    // A self-rescheduling event in a reserved slot must keep firing at
+    // the reserved position among equal-timestamp events: after earlier
+    // reservations, before later ones — even on its Nth rescheduling,
+    // when a naive schedule_at would have drifted to the end of the tie.
+    event_queue q;
+    std::vector<int> order;
+    q.schedule_at(10, [&](sim_time) { order.push_back(0); });
+    q.schedule_at(20, [&](sim_time) { order.push_back(0); });
+    const std::uint64_t slot = q.reserve_seq();
+    std::function<void(sim_time)> drain = [&](sim_time t) {
+        order.push_back(1);
+        if (t < 20) q.schedule_at_pinned(t + 10, slot, drain);
+    };
+    q.schedule_at_pinned(10, slot, drain);
+    q.schedule_at(10, [&](sim_time) { order.push_back(2); });
+    q.schedule_at(20, [&](sim_time) { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(EventQueueTest, PinnedSeqRequiresReservedSlot) {
+    event_queue q;
+    EXPECT_THROW(q.schedule_at_pinned(0, 99, [](sim_time) {}),
+                 precondition_error);
 }
 
 TEST(EventQueueTest, ManyEventsStressOrdering) {

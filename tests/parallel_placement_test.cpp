@@ -87,6 +87,12 @@ void expect_stats_equal(const run_stats& a, const run_stats& b) {
     EXPECT_EQ(a.max_migration_downtime_ms, b.max_migration_downtime_ms);
     EXPECT_EQ(a.speculative_placements, b.speculative_placements);
     EXPECT_EQ(a.speculation_misses, b.speculation_misses);
+    EXPECT_EQ(a.window_batches, b.window_batches);
+    EXPECT_EQ(a.window_speculations, b.window_speculations);
+    EXPECT_EQ(a.window_speculative_placements, b.window_speculative_placements);
+    EXPECT_EQ(a.window_speculation_misses, b.window_speculation_misses);
+    EXPECT_EQ(a.window_speculation_invalidated, b.window_speculation_invalidated);
+    // churn_placement_wall_ms is host timing, deliberately not compared
     // initial_placement_wall_ms is host timing, deliberately not compared
     EXPECT_EQ(a.host_crashes, b.host_crashes);
     EXPECT_EQ(a.crash_victims, b.crash_victims);
