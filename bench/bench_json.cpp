@@ -1,0 +1,68 @@
+#include "bench_json.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sci::benchutil {
+
+namespace {
+
+/// Overwrite-or-append one entry, keyed by name.  Overwriting in place
+/// keeps the file ordering stable, so re-running a bench binary produces
+/// a byte-identical summary instead of a reshuffled one.
+void upsert(std::vector<bench_entry>& entries, const bench_entry& fresh) {
+    const auto it = std::find_if(
+        entries.begin(), entries.end(),
+        [&](const bench_entry& e) { return e.name == fresh.name; });
+    if (it != entries.end()) {
+        *it = fresh;
+    } else {
+        entries.push_back(fresh);
+    }
+}
+
+}  // namespace
+
+std::vector<bench_entry> parse_bench_json(std::string_view text) {
+    std::vector<bench_entry> entries;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string_view::npos) eol = text.size();
+        const std::string line(text.substr(pos, eol - pos));
+        pos = eol + 1;
+        char name[256];
+        bench_entry e;
+        if (std::sscanf(line.c_str(),
+                        " {\"name\": \"%255[^\"]\", \"wall_ms\": %lf, "
+                        "\"samples_per_s\": %lf",
+                        name, &e.wall_ms, &e.samples_per_s) == 3) {
+            e.name = name;
+            upsert(entries, e);  // duplicate keys collapse, last wins
+        }
+    }
+    return entries;
+}
+
+void merge_bench_entries(std::vector<bench_entry>& existing,
+                         const std::vector<bench_entry>& fresh) {
+    for (const bench_entry& e : fresh) upsert(existing, e);
+}
+
+std::string render_bench_json(const std::vector<bench_entry>& entries) {
+    std::string out = "{\n  \"benchmarks\": [\n";
+    char line[512];
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        std::snprintf(line, sizeof line,
+                      "    {\"name\": \"%s\", \"wall_ms\": %.3f, "
+                      "\"samples_per_s\": %.0f}%s\n",
+                      entries[i].name.c_str(), entries[i].wall_ms,
+                      entries[i].samples_per_s,
+                      i + 1 < entries.size() ? "," : "");
+        out += line;
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+}  // namespace sci::benchutil

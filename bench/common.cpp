@@ -1,81 +1,54 @@
 #include "common.hpp"
 
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
+
 namespace sci::benchutil {
 
 namespace {
 
-struct bench_result {
-    std::string name;
-    double wall_ms;
-    double samples_per_s;
-};
-
-std::vector<bench_result>& bench_results() {
-    static std::vector<bench_result> results;
+std::vector<bench_entry>& bench_results() {
+    static std::vector<bench_entry> results;
     return results;
 }
 
 /// Entries already in the summary file (written by another bench binary
-/// of the same run).  The format is our own, so a line scan suffices.
-std::vector<bench_result> read_existing(const char* path) {
-    std::vector<bench_result> existing;
+/// of the same run, or by a previous run).
+std::vector<bench_entry> read_existing(const char* path) {
     std::FILE* in = std::fopen(path, "r");
-    if (in == nullptr) return existing;
-    char line[512];
-    while (std::fgets(line, sizeof line, in) != nullptr) {
-        char name[256];
-        double wall = 0.0;
-        double rate = 0.0;
-        if (std::sscanf(line,
-                        " {\"name\": \"%255[^\"]\", \"wall_ms\": %lf, "
-                        "\"samples_per_s\": %lf",
-                        name, &wall, &rate) == 3) {
-            existing.push_back(bench_result{name, wall, rate});
-        }
+    if (in == nullptr) return {};
+    std::string text;
+    char chunk[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(chunk, 1, sizeof chunk, in)) > 0) {
+        text.append(chunk, got);
     }
     std::fclose(in);
-    return existing;
+    return parse_bench_json(text);
 }
 
 void write_bench_json() {
     if (bench_results().empty()) return;
     const char* path = std::getenv("SCI_BENCH_JSON");
     if (path == nullptr || *path == '\0') path = "BENCH_engine.json";
-    // merge with what other binaries wrote: same-name entries are
-    // replaced by this process's measurement, the rest are preserved
-    std::vector<bench_result> results = read_existing(path);
-    for (const bench_result& fresh : bench_results()) {
-        const auto it = std::find_if(
-            results.begin(), results.end(),
-            [&](const bench_result& r) { return r.name == fresh.name; });
-        if (it != results.end()) {
-            *it = fresh;
-        } else {
-            results.push_back(fresh);
-        }
-    }
+    // merge with what other binaries wrote: dedupe by name (parse already
+    // collapses duplicates a pre-dedupe writer left behind), same-name
+    // entries replaced by this process's measurement, the rest preserved
+    // in file order — so re-running the same binary is idempotent.
+    std::vector<bench_entry> results = read_existing(path);
+    merge_bench_entries(results, bench_results());
     std::FILE* out = std::fopen(path, "w");
     if (out == nullptr) {
         std::fprintf(stderr, "record_bench: cannot write %s\n", path);
         return;
     }
-    std::fprintf(out, "{\n  \"benchmarks\": [\n");
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        std::fprintf(out,
-                     "    {\"name\": \"%s\", \"wall_ms\": %.3f, "
-                     "\"samples_per_s\": %.0f}%s\n",
-                     results[i].name.c_str(), results[i].wall_ms,
-                     results[i].samples_per_s,
-                     i + 1 < results.size() ? "," : "");
-    }
-    std::fprintf(out, "  ]\n}\n");
+    const std::string text = render_bench_json(results);
+    std::fwrite(text.data(), 1, text.size(), out);
     std::fclose(out);
     std::printf("[bench] wrote %zu result(s) to %s\n", results.size(), path);
 }
@@ -85,7 +58,7 @@ void write_bench_json() {
 void record_bench(std::string_view name, double wall_ms, double samples_per_s) {
     if (bench_results().empty()) std::atexit(write_bench_json);
     bench_results().push_back(
-        bench_result{std::string(name), wall_ms, samples_per_s});
+        bench_entry{std::string(name), wall_ms, samples_per_s});
 }
 
 double env_scale() {

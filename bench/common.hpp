@@ -35,8 +35,9 @@ void print_header(std::string_view artifact, std::string_view paper_claim);
 /// flushed to SCI_BENCH_JSON (default "BENCH_engine.json") at process
 /// exit, as `{"benchmarks": [{"name", "wall_ms", "samples_per_s"}, ...]}`
 /// — the perf trajectory future PRs diff against.  An existing summary
-/// is merged into (same-name entries replaced, others preserved), so
-/// multiple bench binaries can contribute to one file.
+/// is merged into (same-name entries replaced, others preserved, stale
+/// duplicates collapsed — see bench_json.hpp), so multiple bench binaries
+/// can contribute to one file and re-runs are idempotent.
 void record_bench(std::string_view name, double wall_ms, double samples_per_s);
 
 }  // namespace sci::benchutil

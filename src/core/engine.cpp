@@ -307,7 +307,7 @@ void sim_engine::place_initial_population() {
         }
         // immutable snapshot of the live host view for this batch
         spec_snapshot_ = conductor_->host_states();  // copy reuses capacity
-        conductor_->begin_speculation_epoch();
+        conductor_->snapshot_claim_counts(spec_claim_counts_);
         run_sharded(count, [&](unsigned, std::size_t lo, std::size_t hi) {
             for (std::size_t i = lo; i < hi; ++i) {
                 const schedule_request& rq = spec_requests_[i];
@@ -319,11 +319,11 @@ void sim_engine::place_initial_population() {
         for (std::size_t i = 0; i < count; ++i) {
             const vm_plan* plan = order[begin + i];
             if (place_vm(plan->vm, plan->created_at,
-                         lifecycle_event_kind::create, &spec_slots_[i])) {
+                         lifecycle_event_kind::create, &spec_slots_[i],
+                         spec_claim_counts_)) {
                 schedule_deletion(plan);
             }
         }
-        conductor_->end_speculation_epoch();
     }
     stats_.speculative_placements = conductor_->speculative_placement_count();
     stats_.speculation_misses = conductor_->speculation_miss_count();
@@ -384,11 +384,9 @@ void sim_engine::drain_arrivals(sim_time t) {
                 // committed exactly — drop it and re-speculate below
                 stats_.window_speculation_invalidated +=
                     static_cast<std::uint64_t>(spec_end_ - arrival_cursor_);
-                conductor_->end_speculation_epoch();
                 window_spec_active_ = false;
             }
             if (!window_spec_active_ || arrival_cursor_ >= spec_end_) {
-                if (window_spec_active_) conductor_->end_speculation_epoch();
                 speculate_arrival_batch(t);
             }
         }
@@ -401,7 +399,8 @@ void sim_engine::drain_arrivals(sim_time t) {
         ++arrival_cursor_;
         const std::uint64_t spec_ok = conductor_->speculative_placement_count();
         const std::uint64_t spec_miss = conductor_->speculation_miss_count();
-        if (place_vm(vm, t, lifecycle_event_kind::create, spec) &&
+        if (place_vm(vm, t, lifecycle_event_kind::create, spec,
+                     spec_claim_counts_) &&
             deleted_at.has_value()) {
             queue_.schedule_at(*deleted_at,
                                [this, vm](sim_time td) { delete_vm(vm, td); });
@@ -412,10 +411,7 @@ void sim_engine::drain_arrivals(sim_time t) {
             conductor_->speculation_miss_count() - spec_miss;
     }
     if (window_spec_active_ && arrival_cursor_ >= spec_end_) {
-        // batch fully committed: close the epoch so claim bookkeeping
-        // stops until the next batch opens one
-        conductor_->end_speculation_epoch();
-        window_spec_active_ = false;
+        window_spec_active_ = false;  // batch fully committed
     }
     if (arrival_cursor_ < arrivals_.size()) {
         // re-arm in the same pinned slot: the tie order above holds at
@@ -461,7 +457,7 @@ void sim_engine::speculate_arrival_batch(sim_time t) {
     }
     // immutable snapshot of the live host view for this batch
     spec_snapshot_ = conductor_->host_states();  // copy reuses capacity
-    conductor_->begin_speculation_epoch();
+    conductor_->snapshot_claim_counts(spec_claim_counts_);
     run_sharded(count, [&](unsigned, std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
             const schedule_request& rq = spec_requests_[i];
@@ -496,7 +492,8 @@ placement_policy sim_engine::policy_for(vm_id vm, const flavor& f) const {
 }
 
 bool sim_engine::place_vm(vm_id vm, sim_time when, lifecycle_event_kind kind,
-                          const host_speculation* spec) {
+                          const host_speculation* spec,
+                          std::span<const std::uint64_t> spec_counts) {
     if (config_.holistic) return place_vm_holistic(vm, when, kind);
 
     vm_record& rec = vms_.get_mutable(vm);
@@ -510,7 +507,7 @@ bool sim_engine::place_vm(vm_id vm, sim_time when, lifecycle_event_kind kind,
     // On a speculation miss the conductor resets the outcome before the
     // serial re-placement, so its attempts are counted exactly once here.
     const placement_outcome outcome =
-        conductor_->schedule_and_claim(request, spec);
+        conductor_->schedule_and_claim(request, spec, spec_counts);
     stats_.scheduler_retries +=
         outcome.attempts > 0 ? static_cast<std::uint64_t>(outcome.attempts - 1) : 0;
     if (!outcome.success) {
@@ -969,11 +966,12 @@ void sim_engine::drs_pass(sim_time t) {
             if (migration_aborted()) {
                 // pre-copy failed mid-stream (sci::fault): the VM never
                 // left its source — roll the reservation back and bill
-                // the wasted pre-copy bandwidth
+                // the wasted pre-copy bandwidth (exactly once per move;
+                // record_abort asserts the VM wasn't already charged)
                 const flavor& f = scenario_.catalog.get(vms_.get(m.vm).flavor);
                 cluster.remove(m.vm, f, m.to);
                 cluster.place(m.vm, f, m.from);
-                cluster.record_abort();
+                cluster.record_abort(m.vm);
                 ++stats_.migration_aborts;
                 stats_.wasted_migration_seconds +=
                     estimate_vm_migration(m.vm, t).total_seconds;
@@ -1026,11 +1024,29 @@ void sim_engine::cross_bb_pass(sim_time t) {
                                    f.wclass == workload_class::hana_db);
     };
 
-    for (const cross_bb_move& move : rebalancer.plan(placement_, inputs)) {
+    // Speculate every planned move's destination node as a batch on the
+    // pool (initial_placement is a pure read of the target cluster), each
+    // stamped with its cluster's usage version.  The serial commit below
+    // consumes a target only while the version still matches — then the
+    // cluster is bitwise what the speculation saw, so the target equals
+    // the recompute the old serial loop did — and otherwise drops the
+    // batch tail and re-speculates it against the live clusters (an
+    // earlier commit or abort rollback moved usage mid-batch).
+    const std::vector<cross_bb_move> moves = rebalancer.plan(placement_, inputs);
+    speculate_cross_bb_targets(moves, 0);
+
+    for (std::size_t i = 0; i < moves.size(); ++i) {
+        const cross_bb_move& move = moves[i];
         vm_record& rec = vms_.get_mutable(move.vm);
         const flavor& f = scenario_.catalog.get(rec.flavor);
         drs_cluster& to_cluster = cluster_of(move.to);
-        const std::optional<node_id> target = to_cluster.initial_placement(f);
+        if (cross_bb_targets_[i].version != to_cluster.usage_version()) {
+            stats_.rebalance_target_invalidated +=
+                static_cast<std::uint64_t>(moves.size() - i);
+            speculate_cross_bb_targets(moves, i);
+        }
+        ++stats_.rebalance_targets_used;
+        const std::optional<node_id> target = cross_bb_targets_[i].node;
         if (!target.has_value()) continue;  // node-level fragmentation
         if (migration_aborted()) {
             // the cross-BB pre-copy failed; nothing was committed yet, so
@@ -1061,6 +1077,28 @@ void sim_engine::cross_bb_pass(sim_time t) {
     if (next < observation_window) {
         queue_.schedule_at(next, [this](sim_time tn) { cross_bb_pass(tn); });
     }
+}
+
+void sim_engine::speculate_cross_bb_targets(
+    const std::vector<cross_bb_move>& moves, std::size_t from) {
+    // Pure per-move reads: initial_placement scans the target cluster's
+    // nodes, the flavor resolves through const registries, and every
+    // worker writes only its own disjoint target slots — deterministic at
+    // any worker count.
+    cross_bb_targets_.resize(moves.size());
+    run_sharded(moves.size() - from,
+                [&](unsigned, std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) {
+            const std::size_t i = from + k;
+            const flavor& f =
+                scenario_.catalog.get(vms_.get(moves[i].vm).flavor);
+            const drs_cluster& cluster = cluster_of(moves[i].to);
+            cross_bb_targets_[i] = {cluster.initial_placement(f),
+                                    cluster.usage_version()};
+        }
+    });
+    stats_.rebalance_target_speculations +=
+        static_cast<std::uint64_t>(moves.size() - from);
 }
 
 void sim_engine::schedule_resizes() {
@@ -1225,8 +1263,9 @@ void sim_engine::crash_node(node_id node, sim_time t) {
     node_down_[static_cast<std::size_t>(node.value())] = 1;
     ++stats_.host_crashes;
 
-    // every resident dies with the host; HA re-places them after the
-    // failure-detection delay, through the real conductor
+    // every resident dies with the host; HA re-places the whole detection
+    // epoch as ONE batch after the failure-detection delay, through the
+    // real conductor
     std::vector<vm_id> victims(nr.residents().begin(), nr.residents().end());
     std::sort(victims.begin(), victims.end());  // hash-set order isn't stable
     for (const vm_id vm : victims) {
@@ -1243,24 +1282,174 @@ void sim_engine::crash_node(node_id node, sim_time t) {
                                        .bb = meta.bb,
                                        .from = node});
         ha_->on_crash(vm, t);
-        queue_.schedule_at(t + config_.fault.ha_restart_delay,
-                           [this, vm](sim_time tr) { ha_restart(vm, tr); });
+    }
+    if (!victims.empty()) {
+        enqueue_ha_group(t + config_.fault.ha_restart_delay,
+                         std::move(victims));
     }
 }
 
-void sim_engine::ha_restart(vm_id vm, sim_time t) {
-    if (ha_ == nullptr || !ha_->pending(vm)) return;  // deleted meanwhile
-    if (place_vm(vm, t, lifecycle_event_kind::ha_restart)) {
-        ha_->on_restart_success(vm, t);
-        ++stats_.ha_restarts;
-        return;
+void sim_engine::enqueue_ha_group(sim_time due, std::vector<vm_id> victims) {
+    // The single drain event reserves its heap slot exactly where the old
+    // code scheduled the group's FIRST per-victim restart: the victims'
+    // events held consecutive sequence numbers with nothing in between, so
+    // collapsing them onto the first slot preserves the tie order against
+    // every other event.  One live drain event exists per queued group;
+    // each drain consumes exactly the front group, and groups sharing a
+    // due time fire in enqueue order — the order their events hold.
+    auto it = std::upper_bound(
+        ha_groups_.begin(), ha_groups_.end(), due,
+        [](sim_time d, const ha_group& g) { return d < g.due; });
+    ha_groups_.insert(it, ha_group{due, std::move(victims)});
+    queue_.schedule_at(due, [this](sim_time t) { drain_ha_restarts(t); });
+}
+
+void sim_engine::drain_ha_restarts(sim_time t) {
+    const auto wall_begin = std::chrono::steady_clock::now();
+    expects(!ha_groups_.empty() && ha_groups_.front().due == t,
+            "sim_engine::drain_ha_restarts: no victim group due");
+    const ha_group group = std::move(ha_groups_.front());
+    ha_groups_.pop_front();
+
+    const bool speculative = !config_.holistic;
+    std::vector<vm_id> failed;  // victims granted another attempt
+    for (std::size_t v = 0; v < group.victims.size(); ++v) {
+        const vm_id vm = group.victims[v];
+        if (!ha_->pending(vm)) {
+            // deleted while down; consume its slot if it was speculated
+            if (ha_spec_active_ && ha_spec_cursor_ < ha_spec_vms_.size() &&
+                ha_spec_vms_[ha_spec_cursor_] == vm) {
+                ++ha_spec_cursor_;
+                ++stats_.recovery_speculation_cancelled;
+            }
+            continue;
+        }
+        const host_speculation* spec = nullptr;
+        if (speculative) {
+            // Re-checked per victim: the batch may span groups (and so
+            // stay open across events), and even mid-drain the forced-fit
+            // failure path releases the claim it just made.
+            if (ha_spec_active_ &&
+                (placement_.shrink_version() != ha_spec_shrink_version_ ||
+                 (config_.contention_aware && stats_.scrapes != ha_spec_scrapes_))) {
+                stats_.recovery_speculation_invalidated +=
+                    static_cast<std::uint64_t>(ha_spec_vms_.size() -
+                                               ha_spec_cursor_);
+                ha_spec_active_ = false;
+            }
+            if (!ha_spec_active_ || ha_spec_cursor_ >= ha_spec_vms_.size()) {
+                speculate_recovery_batch(t, group.victims, v);
+                // the fresh batch starts at this victim by construction
+                expects(ha_spec_vms_[ha_spec_cursor_] == vm,
+                        "sim_engine::drain_ha_restarts: batch out of order");
+            }
+            // Covered groups drain in due order, so their victims find
+            // themselves at the cursor.  A group enqueued after the batch
+            // was speculated (a retry round, a fresh crash epoch) can
+            // drain between two covered groups when its due time lands
+            // there: its victims hold no slot and place unspeculated,
+            // leaving the batch open for the next covered group — the
+            // claim counters keep the untouched slots exact.
+            if (ha_spec_vms_[ha_spec_cursor_] == vm) {
+                spec = &ha_spec_slots_[ha_spec_cursor_];
+                ++ha_spec_cursor_;
+            }
+        }
+        const std::uint64_t spec_ok = conductor_->speculative_placement_count();
+        const std::uint64_t spec_miss = conductor_->speculation_miss_count();
+        const bool placed = place_vm(vm, t, lifecycle_event_kind::ha_restart,
+                                     spec, ha_spec_claim_counts_);
+        stats_.recovery_speculative_placements +=
+            conductor_->speculative_placement_count() - spec_ok;
+        stats_.recovery_speculation_misses +=
+            conductor_->speculation_miss_count() - spec_miss;
+        if (placed) {
+            ha_->on_restart_success(vm, t);
+            ++stats_.ha_restarts;
+            continue;
+        }
+        ++stats_.ha_restart_failures;
+        if (ha_->on_restart_failure(vm, t).has_value()) failed.push_back(vm);
+        // else: attempts exhausted — the victim stays down (vm_state::error)
     }
-    ++stats_.ha_restart_failures;
-    if (const std::optional<sim_time> retry = ha_->on_restart_failure(vm, t)) {
-        queue_.schedule_at(*retry,
-                           [this, vm](sim_time tr) { ha_restart(vm, tr); });
+    if (ha_spec_active_ && ha_spec_cursor_ >= ha_spec_vms_.size()) {
+        ha_spec_active_ = false;  // batch fully consumed
     }
-    // else: attempts exhausted — the victim stays down (vm_state::error)
+    if (!failed.empty()) {
+        // one retry group per drain: the old code scheduled the per-victim
+        // retries back to back (nothing else allocates sequence numbers
+        // between two failures), so a single event in the first retry's
+        // slot replays them in the same order relative to everything else
+        enqueue_ha_group(t + config_.fault.ha_retry_backoff, std::move(failed));
+    }
+    stats_.recovery_placement_wall_ms +=
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_begin)
+            .count();
+}
+
+void sim_engine::speculate_recovery_batch(sim_time t,
+                                          const std::vector<vm_id>& victims,
+                                          std::size_t from) {
+    // batch = the still-pending victims from `victims[from]` onward plus
+    // the queued groups due within the current scrape interval (the
+    // longest stretch over which the contention feed is stationary),
+    // capped at placement_batch_size
+    const sim_time horizon =
+        (t / config_.sampling_interval + 1) * config_.sampling_interval;
+    ha_spec_vms_.clear();
+    sim_time last_due = t;
+    for (std::size_t i = from; i < victims.size(); ++i) {
+        if (ha_spec_vms_.size() >= placement_batch_size) break;
+        if (ha_->pending(victims[i])) ha_spec_vms_.push_back(victims[i]);
+    }
+    for (const ha_group& g : ha_groups_) {
+        if (g.due >= horizon || ha_spec_vms_.size() >= placement_batch_size) {
+            break;
+        }
+        for (const vm_id vm : g.victims) {
+            if (ha_spec_vms_.size() >= placement_batch_size) break;
+            if (!ha_->pending(vm)) continue;
+            ha_spec_vms_.push_back(vm);
+            last_due = g.due;
+        }
+    }
+    const std::size_t count = ha_spec_vms_.size();
+    // the caller only speculates for a victim that is still pending, so
+    // the batch is never empty
+    if (ha_spec_slots_.size() < count) {
+        ha_spec_slots_.resize(count);
+        ha_spec_requests_.resize(count);
+    }
+    const filter_scheduler& scheduler = conductor_->scheduler();
+    // serial prep: requests (policy sampling stays on the main thread)
+    for (std::size_t i = 0; i < count; ++i) {
+        const vm_record& rec = vms_.get(ha_spec_vms_[i]);
+        schedule_request& rq = ha_spec_requests_[i];
+        rq = schedule_request{};
+        rq.vm = rec.id;
+        rq.flavor = rec.flavor;
+        rq.project = rec.project;
+        rq.policy = policy_for(rec.id, scenario_.catalog.get(rec.flavor));
+    }
+    // immutable snapshot of the live host view for this batch
+    spec_snapshot_ = conductor_->host_states();  // copy reuses capacity
+    conductor_->snapshot_claim_counts(ha_spec_claim_counts_);
+    run_sharded(count, [&](unsigned, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            const schedule_request& rq = ha_spec_requests_[i];
+            const request_context ctx{rq, scenario_.catalog.get(rq.flavor)};
+            scheduler.speculate(ctx, spec_snapshot_, ha_spec_slots_[i]);
+        }
+    });
+    ha_spec_cursor_ = 0;
+    ha_spec_shrink_version_ = placement_.shrink_version();
+    ha_spec_scrapes_ = stats_.scrapes;
+    ha_spec_active_ = true;
+    ++stats_.recovery_batches;
+    stats_.recovery_speculations += static_cast<std::uint64_t>(count);
+    recovery_batch_spans_.push_back(
+        {t, last_due, static_cast<std::uint32_t>(count)});
 }
 
 bool sim_engine::migration_aborted() {

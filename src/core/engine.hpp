@@ -18,8 +18,10 @@
 // commission/decommission nodes (the heatmaps' white cells).
 
 #include <array>
+#include <deque>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/scenario.hpp"
@@ -147,6 +149,39 @@ struct run_stats {
     /// NOT part of the deterministic output, excluded from comparisons).
     double churn_placement_wall_ms = 0.0;
 
+    // --- batched HA recovery placement ------------------------------------
+    // After a crash the detection epoch's victim queue is re-placed as a
+    // batch through the same speculate/commit pipeline (inline when
+    // serial); all zero when faults are off or the run is holistic.
+    std::uint64_t recovery_batches = 0;      ///< speculation batches launched
+    std::uint64_t recovery_speculations = 0; ///< victims speculated
+    /// Victims committed straight from a recovery speculation.
+    std::uint64_t recovery_speculative_placements = 0;
+    /// Recovery speculations whose corrected candidates were exhausted at
+    /// commit; the victim continued through the ordinary retry rounds.
+    std::uint64_t recovery_speculation_misses = 0;
+    /// Speculations dropped because usage shrank (another crash, deletion,
+    /// evacuation, resize) or the contention feed moved since the batch
+    /// snapshot; the tail of the victim queue re-speculates.
+    std::uint64_t recovery_speculation_invalidated = 0;
+    /// Speculated victims deleted by their owner before the restart fired.
+    std::uint64_t recovery_speculation_cancelled = 0;
+    /// Wall-clock spent draining HA restarts (host timing for benches —
+    /// NOT part of the deterministic output, excluded from comparisons).
+    double recovery_placement_wall_ms = 0.0;
+
+    // --- batched cross-BB target speculation -------------------------------
+    // A rebalance pass's planned moves have their destination nodes
+    // speculated as a batch against each target cluster's usage version;
+    // commits consume a target only while its cluster is unchanged, else
+    // the tail re-speculates.  Identical at any SCI_THREADS.
+    std::uint64_t rebalance_target_speculations = 0;
+    /// Targets consumed at commit straight from the batch.
+    std::uint64_t rebalance_targets_used = 0;
+    /// Targets dropped by a tail re-speculation after an earlier commit
+    /// (or abort rollback) moved usage under the batch.
+    std::uint64_t rebalance_target_invalidated = 0;
+
     // --- fault injection & HA recovery (all zero when faults are off) ----
     std::uint64_t host_crashes = 0;     ///< injected hypervisor failures
     std::uint64_t crash_victims = 0;    ///< VMs killed by host crashes
@@ -211,6 +246,14 @@ public:
         return churn_batch_spans_;
     }
 
+    /// Victim-due-time span of one speculated HA recovery batch (first =
+    /// the drain that opened the batch, last = the due time of the last
+    /// victim group it covered — diagnostics: lets tests prove a batch
+    /// straddled a second crash event).
+    const std::vector<churn_batch_span>& recovery_batches() const {
+        return recovery_batch_spans_;
+    }
+
 private:
     void setup_providers();
     void setup_node_churn();
@@ -223,7 +266,8 @@ private:
 
     bool place_vm(vm_id vm, sim_time when,
                   lifecycle_event_kind kind = lifecycle_event_kind::create,
-                  const host_speculation* spec = nullptr);
+                  const host_speculation* spec = nullptr,
+                  std::span<const std::uint64_t> spec_counts = {});
     bool place_vm_holistic(vm_id vm, sim_time when, lifecycle_event_kind kind);
     void delete_vm(vm_id vm, sim_time when);
     void scrape(sim_time t);
@@ -245,9 +289,22 @@ private:
     void setup_faults();
     void apply_fault(const fault_event& event, sim_time t);
     void crash_node(node_id node, sim_time t);
-    void ha_restart(vm_id vm, sim_time t);
+    /// Queue one detection epoch's victims (in event-time order) for a
+    /// batched restart at `due`, scheduling its drain event.
+    void enqueue_ha_group(sim_time due, std::vector<vm_id> victims);
+    /// Drain exactly one due victim group through the speculate/commit
+    /// pipeline; failed victims re-enter as one retry group at t+backoff.
+    void drain_ha_restarts(sim_time t);
+    /// Open a recovery speculation batch over the pending victim queue,
+    /// starting at victims[from] of the group being drained.
+    void speculate_recovery_batch(sim_time t,
+                                  const std::vector<vm_id>& victims,
+                                  std::size_t from);
     /// Draw the next migration-abort decision (false when aborts are off).
     bool migration_aborted();
+    /// Speculate destination nodes for planned cross-BB moves [from, n).
+    void speculate_cross_bb_targets(const std::vector<cross_bb_move>& moves,
+                                    std::size_t from);
 
     // --- incremental active-VM list --------------------------------------
     // Ascending vm-id list of active VMs, updated on create / delete /
@@ -341,6 +398,11 @@ private:
     std::vector<host_speculation> spec_slots_;     ///< per VM in batch
     std::vector<schedule_request> spec_requests_;  ///< per VM in batch
     std::vector<host_state> spec_snapshot_;        ///< immutable per batch
+    /// Conductor claim counters at the batch snapshot (initial + churn
+    /// batches — never open at the same time, so they share the buffer;
+    /// the HA pipeline has its own, since an HA drain can fire while a
+    /// churn batch is still open).
+    std::vector<std::uint64_t> spec_claim_counts_;
 
     // --- batched churn-arrival placement ----------------------------------
     // In-window arrivals are pre-sorted by creation time and drained by
@@ -379,6 +441,44 @@ private:
     // serially in cluster order, keeping runs bit-identical at any
     // worker count.
     std::vector<std::vector<drs_migration>> drs_moved_buf_;  ///< per cluster
+
+    // --- batched HA recovery placement -------------------------------------
+    // One crash's victims form a group due after the detection delay; the
+    // group is drained by ONE event (scheduled where the per-victim restart
+    // closures used to be, so the heap tie order is exactly what the old
+    // per-victim events produced) and re-placed through the same
+    // speculate/commit pipeline.  Speculation batches may span groups up
+    // to the scrape-interval horizon, so a batch can stay open across
+    // events — a second crash (a usage shrink) invalidates its tail, which
+    // re-speculates on the spot.  Victims whose restart fails re-enter as
+    // ONE retry group at t + backoff, preserving the per-victim
+    // retry/backoff/attempt-budget semantics bit for bit.
+    struct ha_group {
+        sim_time due;
+        std::vector<vm_id> victims;  ///< event-time (= vm id) order
+    };
+    std::deque<ha_group> ha_groups_;  ///< sorted by due, FIFO within ties
+    bool ha_spec_active_ = false;
+    std::vector<vm_id> ha_spec_vms_;  ///< speculated victims, queue order
+    std::size_t ha_spec_cursor_ = 0;  ///< next slot to consume
+    std::uint64_t ha_spec_shrink_version_ = 0;
+    std::uint64_t ha_spec_scrapes_ = 0;
+    std::vector<host_speculation> ha_spec_slots_;
+    std::vector<schedule_request> ha_spec_requests_;
+    std::vector<std::uint64_t> ha_spec_claim_counts_;
+    std::vector<churn_batch_span> recovery_batch_spans_;
+
+    // --- batched cross-BB target speculation --------------------------------
+    // Destination nodes of a planned pass, each stamped with the target
+    // cluster's usage version at speculation time; a commit consumes the
+    // target only while the version still matches (then the recompute the
+    // old serial loop did is provably identical), else the tail
+    // re-speculates against the live clusters.
+    struct bb_target_spec {
+        std::optional<node_id> node;
+        std::uint64_t version = 0;
+    };
+    std::vector<bb_target_spec> cross_bb_targets_;
 
     // --- fault injection state (engaged only when fault.enabled()) ------
     std::unique_ptr<ha_controller> ha_;        ///< null when faults are off

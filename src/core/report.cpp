@@ -172,7 +172,11 @@ void write_markdown_report(std::ostream& os, sim_engine& engine,
        << stats.window_speculative_placements << " speculatively ("
        << stats.window_speculation_misses << " misses, "
        << stats.window_speculation_invalidated
-       << " invalidated by usage shrinks or telemetry refreshes).\n";
+       << " invalidated by usage shrinks or telemetry refreshes).\n"
+       << "Rebalance batching: " << stats.rebalance_target_speculations
+       << " cross-BB targets speculated (" << stats.rebalance_targets_used
+       << " consumed, " << stats.rebalance_target_invalidated
+       << " re-speculated after mid-batch commits).\n";
 
     // --- availability (only when fault injection is configured) ------------
     if (engine.config().fault.enabled()) {
@@ -183,7 +187,15 @@ void write_markdown_report(std::ostream& os, sim_engine& engine,
            << " (" << stats.ha_restart_failures << " failed attempts, "
            << ha.abandoned_vms() << " abandoned, " << ha.cancelled_vms()
            << " deleted while down); " << stats.maintenance_evacuations
-           << " maintenance evacuations.\n\n";
+           << " maintenance evacuations.\n\n"
+           << "Recovery batching: " << stats.recovery_batches
+           << " victim batches speculated " << stats.recovery_speculations
+           << " restarts, committed " << stats.recovery_speculative_placements
+           << " speculatively (" << stats.recovery_speculation_misses
+           << " misses, " << stats.recovery_speculation_invalidated
+           << " invalidated by usage shrinks, "
+           << stats.recovery_speculation_cancelled
+           << " cancelled while down).\n\n";
         const std::span<const double> downtime = ha.downtime_samples();
         if (!downtime.empty()) {
             std::vector<double> sorted(downtime.begin(), downtime.end());

@@ -60,10 +60,20 @@ std::optional<node_id> drs_cluster::initial_placement(const flavor& f) const {
 
 void drs_cluster::place(vm_id vm, const flavor& f, node_id node_target) {
     node(node_target).place(vm, f);
+    ++usage_version_;
 }
 
 void drs_cluster::remove(vm_id vm, const flavor& f, node_id node_target) {
     node(node_target).remove(vm, f);
+    ++usage_version_;
+}
+
+void drs_cluster::record_abort(vm_id vm) {
+    expects(std::find(aborted_this_pass_.begin(), aborted_this_pass_.end(),
+                      vm) == aborted_this_pass_.end(),
+            "drs_cluster::record_abort: wasted pre-copy already charged");
+    aborted_this_pass_.push_back(vm);
+    ++aborts_;
 }
 
 double drs_cluster::node_demand_cores(const node_runtime& nr,
@@ -84,6 +94,7 @@ double drs_cluster::imbalance(const vm_cpu_demand_fn& demand) const {
 
 std::vector<drs_migration> drs_cluster::rebalance(
     const vm_cpu_demand_fn& demand, const vm_flavor_fn& flavor_of) {
+    aborted_this_pass_.clear();  // new pass: a fresh abort-charge window
     std::vector<drs_migration> applied;
     if (!config_.enabled || nodes_.size() < 2) return applied;
 
@@ -173,6 +184,7 @@ std::vector<drs_migration> drs_cluster::rebalance(
         const flavor& f = flavor_of(best_vm);
         nodes_[donor].remove(best_vm, f);
         nodes_[receiver].place(best_vm, f);
+        usage_version_ += 2;  // one remove + one place
         ++migrations_;
         applied.push_back(drs_migration{best_vm, nodes_[donor].id(),
                                         nodes_[receiver].id()});

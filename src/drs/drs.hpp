@@ -82,6 +82,12 @@ public:
     void place(vm_id vm, const flavor& f, node_id node);
     void remove(vm_id vm, const flavor& f, node_id node);
 
+    /// Monotonic counter bumped by every place/remove (any node).  While
+    /// it is unchanged the cluster's reservations are bitwise identical,
+    /// so a speculated initial_placement result is still exact — the
+    /// engine's batched cross-BB target speculation keys on this.
+    std::uint64_t usage_version() const { return usage_version_; }
+
     /// Current imbalance given per-VM demand.
     double imbalance(const vm_cpu_demand_fn& demand) const;
 
@@ -99,8 +105,10 @@ public:
     /// An applied migration aborted mid-copy (sci::fault): the caller
     /// rolled the VM back to its source node; the pre-copy bandwidth was
     /// still spent.  Recorded here so DRS cost accounting can separate
-    /// useful from wasted migration work.
-    void record_abort() { ++aborts_; }
+    /// useful from wasted migration work.  Asserts the VM has not already
+    /// been charged this pass — a re-speculated move that aborts again
+    /// must not double-bill the wasted pre-copy.
+    void record_abort(vm_id vm);
     std::uint64_t abort_count() const { return aborts_; }
 
     /// Migrations that completed (applied minus aborted).
@@ -118,7 +126,9 @@ private:
     std::vector<node_runtime> nodes_;
     std::uint64_t migrations_ = 0;
     std::uint64_t aborts_ = 0;
+    std::uint64_t usage_version_ = 0;
     std::vector<double> demand_scratch_;  ///< per-node demand, reused per pass
+    std::vector<vm_id> aborted_this_pass_;  ///< record_abort dedup window
 };
 
 }  // namespace sci

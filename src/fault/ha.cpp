@@ -48,6 +48,11 @@ std::optional<sim_time> ha_controller::on_restart_failure(vm_id vm, sim_time t) 
     return t + retry_backoff_;
 }
 
+int ha_controller::attempts_of(vm_id vm) const {
+    const auto it = pending_.find(vm);
+    return it != pending_.end() ? it->second.attempts : 0;
+}
+
 double ha_controller::mttr() const {
     if (downtime_.empty()) return 0.0;
     double sum = 0.0;

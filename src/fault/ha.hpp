@@ -10,6 +10,12 @@
 // (per-VM downtime distribution, MTTR); the engine performs the actual
 // re-placement through the real Nova conductor so HA restarts exercise
 // the same retry / NoValidHost machinery as regular placements.
+//
+// Restarts are batched: one detection epoch's victims drain as a group
+// through the engine's speculate/commit pipeline, and on_restart_failure
+// is charged exactly once per genuine NoValidHost outcome — a speculation
+// miss inside the drain falls back to the serial retry rounds of the SAME
+// attempt and must not inflate the victim's attempt budget.
 
 #include <optional>
 #include <unordered_map>
@@ -50,6 +56,11 @@ public:
     std::uint64_t abandoned_vms() const { return abandoned_; }
     std::uint64_t cancelled_vms() const { return cancelled_; }
     std::uint64_t failed_attempts() const { return failed_attempts_; }
+
+    /// Failed attempts charged against a pending victim so far (0 for
+    /// unknown/recovered VMs).  A fresh crash after a successful restart
+    /// starts again at 0 — the budget is per recovery, never inherited.
+    int attempts_of(vm_id vm) const;
 
     /// Downtime (seconds) of every successfully restarted VM, in recovery
     /// order — the availability distribution of the report.

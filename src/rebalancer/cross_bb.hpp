@@ -62,7 +62,11 @@ public:
                         cross_bb_config config);
 
     /// Plan one balancing pass.  Does not mutate the placement; the caller
-    /// applies the returned moves (placement.move + cluster updates).
+    /// applies the returned moves (placement.move + cluster updates).  The
+    /// engine speculates the moves' destination nodes as a batch keyed on
+    /// each target cluster's usage version (sim_engine::cross_bb_pass), so
+    /// the plan must stay pure — any mutation here would invalidate the
+    /// whole batch on every pass.
     std::vector<cross_bb_move> plan(const placement_service& placement,
                                     const cross_bb_inputs& inputs) const;
 

@@ -78,6 +78,10 @@ void conductor::refresh_host_states() {
             provider_pos_[value] = i;
         }
         states_version_ = placement_.version();
+        // claim counters and the dirty scratch follow the provider set;
+        // providers are append-only, so existing counters keep their value
+        claim_counts_.resize(providers.size(), 0);
+        dirty_scratch_.resize(providers.size(), 0);
         return;
     }
     // Usage unchanged and no (unversioned) telemetry feed: view is current.
@@ -94,20 +98,19 @@ void conductor::refresh_host_states() {
     states_version_ = placement_.version();
 }
 
-void conductor::begin_speculation_epoch() {
-    refresh_host_states();  // also (re)builds provider_pos_
-    spec_dirty_.assign(states_.size(), 0);
+void conductor::snapshot_claim_counts(std::vector<std::uint64_t>& out) {
+    refresh_host_states();  // also (re)builds provider_pos_ + claim_counts_
+    out.assign(claim_counts_.begin(), claim_counts_.end());
 }
-
-void conductor::end_speculation_epoch() { spec_dirty_.clear(); }
 
 void conductor::mark_claimed(bb_id bb) {
-    if (spec_dirty_.empty()) return;
-    spec_dirty_[provider_pos_[static_cast<std::size_t>(bb.value())]] = 1;
+    if (claim_counts_.empty()) return;  // no host view built yet
+    ++claim_counts_[provider_pos_[static_cast<std::size_t>(bb.value())]];
 }
 
-placement_outcome conductor::schedule_and_claim(const schedule_request& request,
-                                                const host_speculation* spec) {
+placement_outcome conductor::schedule_and_claim(
+    const schedule_request& request, const host_speculation* spec,
+    std::span<const std::uint64_t> base_counts) {
     const flavor& f = catalog_.get(request.flavor);
     const request_context ctx{request, f};
     placement_outcome outcome;
@@ -119,14 +122,24 @@ placement_outcome conductor::schedule_and_claim(const schedule_request& request,
     // the pristine loop exactly.  On a miss the loop simply continues
     // into round 1 with a fresh selection, again exactly like the
     // pristine loop; nothing is replayed or double-counted.
-    const bool use_spec = spec != nullptr && spec->valid && !spec_dirty_.empty();
+    const bool use_spec = spec != nullptr && spec->valid &&
+                          base_counts.size() == claim_counts_.size() &&
+                          !base_counts.empty();
+    if (use_spec) {
+        // dirty = providers claimed since the caller's snapshot; usage on
+        // clean providers is bitwise what the snapshot saw (any shrink
+        // invalidates the whole batch before the caller gets here)
+        for (std::size_t i = 0; i < claim_counts_.size(); ++i) {
+            dirty_scratch_[i] = claim_counts_[i] != base_counts[i] ? 1 : 0;
+        }
+    }
     for (int round = 0; round <= request.max_retries; ++round) {
         const std::vector<host_state>& hosts = host_states();
         const bool from_spec = round == 0 && use_spec;
         // a handful of alternates per round, like Nova's alternate list
         const std::span<const bb_id> candidates =
-            from_spec ? scheduler_.commit_speculation(ctx, hosts, *spec,
-                                                      spec_dirty_, 5, scratch_)
+            from_spec ? scheduler_.commit_speculation(
+                            ctx, hosts, *spec, dirty_scratch_, 5, scratch_)
                       : scheduler_.select_destinations(ctx, hosts, 5, scratch_);
         if (candidates.empty()) {
             if (from_spec) ++speculation_misses_;

@@ -12,7 +12,9 @@
 // counter moved since the last request — the per-request full rebuild of
 // the old code is gone from the hot path.
 
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "infra/fleet.hpp"
@@ -46,15 +48,19 @@ public:
     /// caller applies the outcome (and assigns a node via DRS).
     ///
     /// `spec` (optional) is this request's speculative filter+weigh
-    /// result against the current epoch's snapshot: the conductor commits
-    /// it through filter_scheduler::commit_speculation, whose corrected
-    /// candidate list serves as round 0 of the retry loop — exact, so the
-    /// claim sequence (including injected claim-fault draws) is bitwise
-    /// what the pristine path would produce.  When round 0 yields no
-    /// placement (counted as a speculation miss) the loop continues into
-    /// round 1 with a fresh selection, exactly like the pristine loop.
-    placement_outcome schedule_and_claim(const schedule_request& request,
-                                         const host_speculation* spec = nullptr);
+    /// result against the batch's snapshot, and `base_counts` the claim
+    /// counters (snapshot_claim_counts) taken when that snapshot was: the
+    /// conductor diffs the live counters against the base to find
+    /// providers claimed since, and commits the speculation through
+    /// filter_scheduler::commit_speculation, whose corrected candidate
+    /// list serves as round 0 of the retry loop — exact, so the claim
+    /// sequence (including injected claim-fault draws) is bitwise what
+    /// the pristine path would produce.  When round 0 yields no placement
+    /// (counted as a speculation miss) the loop continues into round 1
+    /// with a fresh selection, exactly like the pristine loop.
+    placement_outcome schedule_and_claim(
+        const schedule_request& request, const host_speculation* spec = nullptr,
+        std::span<const std::uint64_t> base_counts = {});
 
     /// Optional telemetry feed: average CPU contention per BB, consumed by
     /// contention-aware filters/weighers.
@@ -87,12 +93,15 @@ public:
     /// running filter_scheduler::speculate off-thread).
     const filter_scheduler& scheduler() const { return scheduler_; }
 
-    // --- speculative placement epochs ------------------------------------
-    /// Start an epoch: until end_speculation_epoch(), every successful
-    /// claim marks its provider dirty, so commit_speculation can exactly
-    /// revalidate results speculated against the epoch's opening snapshot.
-    void begin_speculation_epoch();
-    void end_speculation_epoch();
+    // --- speculative placement batches ------------------------------------
+    /// Copy the per-provider claim counters into `out` (refreshing the
+    /// host view first so the counter vector is sized).  A batch owner
+    /// snapshots these alongside host_states(); passing the snapshot back
+    /// to schedule_and_claim identifies exactly the providers claimed
+    /// since.  Counters are maintained unconditionally, so any number of
+    /// batches — churn arrivals, HA recovery, initial placement — can be
+    /// open against snapshots taken at different times.
+    void snapshot_claim_counts(std::vector<std::uint64_t>& out);
 
     /// Cumulative counters.
     std::uint64_t scheduled_count() const { return scheduled_; }
@@ -127,8 +136,11 @@ private:
     std::vector<const provider_usage*> usage_refs_;
     std::uint64_t states_version_ = 0;
 
-    // speculation epoch state (empty dirty mask = no epoch active)
-    std::vector<char> spec_dirty_;          ///< per provider index
+    // speculative-batch bookkeeping: claims per provider since construction
+    // (always maintained — cheap — so concurrent open batches each diff
+    // against their own snapshot), plus the per-request dirty scratch mask
+    std::vector<std::uint64_t> claim_counts_;  ///< per provider index
+    std::vector<char> dirty_scratch_;          ///< per provider index
     std::vector<std::uint32_t> provider_pos_;  ///< bb id value -> index
 
     sched_scratch scratch_;  ///< serial claim path working buffers

@@ -75,9 +75,11 @@ public:
     /// Monotonic counter bumped only by release() (and therefore by
     /// move()).  While it is unchanged, usage has grown monotonically —
     /// the precondition under which speculative filter+weigh results can
-    /// be committed exactly (filter_scheduler::commit_speculation).  The
-    /// engine samples it when a batch is speculated and drops the batch
-    /// the moment a deletion/evacuation/resize shrinks any provider.
+    /// be committed exactly (filter_scheduler::commit_speculation).  Every
+    /// batch producer — churn arrivals, HA recovery drains, initial
+    /// placement — samples it when its batch is speculated and drops the
+    /// batch the moment a deletion/evacuation/crash/resize/cross-BB move
+    /// shrinks any provider.
     std::uint64_t shrink_version() const { return shrink_version_; }
 
 private:

@@ -93,6 +93,18 @@ void expect_stats_equal(const run_stats& a, const run_stats& b) {
     EXPECT_EQ(a.window_speculation_misses, b.window_speculation_misses);
     EXPECT_EQ(a.window_speculation_invalidated, b.window_speculation_invalidated);
     // *_wall_ms are host timing, deliberately not compared
+    EXPECT_EQ(a.recovery_batches, b.recovery_batches);
+    EXPECT_EQ(a.recovery_speculations, b.recovery_speculations);
+    EXPECT_EQ(a.recovery_speculative_placements,
+              b.recovery_speculative_placements);
+    EXPECT_EQ(a.recovery_speculation_misses, b.recovery_speculation_misses);
+    EXPECT_EQ(a.recovery_speculation_invalidated,
+              b.recovery_speculation_invalidated);
+    EXPECT_EQ(a.recovery_speculation_cancelled,
+              b.recovery_speculation_cancelled);
+    EXPECT_EQ(a.rebalance_target_speculations, b.rebalance_target_speculations);
+    EXPECT_EQ(a.rebalance_targets_used, b.rebalance_targets_used);
+    EXPECT_EQ(a.rebalance_target_invalidated, b.rebalance_target_invalidated);
     EXPECT_EQ(a.host_crashes, b.host_crashes);
     EXPECT_EQ(a.crash_victims, b.crash_victims);
     EXPECT_EQ(a.ha_restarts, b.ha_restarts);

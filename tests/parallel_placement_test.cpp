@@ -94,6 +94,19 @@ void expect_stats_equal(const run_stats& a, const run_stats& b) {
     EXPECT_EQ(a.window_speculation_invalidated, b.window_speculation_invalidated);
     // churn_placement_wall_ms is host timing, deliberately not compared
     // initial_placement_wall_ms is host timing, deliberately not compared
+    EXPECT_EQ(a.recovery_batches, b.recovery_batches);
+    EXPECT_EQ(a.recovery_speculations, b.recovery_speculations);
+    EXPECT_EQ(a.recovery_speculative_placements,
+              b.recovery_speculative_placements);
+    EXPECT_EQ(a.recovery_speculation_misses, b.recovery_speculation_misses);
+    EXPECT_EQ(a.recovery_speculation_invalidated,
+              b.recovery_speculation_invalidated);
+    EXPECT_EQ(a.recovery_speculation_cancelled,
+              b.recovery_speculation_cancelled);
+    // recovery_placement_wall_ms is host timing, deliberately not compared
+    EXPECT_EQ(a.rebalance_target_speculations, b.rebalance_target_speculations);
+    EXPECT_EQ(a.rebalance_targets_used, b.rebalance_targets_used);
+    EXPECT_EQ(a.rebalance_target_invalidated, b.rebalance_target_invalidated);
     EXPECT_EQ(a.host_crashes, b.host_crashes);
     EXPECT_EQ(a.crash_victims, b.crash_victims);
     EXPECT_EQ(a.ha_restarts, b.ha_restarts);
@@ -260,11 +273,13 @@ TEST(SpeculativeConductorTest, CommitMatchesPristineScheduleAsBatchDirties) {
     conductor nova(fx.f, fx.catalog, fx.placement, make_default_scheduler());
     conductor reference(fx.f, fx.catalog, fx.twin, make_default_scheduler());
 
-    // one batch: speculate every request against the opening snapshot,
-    // then commit serially — earlier commits invalidate later speculations
+    // one batch: speculate every request against the opening snapshot +
+    // claim counters, then commit serially — earlier commits dirty the
+    // providers later speculations must revalidate against
     constexpr int batch = 24;
     const std::vector<host_state> snapshot = nova.build_host_states();
-    nova.begin_speculation_epoch();
+    std::vector<std::uint64_t> base_counts;
+    nova.snapshot_claim_counts(base_counts);
     std::vector<host_speculation> specs(batch);
     for (int i = 0; i < batch; ++i) {
         const schedule_request rq = fx.request(i);
@@ -275,7 +290,7 @@ TEST(SpeculativeConductorTest, CommitMatchesPristineScheduleAsBatchDirties) {
     }
     for (int i = 0; i < batch; ++i) {
         const placement_outcome committed =
-            nova.schedule_and_claim(fx.request(i), &specs[i]);
+            nova.schedule_and_claim(fx.request(i), &specs[i], base_counts);
         const placement_outcome pristine =
             reference.schedule_and_claim(fx.request(i));
         ASSERT_TRUE(committed.success);
@@ -283,7 +298,6 @@ TEST(SpeculativeConductorTest, CommitMatchesPristineScheduleAsBatchDirties) {
         EXPECT_EQ(committed.bb, pristine.bb) << "vm " << i;
         EXPECT_EQ(committed.attempts, pristine.attempts) << "vm " << i;
     }
-    nova.end_speculation_epoch();
     EXPECT_EQ(nova.speculative_placement_count(), static_cast<std::uint64_t>(batch));
     EXPECT_EQ(nova.speculation_miss_count(), 0u);
     EXPECT_EQ(nova.retry_count(), reference.retry_count());
@@ -301,15 +315,16 @@ TEST(SpeculativeConductorTest, MissFallsBackWithoutDoubleCountingRetries) {
     reference.set_claim_fault(fault);
 
     const std::vector<host_state> snapshot = nova.build_host_states();
-    nova.begin_speculation_epoch();
+    std::vector<std::uint64_t> base_counts;
+    nova.snapshot_claim_counts(base_counts);
     host_speculation spec;
     const schedule_request rq = fx.request(0);
     {
         const request_context ctx{rq, fx.catalog.get(rq.flavor)};
         nova.scheduler().speculate(ctx, snapshot, spec);
     }
-    const placement_outcome committed = nova.schedule_and_claim(rq, &spec);
-    nova.end_speculation_epoch();
+    const placement_outcome committed =
+        nova.schedule_and_claim(rq, &spec, base_counts);
     const placement_outcome pristine = reference.schedule_and_claim(rq);
 
     ASSERT_TRUE(committed.success);
