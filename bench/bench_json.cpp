@@ -33,10 +33,13 @@ std::vector<bench_entry> parse_bench_json(std::string_view text) {
         pos = eol + 1;
         char name[256];
         bench_entry e;
-        if (std::sscanf(line.c_str(),
-                        " {\"name\": \"%255[^\"]\", \"wall_ms\": %lf, "
-                        "\"samples_per_s\": %lf",
-                        name, &e.wall_ms, &e.samples_per_s) == 3) {
+        const int got_fields = std::sscanf(
+            line.c_str(),
+            " {\"name\": \"%255[^\"]\", \"wall_ms\": %lf, "
+            "\"samples_per_s\": %lf, \"peak_rss_mib\": %lf",
+            name, &e.wall_ms, &e.samples_per_s, &e.peak_rss_mib);
+        // 3 fields = a pre-RSS writer's line; keep peak_rss_mib at 0
+        if (got_fields >= 3) {
             e.name = name;
             upsert(entries, e);  // duplicate keys collapse, last wins
         }
@@ -55,14 +58,26 @@ std::string render_bench_json(const std::vector<bench_entry>& entries) {
     for (std::size_t i = 0; i < entries.size(); ++i) {
         std::snprintf(line, sizeof line,
                       "    {\"name\": \"%s\", \"wall_ms\": %.3f, "
-                      "\"samples_per_s\": %.0f}%s\n",
+                      "\"samples_per_s\": %.0f, \"peak_rss_mib\": %.1f}%s\n",
                       entries[i].name.c_str(), entries[i].wall_ms,
-                      entries[i].samples_per_s,
+                      entries[i].samples_per_s, entries[i].peak_rss_mib,
                       i + 1 < entries.size() ? "," : "");
         out += line;
     }
     out += "  ]\n}\n";
     return out;
+}
+
+double process_peak_rss_mib() {
+    std::FILE* status = std::fopen("/proc/self/status", "r");
+    if (status == nullptr) return 0.0;
+    double kib = 0.0;
+    char line[256];
+    while (std::fgets(line, sizeof line, status) != nullptr) {
+        if (std::sscanf(line, "VmHWM: %lf kB", &kib) == 1) break;
+    }
+    std::fclose(status);
+    return kib / 1024.0;
 }
 
 }  // namespace sci::benchutil

@@ -20,6 +20,9 @@ struct bench_entry {
     std::string name;
     double wall_ms = 0.0;
     double samples_per_s = 0.0;
+    /// Peak resident set (VmHWM) of the process when the measurement was
+    /// recorded, in MiB; 0 when unavailable (non-Linux).
+    double peak_rss_mib = 0.0;
 };
 
 /// Parse a summary previously written by render_bench_json.  The format is
@@ -37,5 +40,10 @@ void merge_bench_entries(std::vector<bench_entry>& existing,
 
 /// Render the `{"benchmarks": [...]}` document parse_bench_json reads.
 std::string render_bench_json(const std::vector<bench_entry>& entries);
+
+/// Peak resident set size of this process in MiB, read from Linux
+/// /proc/self/status (VmHWM).  Returns 0.0 where the file or the field
+/// does not exist, so callers can record it unconditionally.
+double process_peak_rss_mib();
 
 }  // namespace sci::benchutil

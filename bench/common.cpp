@@ -57,8 +57,11 @@ void write_bench_json() {
 
 void record_bench(std::string_view name, double wall_ms, double samples_per_s) {
     if (bench_results().empty()) std::atexit(write_bench_json);
-    bench_results().push_back(
-        bench_entry{std::string(name), wall_ms, samples_per_s});
+    // peak RSS is stamped at record time, so every bench entry carries the
+    // process high-water mark its measurement actually ran under
+    bench_results().push_back(bench_entry{std::string(name), wall_ms,
+                                          samples_per_s,
+                                          process_peak_rss_mib()});
 }
 
 double env_scale() {

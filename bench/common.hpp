@@ -33,7 +33,9 @@ void print_header(std::string_view artifact, std::string_view paper_claim);
 
 /// Record one perf measurement into the run's JSON summary.  Results are
 /// flushed to SCI_BENCH_JSON (default "BENCH_engine.json") at process
-/// exit, as `{"benchmarks": [{"name", "wall_ms", "samples_per_s"}, ...]}`
+/// exit, as `{"benchmarks": [{"name", "wall_ms", "samples_per_s",
+/// "peak_rss_mib"}, ...]}` — peak RSS (VmHWM) is stamped automatically at
+/// record time
 /// — the perf trajectory future PRs diff against.  An existing summary
 /// is merged into (same-name entries replaced, others preserved, stale
 /// duplicates collapsed — see bench_json.hpp), so multiple bench binaries

@@ -42,6 +42,14 @@ void sim_engine::setup() {
 void sim_engine::run() {
     if (!setup_done_) setup();
     queue_.run_until(observation_window);
+    if (raw_stream_sink_) {
+        // the window is over: flush the still-open trailing days
+        store_.seal_raw_through(store_.config().days - 1, raw_stream_sink_);
+    }
+}
+
+void sim_engine::enable_raw_streaming(metric_store::raw_sink sink) {
+    raw_stream_sink_ = std::move(sink);
 }
 
 void sim_engine::run_until(sim_time until) {
@@ -205,27 +213,22 @@ void sim_engine::setup_scrape_pipeline() {
     const unsigned workers = worker_threads();
     if (workers > 0) pool_ = std::make_unique<thread_pool>(workers);
 
-    // Size every id-indexed cache to the whole planned population up
-    // front: the parallel per-VM pass must never resize a shared vector,
-    // and the serial path sheds the lazy-resize branch from its hot loop.
+    // The slot map is the only per-VM-ever array (4 B each); the slot
+    // columns grow to the peak concurrently-active population and recycle
+    // through the free-list.  Behaviors are sampled eagerly when a slot is
+    // filled — sample() is pure in (vm, flavor, project), so eager and
+    // lazy sampling produce identical bytes.
     const std::size_t population = vms_.size();
-    behavior_cache_.resize(population);
-    behavior_cached_.assign(population, 0);
-    vm_cpu_series_.resize(population);
-    vm_mem_series_.resize(population);
-
-    // Pre-sample every planned VM's behavior.  sample() is pure in
-    // (vm, flavor, project), so the fan-out is deterministic per index.
-    const std::span<const vm_record> records = vms_.all();
-    run_sharded(population, [&](unsigned, std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-            const vm_record& rec = records[i];
-            const auto idx = static_cast<std::size_t>(rec.id.value());
-            behavior_cache_[idx] = behaviors_.sample(
-                rec.id, scenario_.catalog.get(rec.flavor), rec.project);
-            behavior_cached_[idx] = 1;
-        }
-    });
+    vm_slot_.assign(population, no_slot);
+    const std::size_t expected_active = population_plan_.initial.size();
+    slot_vm_.reserve(expected_active);
+    slot_node_.reserve(expected_active);
+    slot_flavor_.reserve(expected_active);
+    slot_created_.reserve(expected_active);
+    slot_cpu_series_.reserve(expected_active);
+    slot_mem_series_.reserve(expected_active);
+    slot_behavior_.reserve(expected_active);
+    active_slots_.reserve(expected_active);
 
     shard_demand_.assign(scrape_shard_count,
                          std::vector<node_demand>(f.node_count()));
@@ -565,18 +568,16 @@ bool sim_engine::place_vm(vm_id vm, sim_time when, lifecycle_event_kind kind,
 }
 
 void sim_engine::open_vm_series(const vm_record& rec) {
-    const auto idx = static_cast<std::size_t>(rec.id.value());
-    if (vm_cpu_series_.size() <= idx) {
-        vm_cpu_series_.resize(idx + 1);
-        vm_mem_series_.resize(idx + 1);
-    }
-    // the labels are stable per VM, so a series opened once (e.g. before
-    // an evacuation re-place) needs no repeat store lookup
-    if (vm_cpu_series_[idx].valid()) return;
+    const std::uint32_t slot = slot_of(rec.id);
+    expects(slot != no_slot, "open_vm_series: vm has no active slot");
+    if (slot_cpu_series_[slot].valid()) return;
+    // open_series is get-or-create on (metric, labels) and the labels are
+    // stable per VM, so a slot recycled across a crash/HA-restart cycle
+    // resolves to the very same series the VM appended to before.
     const label_set labels{{"vm", rec.name}};
-    vm_cpu_series_[idx] =
+    slot_cpu_series_[slot] =
         store_.open_series(metric_names::vm_cpu_usage_ratio, labels);
-    vm_mem_series_[idx] =
+    slot_mem_series_[slot] =
         store_.open_series(metric_names::vm_memory_consumed_ratio, labels);
 }
 
@@ -645,7 +646,22 @@ bool sim_engine::place_vm_holistic(vm_id vm, sim_time when,
                                        .vm = vm});
         return false;
     }
-    placement_.claim(vm, best_cluster->bb(), f);
+    // The node accepted the VM, but the provider-level claim re-checks
+    // against the BB inventory — which a mass-crash can shrink below the
+    // sum of what individual nodes still advertise.  That race is a
+    // NoValidHost, not a crash: degrade exactly like the no-candidate
+    // path (the claim threw before touching any state).
+    try {
+        placement_.claim(vm, best_cluster->bb(), f);
+    } catch (const capacity_error&) {
+        rec.state = vm_state::error;
+        ++stats_.placement_failures;
+        ++stats_.holistic_claim_rejections;
+        events_.record(lifecycle_event{.t = when,
+                                       .kind = lifecycle_event_kind::schedule_fail,
+                                       .vm = vm});
+        return false;
+    }
     best_cluster->place(vm, f, best_node->id());
     rec.placed_bb = best_cluster->bb();
     rec.placed_node = best_node->id();
@@ -705,8 +721,9 @@ std::size_t sim_engine::evacuate_node(node_id node, sim_time t,
     drs_cluster& cluster = cluster_of(meta.bb);
     node_runtime& nr = cluster.node(node);
 
-    // re-place every resident within the cluster (set iteration order is
-    // deterministic here: residents are only mutated by the serial loop)
+    // re-place every resident within the cluster, in ascending-id order
+    // (the resident container is id-sorted; copy because re-placement
+    // mutates the source node's resident list)
     const std::vector<vm_id> residents(nr.residents().begin(),
                                        nr.residents().end());
     for (vm_id vm : residents) {
@@ -739,6 +756,7 @@ std::size_t sim_engine::evacuate_node(node_id node, sim_time t,
         }
         cluster.place(vm, f, *target);
         rec.placed_node = *target;
+        slot_move(vm, *target);
         ++rec.migration_count;
         ++stats_.evacuations;
         account_migration(vm, t);
@@ -757,18 +775,15 @@ std::size_t sim_engine::evacuate_node(node_id node, sim_time t,
 // ---------------------------------------------------------------------------
 
 const vm_behavior& sim_engine::behavior_of(vm_id vm) {
-    const auto idx = static_cast<std::size_t>(vm.value());
-    if (behavior_cache_.size() <= idx) {
-        behavior_cache_.resize(idx + 1);
-        behavior_cached_.resize(idx + 1, 0);
-    }
-    if (!behavior_cached_[idx]) {
-        const vm_record& rec = vms_.get(vm);
-        behavior_cache_[idx] = behaviors_.sample(
-            vm, scenario_.catalog.get(rec.flavor), rec.project);
-        behavior_cached_[idx] = 1;
-    }
-    return behavior_cache_[idx];
+    const std::uint32_t slot = slot_of(vm);
+    if (slot != no_slot) return slot_behavior_[slot];
+    // No slot: the VM is deleted or pending.  Only serial callers (tests,
+    // diagnostics) reach this path — every parallel stage reads slot
+    // columns of *resident* VMs — so one scratch value suffices.
+    const vm_record& rec = vms_.get(vm);
+    fallback_behavior_ =
+        behaviors_.sample(vm, scenario_.catalog.get(rec.flavor), rec.project);
+    return fallback_behavior_;
 }
 
 double sim_engine::vm_cpu_demand_cores(vm_id vm, sim_time t) {
@@ -780,28 +795,20 @@ double sim_engine::vm_cpu_demand_cores(vm_id vm, sim_time t) {
 void sim_engine::scrape(sim_time t) {
     const fleet& f = scenario_.infrastructure;
 
-    // --- stage 0 (serial): snapshot the active set in VM-id order -------
-    // active_list_ is maintained incrementally (create / delete / crash),
-    // already in ascending id order — the walk over every VM ever created
-    // is gone, but the snapshot is element-for-element what it produced.
-    scrape_active_.clear();
-    for (const vm_id id : active_list_) {
-        const vm_record& rec = vms_.get(id);
-        const auto idx = static_cast<std::size_t>(id.value());
-        scrape_active_.push_back(
-            active_vm{id, static_cast<std::uint32_t>(rec.placed_node.value()),
-                      &scenario_.catalog.get(rec.flavor), rec.created_at,
-                      vm_cpu_series_[idx], vm_mem_series_[idx]});
-    }
-    const std::size_t n_active = scrape_active_.size();
+    // The per-scrape stage-0 rebuild is gone: the SoA slot columns are
+    // maintained incrementally at every lifecycle touch point, and
+    // active_slots_ already walks them in ascending vm-id order — the
+    // element-for-element order the old snapshot produced.
+    const std::size_t n_active = active_slots_.size();
     scrape_cpu_col_.resize(n_active);
     scrape_mem_col_.resize(n_active);
 
     // --- stage 1 (parallel): per-VM demand into fixed shards ------------
     // The active list is split by scrape_shard_count — never by worker
     // count — so each shard's accumulation order is the same whether the
-    // shards run on 0, 1 or N workers.  Sample values land in per-VM
-    // column slots; nothing shared is written.
+    // shards run on 0, 1 or N workers.  Workers stream the contiguous
+    // slot columns instead of chasing vm_record pointers; sample values
+    // land in per-VM column slots, nothing shared is written.
     run_sharded(scrape_shard_count,
                 [&](unsigned, std::size_t s_begin, std::size_t s_end) {
         for (std::size_t s = s_begin; s < s_end; ++s) {
@@ -810,16 +817,17 @@ void sim_engine::scrape(sim_time t) {
             const auto [vm_lo, vm_hi] = thread_pool::shard(
                 0, n_active, static_cast<unsigned>(s), scrape_shard_count);
             for (std::size_t i = vm_lo; i < vm_hi; ++i) {
-                const active_vm& a = scrape_active_[i];
-                const flavor& fl = *a.fl;
-                const vm_behavior& b = behavior_of(a.id);
+                const std::uint32_t slot = active_slots_[i];
+                const flavor& fl = *slot_flavor_[slot];
+                const vm_behavior& b = slot_behavior_[slot];
                 const double cpu_ratio = b.cpu_ratio_at(t);
-                const double mem_ratio = b.mem_ratio_at(t, t - a.created_at);
+                const double mem_ratio =
+                    b.mem_ratio_at(t, t - slot_created_[slot]);
                 // pinned-QoS VMs hold dedicated cores; others share the pool
                 const double shared_cores =
                     fl.cpu_pinned ? 0.0
                                   : cpu_ratio * static_cast<double>(fl.vcpus);
-                node_demand& d = scratch[a.node_idx];
+                node_demand& d = scratch[slot_node_[slot]];
                 d.add(shared_cores,
                       static_cast<mebibytes>(mem_ratio *
                                              static_cast<double>(fl.ram_mib)),
@@ -874,11 +882,19 @@ void sim_engine::scrape(sim_time t) {
         }
     });
 
-    // --- stage 3 (serial): append in the canonical order ----------------
+    // --- stage 3: batch the scrape, then shard the ingest ----------------
+    // All of the scrape's samples are gathered into one batch in the
+    // canonical (serial) order, then handed to the store's sharded
+    // append: the store partitions by series hash, so each worker owns a
+    // disjoint set of series and every aggregate's float order matches
+    // the serial funnel exactly (one sample per series per scrape).
+    scrape_batch_.clear();
+    scrape_batch_.reserve(2 * n_active + 7 * scrape_nodes_.size() +
+                          4 * bb_series_.size() + 1);
     for (std::size_t i = 0; i < n_active; ++i) {
-        const active_vm& a = scrape_active_[i];
-        store_.append(a.cpu_series, t, scrape_cpu_col_[i]);
-        store_.append(a.mem_series, t, scrape_mem_col_[i]);
+        const std::uint32_t slot = active_slots_[i];
+        scrape_batch_.push_back({slot_cpu_series_[slot], scrape_cpu_col_[i]});
+        scrape_batch_.push_back({slot_mem_series_[slot], scrape_mem_col_[i]});
     }
 
     // per-node series + per-BB contention; scrape_nodes_ is cluster-major,
@@ -905,13 +921,13 @@ void sim_engine::scrape(sim_time t) {
         if (node_avail_buf_[k] == 0) continue;  // white heatmap cell
         const node_snapshot& snap = node_snap_buf_[k];
         const node_series& s = node_series_[sn.node_idx];
-        store_.append(s.cpu_util, t, snap.cpu_util_pct);
-        store_.append(s.contention, t, snap.cpu_contention_pct);
-        store_.append(s.ready, t, snap.cpu_ready_ms);
-        store_.append(s.mem, t, snap.mem_usage_pct);
-        store_.append(s.tx, t, snap.tx_kbps);
-        store_.append(s.rx, t, snap.rx_kbps);
-        store_.append(s.disk, t, snap.storage_used_gib);
+        scrape_batch_.push_back({s.cpu_util, snap.cpu_util_pct});
+        scrape_batch_.push_back({s.contention, snap.cpu_contention_pct});
+        scrape_batch_.push_back({s.ready, snap.cpu_ready_ms});
+        scrape_batch_.push_back({s.mem, snap.mem_usage_pct});
+        scrape_batch_.push_back({s.tx, snap.tx_kbps});
+        scrape_batch_.push_back({s.rx, snap.rx_kbps});
+        scrape_batch_.push_back({s.disk, snap.storage_used_gib});
         bb_contention_stats.add(snap.cpu_contention_pct);
     }
     flush_cluster();
@@ -921,15 +937,33 @@ void sim_engine::scrape(sim_time t) {
         const provider_inventory& inv = placement_.inventory(bb.id);
         const provider_usage& use = placement_.usage(bb.id);
         const bb_series& s = bb_series_[static_cast<std::size_t>(bb.id.value())];
-        store_.append(s.vcpus, t,
-                      static_cast<double>(inv.total_pcpus) *
-                          inv.cpu_allocation_ratio);
-        store_.append(s.vcpus_used, t, static_cast<double>(use.vcpus_used));
-        store_.append(s.mem, t, static_cast<double>(inv.total_ram_mib));
-        store_.append(s.mem_used, t, static_cast<double>(use.ram_used_mib));
+        scrape_batch_.push_back({s.vcpus,
+                                 static_cast<double>(inv.total_pcpus) *
+                                     inv.cpu_allocation_ratio});
+        scrape_batch_.push_back(
+            {s.vcpus_used, static_cast<double>(use.vcpus_used)});
+        scrape_batch_.push_back({s.mem, static_cast<double>(inv.total_ram_mib)});
+        scrape_batch_.push_back(
+            {s.mem_used, static_cast<double>(use.ram_used_mib)});
     }
-    store_.append(instances_series_, t,
-                  static_cast<double>(placement_.allocation_count()));
+    scrape_batch_.push_back(
+        {instances_series_,
+         static_cast<double>(placement_.allocation_count())});
+
+    store_.append_batch(t, scrape_batch_,
+                        [this](std::size_t count,
+                               const thread_pool::range_fn& fn) {
+                            run_sharded(count, fn);
+                        });
+
+    // streaming export: a scrape in day D means every day < D is complete
+    // (simulation time is monotone), so seal and free them
+    if (raw_stream_sink_) {
+        const int day = static_cast<int>(day_index(t));
+        if (day - 1 > store_.raw_sealed_through()) {
+            store_.seal_raw_through(day - 1, raw_stream_sink_);
+        }
+    }
 
     ++stats_.scrapes;
     const sim_time next = t + config_.sampling_interval;
@@ -979,6 +1013,7 @@ void sim_engine::drs_pass(sim_time t) {
             }
             vm_record& rec = vms_.get_mutable(m.vm);
             rec.placed_node = m.to;
+            slot_move(m.vm, m.to);
             ++rec.migration_count;
             ++stats_.drs_migrations;
             account_migration(m.vm, t);
@@ -1005,7 +1040,8 @@ void sim_engine::cross_bb_pass(sim_time t) {
         for (const node_runtime& nr : cluster_of(bb).nodes()) {
             out.insert(out.end(), nr.residents().begin(), nr.residents().end());
         }
-        std::sort(out.begin(), out.end());  // hash-set order is not stable
+        // per-node lists are id-sorted but interleave across nodes
+        std::sort(out.begin(), out.end());
         return out;
     };
     inputs.flavor_of = [this](vm_id vm) -> const flavor& {
@@ -1061,6 +1097,7 @@ void sim_engine::cross_bb_pass(sim_time t) {
         to_cluster.place(move.vm, f, *target);
         rec.placed_bb = move.to;
         rec.placed_node = *target;
+        slot_move(move.vm, *target);
         ++rec.migration_count;
         ++stats_.cross_bb_moves;
         stats_.migration_seconds += move.estimate.total_seconds;
@@ -1168,6 +1205,7 @@ void sim_engine::resize_vm(vm_id vm, sim_time t) {
         if (other.has_value()) {
             cluster.place(vm, *target, *other);
             rec.placed_node = *other;
+            slot_move(vm, *other);
             ++rec.migration_count;
         } else {
             placement_.release(vm, *target);
@@ -1184,9 +1222,9 @@ void sim_engine::resize_vm(vm_id vm, sim_time t) {
 
     rec.flavor = target->id;
     ++stats_.resizes;
-    // the workload changed size: resample its behavior lazily
-    const auto idx = static_cast<std::size_t>(vm.value());
-    if (idx < behavior_cached_.size()) behavior_cached_[idx] = 0;
+    // the workload changed size: re-hoist the flavor column and resample
+    // the behavior column (pure, so eager == the old lazy resample)
+    slot_reflavor(rec);
     events_.record(lifecycle_event{.t = t,
                                    .kind = lifecycle_event_kind::resize,
                                    .vm = vm,
@@ -1266,8 +1304,8 @@ void sim_engine::crash_node(node_id node, sim_time t) {
     // every resident dies with the host; HA re-places the whole detection
     // epoch as ONE batch after the failure-detection delay, through the
     // real conductor
-    std::vector<vm_id> victims(nr.residents().begin(), nr.residents().end());
-    std::sort(victims.begin(), victims.end());  // hash-set order isn't stable
+    const std::vector<vm_id> victims(nr.residents().begin(),
+                                     nr.residents().end());  // id-sorted
     for (const vm_id vm : victims) {
         vm_record& rec = vms_.get_mutable(vm);
         const flavor& f = scenario_.catalog.get(rec.flavor);
@@ -1463,19 +1501,71 @@ std::uint64_t sim_engine::transient_claim_failures() const {
 }
 
 void sim_engine::active_insert(vm_id vm) {
-    const auto it =
-        std::lower_bound(active_list_.begin(), active_list_.end(), vm);
-    expects(it == active_list_.end() || *it != vm,
+    const auto idx = static_cast<std::size_t>(vm.value());
+    if (vm_slot_.size() <= idx) vm_slot_.resize(idx + 1, no_slot);
+    expects(vm_slot_[idx] == no_slot,
             "sim_engine::active_insert: vm already active");
-    active_list_.insert(it, vm);
+
+    // fill a slot (recycled or fresh) from the finished record
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slot_vm_.size());
+        slot_vm_.emplace_back();
+        slot_node_.emplace_back();
+        slot_flavor_.emplace_back();
+        slot_created_.emplace_back();
+        slot_cpu_series_.emplace_back();
+        slot_mem_series_.emplace_back();
+        slot_behavior_.emplace_back();
+    }
+    const vm_record& rec = vms_.get(vm);
+    vm_slot_[idx] = slot;
+    slot_vm_[slot] = vm;
+    slot_node_[slot] = static_cast<std::uint32_t>(rec.placed_node.value());
+    slot_flavor_[slot] = &scenario_.catalog.get(rec.flavor);
+    slot_created_[slot] = rec.created_at;
+    slot_cpu_series_[slot] = series_id{};
+    slot_mem_series_[slot] = series_id{};
+    slot_behavior_[slot] = behaviors_.sample(
+        vm, scenario_.catalog.get(rec.flavor), rec.project);
+
+    // keep the canonical walk order: active_slots_ is sorted by vm id
+    const auto it = std::lower_bound(
+        active_slots_.begin(), active_slots_.end(), vm,
+        [this](std::uint32_t s, vm_id v) { return slot_vm_[s] < v; });
+    active_slots_.insert(it, slot);
 }
 
 void sim_engine::active_erase(vm_id vm) {
-    const auto it =
-        std::lower_bound(active_list_.begin(), active_list_.end(), vm);
-    expects(it != active_list_.end() && *it == vm,
+    const auto idx = static_cast<std::size_t>(vm.value());
+    expects(idx < vm_slot_.size() && vm_slot_[idx] != no_slot,
             "sim_engine::active_erase: vm not active");
-    active_list_.erase(it);
+    const std::uint32_t slot = vm_slot_[idx];
+    const auto it = std::lower_bound(
+        active_slots_.begin(), active_slots_.end(), vm,
+        [this](std::uint32_t s, vm_id v) { return slot_vm_[s] < v; });
+    expects(it != active_slots_.end() && *it == slot,
+            "sim_engine::active_erase: slot index out of sync");
+    active_slots_.erase(it);
+    vm_slot_[idx] = no_slot;
+    free_slots_.push_back(slot);
+}
+
+void sim_engine::slot_move(vm_id vm, node_id node) {
+    const std::uint32_t slot = slot_of(vm);
+    expects(slot != no_slot, "sim_engine::slot_move: vm not active");
+    slot_node_[slot] = static_cast<std::uint32_t>(node.value());
+}
+
+void sim_engine::slot_reflavor(const vm_record& rec) {
+    const std::uint32_t slot = slot_of(rec.id);
+    expects(slot != no_slot, "sim_engine::slot_reflavor: vm not active");
+    slot_flavor_[slot] = &scenario_.catalog.get(rec.flavor);
+    slot_behavior_[slot] = behaviors_.sample(
+        rec.id, scenario_.catalog.get(rec.flavor), rec.project);
 }
 
 drs_cluster& sim_engine::cluster_of(bb_id bb) {

@@ -104,6 +104,10 @@ struct run_stats {
     /// Placements where the BB had aggregate space but no single node fit
     /// under the ratios — intra-BB fragmentation made visible.
     std::uint64_t forced_fits = 0;
+    /// Holistic placements where a node accepted the VM but the provider
+    /// claim found the BB full (crash-shrunken inventory): degraded to
+    /// NoValidHost instead of aborting.  Subset of placement_failures.
+    std::uint64_t holistic_claim_rejections = 0;
     std::uint64_t deletions = 0;
     std::uint64_t scrapes = 0;
     /// Cross-building-block rebalancer moves (0 unless enabled).
@@ -225,7 +229,15 @@ public:
     std::uint64_t transient_claim_failures() const;
     /// VMs currently active (incrementally maintained; equals the
     /// registry's count_in_state(vm_state::active)).
-    std::size_t active_vm_count() const { return active_list_.size(); }
+    std::size_t active_vm_count() const { return active_slots_.size(); }
+
+    /// Stream sealed raw-sample days through `sink` while the simulation
+    /// runs: whenever a scrape crosses a day boundary the completed day is
+    /// sealed (handed to the sink and freed), and run() seals the final
+    /// day on exit.  Keeps raw residency O(compaction horizon) instead of
+    /// O(window).  Off by default — without a sink the store behaves
+    /// exactly as before (raw stays resident until export).
+    void enable_raw_streaming(metric_store::raw_sink sink);
 
     /// Behavior of a VM (sampled lazily, cached).
     const vm_behavior& behavior_of(vm_id vm);
@@ -306,12 +318,28 @@ private:
     void speculate_cross_bb_targets(const std::vector<cross_bb_move>& moves,
                                     std::size_t from);
 
-    // --- incremental active-VM list --------------------------------------
-    // Ascending vm-id list of active VMs, updated on create / delete /
-    // crash / HA restart, so scrape stage 0 walks only live VMs instead
-    // of every VM ever created.
+    // --- SoA active-VM slot table ----------------------------------------
+    // Hot-path state of every *currently active* VM lives in parallel
+    // columns indexed by a dense slot id; freed slots are recycled through
+    // a LIFO free-list, so the columns stay O(peak-active) while the
+    // registry keeps every VM ever created (the Figure 15 history).
+    // active_insert fills a slot from the finished vm_record (placed_bb /
+    // placed_node / created_at must be final) and active_erase returns it
+    // to the free-list; slot_move / slot_reflavor keep the columns current
+    // at the remaining lifecycle touch points (DRS and cross-BB moves,
+    // evacuation re-places, resizes).
     void active_insert(vm_id vm);
     void active_erase(vm_id vm);
+    /// Slot of an active VM; no_slot when the VM is not active.
+    std::uint32_t slot_of(vm_id vm) const {
+        const auto idx = static_cast<std::size_t>(vm.value());
+        return idx < vm_slot_.size() ? vm_slot_[idx] : no_slot;
+    }
+    /// Update the host column after a migration / evacuation re-place.
+    void slot_move(vm_id vm, node_id node);
+    /// Re-hoist the flavor column and resample the behavior column after
+    /// a resize (sample() is pure in (vm, flavor, project)).
+    void slot_reflavor(const vm_record& rec);
 
     placement_policy policy_for(vm_id vm, const flavor& f) const;
     drs_cluster& cluster_of(bb_id bb);
@@ -331,13 +359,33 @@ private:
     run_stats stats_;
     event_log events_;
     bool setup_done_ = false;
+    /// When set, scrape() seals completed raw days through this sink.
+    metric_store::raw_sink raw_stream_sink_;
 
-    // caches (indexed by id values)
-    std::vector<vm_behavior> behavior_cache_;
-    std::vector<char> behavior_cached_;
-    std::vector<sim_duration> planned_lifetime_;  ///< for lifetime-aware policy
-    std::vector<series_id> vm_cpu_series_;
-    std::vector<series_id> vm_mem_series_;
+    // --- SoA slot columns (see active_insert above) -----------------------
+    // vm_slot_ is the only per-VM-ever array (4 B each); every other
+    // column is slot-indexed and bounded by the peak concurrently-active
+    // population.  The scrape hot loop streams these columns in
+    // active_slots_ order (ascending vm id — the exact order the old
+    // per-record walk produced, so shard float sums are unchanged).
+    static constexpr std::uint32_t no_slot = 0xffffffffu;
+    std::vector<std::uint32_t> vm_slot_;      ///< vm id value -> slot
+    std::vector<std::uint32_t> free_slots_;   ///< recycled slots (LIFO)
+    std::vector<vm_id> slot_vm_;              ///< owning vm
+    std::vector<std::uint32_t> slot_node_;    ///< placed node id value
+    std::vector<const flavor*> slot_flavor_;  ///< hoisted catalog entry
+    std::vector<sim_time> slot_created_;      ///< creation time
+    std::vector<series_id> slot_cpu_series_;
+    std::vector<series_id> slot_mem_series_;
+    std::vector<vm_behavior> slot_behavior_;  ///< sampled eagerly on fill
+    /// Slots of active VMs ordered by ascending vm id (the canonical
+    /// scrape/append order).
+    std::vector<std::uint32_t> active_slots_;
+    /// behavior_of() result for VMs without a slot (deleted / pending);
+    /// only reached from serial contexts — parallel stages read slot
+    /// columns or slots directly.
+    vm_behavior fallback_behavior_;
+
     struct node_series {
         series_id cpu_util, contention, ready, mem, tx, rx, disk;
     };
@@ -361,13 +409,6 @@ private:
     /// the engine is configured serial.
     void run_sharded(std::size_t count, const thread_pool::range_fn& fn);
 
-    struct active_vm {
-        vm_id id;
-        std::uint32_t node_idx;    ///< placed node id value
-        const flavor* fl;          ///< hoisted catalog lookup
-        sim_time created_at;
-        series_id cpu_series, mem_series;
-    };
     struct scrape_node {
         const node_runtime* nr;
         const compute_node* meta;
@@ -376,10 +417,11 @@ private:
     };
 
     std::unique_ptr<thread_pool> pool_;  ///< null when running serial
-    std::vector<vm_id> active_list_;     ///< active VMs, ascending id
-    std::vector<active_vm> scrape_active_;      ///< rebuilt each scrape
     std::vector<double> scrape_cpu_col_;        ///< per active VM
     std::vector<double> scrape_mem_col_;        ///< per active VM
+    /// One scrape's samples in canonical order, handed to the store's
+    /// sharded batch append (stage 3).
+    std::vector<metric_store::sample_event> scrape_batch_;
     /// Per fixed shard: one node_demand per node id value.
     std::vector<std::vector<node_demand>> shard_demand_;
     std::vector<scrape_node> scrape_nodes_;     ///< cluster-major, built once

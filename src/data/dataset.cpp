@@ -4,13 +4,13 @@
 #include <set>
 
 #include "data/csv.hpp"
+#include "data/export_detail.hpp"
 #include "simcore/error.hpp"
 
 namespace sci {
 
-namespace {
+namespace detail {
 
-/// Union of label keys over a set of series (the metric's label schema).
 std::vector<std::string> label_schema(const metric_store& store,
                                       const std::vector<series_id>& series) {
     std::set<std::string> keys;
@@ -34,14 +34,9 @@ std::vector<std::string> label_values(const label_set& labels,
     return out;
 }
 
-}  // namespace
-
-dataset_export_report export_dataset(const metric_store& store,
-                                     const std::filesystem::path& dir,
-                                     const dataset_export_options& options) {
-    std::filesystem::create_directories(dir);
-    dataset_export_report report;
-
+void write_aggregate_files(const metric_store& store,
+                           const std::filesystem::path& dir,
+                           dataset_export_report& report) {
     std::ofstream manifest_file(dir / "manifest.csv");
     expects(manifest_file.good(), "export_dataset: cannot create manifest.csv");
     csv_writer manifest(manifest_file);
@@ -59,35 +54,47 @@ dataset_export_report export_dataset(const metric_store& store,
         report.series_exported += series.size();
 
         const std::vector<std::string> schema = label_schema(store, series);
-
-        // ---- daily aggregates -------------------------------------------
-        {
-            std::ofstream f(dir / (def.name + ".daily.csv"));
-            expects(f.good(), "export_dataset: cannot create daily csv");
-            csv_writer w(f);
-            std::vector<std::string> header = schema;
-            header.insert(header.end(), {"day", "count", "mean", "min", "max"});
-            w.write_row(header);
-            for (series_id id : series) {
-                const std::vector<std::string> labels =
-                    label_values(store.labels_of(id), schema);
-                for (int day = 0; day < store.config().days; ++day) {
-                    const running_stats* agg = store.daily(id, day);
-                    if (agg == nullptr) continue;
-                    std::vector<std::string> row = labels;
-                    row.push_back(std::to_string(day));
-                    row.push_back(std::to_string(agg->count()));
-                    row.push_back(std::to_string(agg->mean()));
-                    row.push_back(std::to_string(agg->min()));
-                    row.push_back(std::to_string(agg->max()));
-                    w.write_row(row);
-                    ++report.daily_rows;
-                }
+        std::ofstream f(dir / (def.name + ".daily.csv"));
+        expects(f.good(), "export_dataset: cannot create daily csv");
+        csv_writer w(f);
+        std::vector<std::string> header = schema;
+        header.insert(header.end(), {"day", "count", "mean", "min", "max"});
+        w.write_row(header);
+        for (series_id id : series) {
+            const std::vector<std::string> labels =
+                label_values(store.labels_of(id), schema);
+            for (int day = 0; day < store.config().days; ++day) {
+                const running_stats* agg = store.daily(id, day);
+                if (agg == nullptr) continue;
+                std::vector<std::string> row = labels;
+                row.push_back(std::to_string(day));
+                row.push_back(std::to_string(agg->count()));
+                row.push_back(std::to_string(agg->mean()));
+                row.push_back(std::to_string(agg->min()));
+                row.push_back(std::to_string(agg->max()));
+                w.write_row(row);
+                ++report.daily_rows;
             }
         }
+    }
+}
 
-        // ---- raw samples -------------------------------------------------
-        if (options.include_raw && store.config().keep_raw) {
+}  // namespace detail
+
+dataset_export_report export_dataset(const metric_store& store,
+                                     const std::filesystem::path& dir,
+                                     const dataset_export_options& options) {
+    std::filesystem::create_directories(dir);
+    dataset_export_report report;
+    detail::write_aggregate_files(store, dir, report);
+
+    // ---- raw samples (materialized path: everything is still resident) --
+    if (options.include_raw && store.config().keep_raw) {
+        for (const metric_def& def : store.registry().all()) {
+            const std::vector<series_id> series = store.select(def.name);
+            if (series.empty()) continue;
+            const std::vector<std::string> schema =
+                detail::label_schema(store, series);
             std::ofstream f(dir / (def.name + ".raw.csv"));
             expects(f.good(), "export_dataset: cannot create raw csv");
             csv_writer w(f);
@@ -96,7 +103,7 @@ dataset_export_report export_dataset(const metric_store& store,
             w.write_row(header);
             for (series_id id : series) {
                 const std::vector<std::string> labels =
-                    label_values(store.labels_of(id), schema);
+                    detail::label_values(store.labels_of(id), schema);
                 for (const sample& s : store.raw(id)) {
                     std::vector<std::string> row = labels;
                     row.push_back(std::to_string(s.t));

@@ -1,0 +1,30 @@
+#pragma once
+
+// Internal helpers shared by the materialized exporter (dataset.cpp) and
+// the streaming writer (streaming_writer.cpp) so both paths emit
+// byte-identical manifest.csv / <metric>.daily.csv files.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "telemetry/store.hpp"
+
+namespace sci::detail {
+
+/// Union of label keys over a set of series (the metric's label schema).
+std::vector<std::string> label_schema(const metric_store& store,
+                                      const std::vector<series_id>& series);
+
+/// Values of `labels` in schema order (missing keys become empty cells).
+std::vector<std::string> label_values(const label_set& labels,
+                                      const std::vector<std::string>& schema);
+
+/// Write manifest.csv and every <metric>.daily.csv into `dir`, filling the
+/// metrics/series/daily counters of `report`.
+void write_aggregate_files(const metric_store& store,
+                           const std::filesystem::path& dir,
+                           dataset_export_report& report);
+
+}  // namespace sci::detail

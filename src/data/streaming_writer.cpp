@@ -1,0 +1,68 @@
+#include "data/streaming_writer.hpp"
+
+#include "data/export_detail.hpp"
+#include "simcore/error.hpp"
+
+namespace sci {
+
+streaming_dataset_writer::streaming_dataset_writer(const metric_store& store,
+                                                   std::filesystem::path dir)
+    : store_(store), dir_(std::move(dir)) {
+    std::filesystem::create_directories(dir_);
+}
+
+metric_store::raw_sink streaming_dataset_writer::sink() {
+    return [this](series_id id, int day, std::span<const sample> block) {
+        (void)day;  // rows carry their own timestamps
+        write_block(id, block);
+    };
+}
+
+void streaming_dataset_writer::write_block(series_id id,
+                                           std::span<const sample> block) {
+    const metric_def& def = store_.metric_of(id);
+    auto it = raw_files_.find(def.name);
+    if (it == raw_files_.end()) {
+        raw_file rf;
+        rf.schema = detail::label_schema(store_, store_.select(def.name));
+        rf.stream = std::make_unique<std::ofstream>(
+            dir_ / (def.name + ".raw.csv"));
+        expects(rf.stream->good(),
+                "streaming_dataset_writer: cannot create raw csv");
+        rf.writer = std::make_unique<csv_writer>(*rf.stream);
+        std::vector<std::string> header = rf.schema;
+        header.insert(header.end(), {"t", "value"});
+        rf.writer->write_row(header);
+        it = raw_files_.emplace(def.name, std::move(rf)).first;
+    }
+    const std::vector<std::string> labels =
+        detail::label_values(store_.labels_of(id), it->second.schema);
+    for (const sample& s : block) {
+        std::vector<std::string> row = labels;
+        row.push_back(std::to_string(s.t));
+        row.push_back(std::to_string(s.value));
+        it->second.writer->write_row(row);
+        ++raw_rows_;
+    }
+}
+
+dataset_export_report streaming_dataset_writer::finish() {
+    dataset_export_report report;
+    detail::write_aggregate_files(store_, dir_, report);
+    report.raw_rows = raw_rows_;
+    for (auto& [metric, rf] : raw_files_) {
+        // a schema that grew after the first block would have produced
+        // short rows — refuse to pretend the file is well-formed
+        ensures(rf.schema == detail::label_schema(store_,
+                                                  store_.select(metric)),
+                "streaming_dataset_writer: label schema of '" + metric +
+                    "' changed after its first sealed block");
+        rf.stream->flush();
+        expects(rf.stream->good(),
+                "streaming_dataset_writer: raw csv write failed");
+    }
+    raw_files_.clear();
+    return report;
+}
+
+}  // namespace sci

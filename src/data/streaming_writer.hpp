@@ -1,0 +1,71 @@
+#pragma once
+
+// Streaming dataset writer.
+//
+// The materialized exporter (export_dataset) walks raw samples that are
+// fully resident — O(window) memory for a 30-day region.  This writer
+// instead rides the store's raw-block sealing: attach sink() as the seal
+// sink (sim_engine::enable_raw_streaming wires it to the day-boundary
+// seal), and each completed day's raw blocks are appended to the
+// per-metric raw CSVs and freed immediately, so raw residency stays
+// O(compaction horizon).  finish() then writes manifest.csv and the
+// <metric>.daily.csv aggregates from the (small, always-resident) day
+// slots.
+//
+// manifest.csv and the daily files are byte-identical to
+// export_dataset's.  Raw files carry the same rows but ordered by
+// (seal point, series, day) instead of (series, t) — raw CSVs are
+// unordered collections to every reader (import_raw_metric).
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/csv.hpp"
+#include "data/dataset.hpp"
+#include "telemetry/store.hpp"
+
+namespace sci {
+
+class streaming_dataset_writer {
+public:
+    /// Prepare to write into `dir` (created immediately).  The store must
+    /// outlive the writer.
+    streaming_dataset_writer(const metric_store& store,
+                             std::filesystem::path dir);
+
+    /// Seal sink: appends each sealed raw block to its metric's raw CSV.
+    /// Pass to metric_store::seal_raw_through or
+    /// sim_engine::enable_raw_streaming.
+    metric_store::raw_sink sink();
+
+    /// Write manifest.csv + daily aggregate files and close the raw
+    /// files.  raw_rows counts the rows streamed through sink().
+    dataset_export_report finish();
+
+    /// Rows streamed so far (bounded-memory progress indicator).
+    std::size_t raw_rows_written() const { return raw_rows_; }
+
+private:
+    /// One open <metric>.raw.csv.  The column schema is fixed when the
+    /// metric's first block arrives; finish() verifies it never grew
+    /// (every series of a metric carries the same label keys here).
+    struct raw_file {
+        std::unique_ptr<std::ofstream> stream;
+        std::unique_ptr<csv_writer> writer;
+        std::vector<std::string> schema;
+    };
+
+    void write_block(series_id id, std::span<const sample> block);
+
+    const metric_store& store_;
+    std::filesystem::path dir_;
+    std::unordered_map<std::string, raw_file> raw_files_;  ///< by metric
+    std::size_t raw_rows_ = 0;
+};
+
+}  // namespace sci

@@ -41,17 +41,20 @@ node_snapshot evaluate_node(const hardware_profile& profile,
 
 void node_runtime::place(vm_id vm, const flavor& f) {
     expects(vm.valid(), "node_runtime::place: invalid vm id");
-    const auto [it, inserted] = residents_.insert(vm);
-    (void)it;
-    expects(inserted, "node_runtime::place: vm already resident");
+    const auto it = std::lower_bound(residents_.begin(), residents_.end(), vm);
+    expects(it == residents_.end() || *it != vm,
+            "node_runtime::place: vm already resident");
+    residents_.insert(it, vm);
     reserved_vcpus_ += f.vcpus;
     reserved_ram_ += f.ram_mib;
     reserved_disk_ += f.disk_gib;
 }
 
 void node_runtime::remove(vm_id vm, const flavor& f) {
-    const std::size_t erased = residents_.erase(vm);
-    expects(erased == 1, "node_runtime::remove: vm not resident");
+    const auto it = std::lower_bound(residents_.begin(), residents_.end(), vm);
+    expects(it != residents_.end() && *it == vm,
+            "node_runtime::remove: vm not resident");
+    residents_.erase(it);
     reserved_vcpus_ -= f.vcpus;
     reserved_ram_ -= f.ram_mib;
     reserved_disk_ -= f.disk_gib;

@@ -17,7 +17,8 @@
 // capacity C, every vCPU gets scaled back by C/D and the unsatisfied
 // fraction (D-C)/D of the interval is spent in ready state.
 
-#include <unordered_set>
+#include <algorithm>
+#include <span>
 #include <vector>
 
 #include "infra/flavor.hpp"
@@ -94,8 +95,14 @@ public:
     /// Remove a VM; releases its flavor's resources.  Throws if not here.
     void remove(vm_id vm, const flavor& f);
 
-    bool hosts(vm_id vm) const { return residents_.contains(vm); }
-    const std::unordered_set<vm_id>& residents() const { return residents_; }
+    bool hosts(vm_id vm) const {
+        return std::binary_search(residents_.begin(), residents_.end(), vm);
+    }
+    /// Resident VMs in ascending-id order.  The order is *stable* across
+    /// container library versions and identical for every walk, so DRS
+    /// candidate scans, evacuations and demand sums are reproducible
+    /// (ROADMAP: node-order-stable resident container).
+    std::span<const vm_id> residents() const { return residents_; }
     std::size_t vm_count() const { return residents_.size(); }
 
     /// Whether the node accepts new placements (false while the host is
@@ -133,7 +140,7 @@ private:
     node_id id_;
     hardware_profile profile_;
     bool accepting_ = true;
-    std::unordered_set<vm_id> residents_;
+    std::vector<vm_id> residents_;  ///< sorted ascending (binary search)
     core_count reserved_vcpus_ = 0;
     mebibytes reserved_ram_ = 0;
     gibibytes reserved_disk_ = 0.0;

@@ -8,9 +8,26 @@
 // aggregates.  Analyses read the compacted aggregates; raw samples are
 // retained only when the store is configured for it (tests, small runs).
 //
-// This keeps a full-scale region (1,800 nodes, 48,000 VMs, 30 days) within
-// a laptop's memory: a day-aggregate is one running_stats per series-day.
+// Scale machinery (the full region is 1,800 nodes / 48,000 VMs / 30 days):
+//
+//   * Sharded appends.  A scrape's samples arrive as ONE batch; the batch
+//     is partitioned by series hash into `append_shard_count` fixed shards
+//     so workers can apply appends in parallel — a series maps to exactly
+//     one shard, shard counters are per-shard (merged on read), and each
+//     series sees at most one sample per batch, so per-series order (and
+//     with it every running_stats float sum) is identical to the serial
+//     funnel it replaces at any worker count.
+//
+//   * Sparse aggregates.  A series allocates day/hour slots only for the
+//     span it actually lived (offset + grow), not the full window — a
+//     2-hour VM costs one day slot, not thirty.
+//
+//   * Raw-block sealing.  When raw samples are kept, days at or below the
+//     seal point are handed to a sink (the streaming dataset writer) and
+//     their blocks are freed, keeping raw residency O(compaction horizon)
+//     instead of O(window).
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -21,6 +38,7 @@
 
 #include "infra/ids.hpp"
 #include "simcore/stats.hpp"
+#include "simcore/thread_pool.hpp"
 #include "simcore/time.hpp"
 #include "telemetry/labels.hpp"
 #include "telemetry/metric.hpp"
@@ -62,13 +80,59 @@ public:
     /// dropped (they fall outside the observation window) but do not throw.
     void append(series_id id, sim_time t, double value);
 
+    // --- sharded batch append --------------------------------------------
+    /// One sample of a batch append.
+    struct sample_event {
+        series_id id;
+        double value;
+    };
+    /// Runs shard work: run(shard_count, fn) must invoke fn over every
+    /// index in [0, shard_count), possibly concurrently (the engine's
+    /// run_sharded, or apply_shards_inline for serial callers).
+    using sharded_runner =
+        std::function<void(std::size_t, const thread_pool::range_fn&)>;
+    /// Append one scrape's samples, partitioned by series shard so `run`
+    /// may apply shards in parallel.  PRECONDITION: a series appears at
+    /// most once per batch (one scrape emits one sample per series), so
+    /// per-series append order — and every aggregate float sum — is
+    /// byte-identical to appending the batch serially in order.
+    void append_batch(sim_time t, std::span<const sample_event> batch,
+                      const sharded_runner& run);
+    /// Serial fallback runner (applies shards inline, in order).
+    static void apply_shards_inline(std::size_t count,
+                                    const thread_pool::range_fn& fn);
+    /// Number of fixed append shards (series -> shard is a pure hash).
+    static constexpr unsigned append_shard_count = 16;
+    /// Shard owning a series (exposed for tests).
+    static unsigned shard_of(series_id id) {
+        const auto h =
+            static_cast<std::uint64_t>(id.value()) * 0x9E3779B97F4A7C15ull;
+        return static_cast<unsigned>(h >> 60);
+    }
+
     /// Merge a pre-computed day aggregate into a series (Thanos-style
     /// block ingestion; used when importing an exported dataset).
     void merge_daily(series_id id, int day, const running_stats& aggregate);
 
     std::size_t series_count() const { return series_.size(); }
-    std::uint64_t dropped_samples() const { return dropped_; }
-    std::uint64_t total_samples() const { return appended_; }
+    std::uint64_t dropped_samples() const;
+    std::uint64_t total_samples() const;
+
+    // --- raw-block sealing -----------------------------------------------
+    /// Sink receiving a sealed day's raw samples of one series; after it
+    /// returns, the block is freed.  Called in ascending (series, day)
+    /// order.
+    using raw_sink =
+        std::function<void(series_id, int day, std::span<const sample>)>;
+    /// Seal every raw day <= `day`: blocks are streamed to `sink` (when
+    /// set) and dropped from memory.  Later appends into sealed days are
+    /// counted as dropped.  No-op unless keep_raw.
+    void seal_raw_through(int day, const raw_sink& sink = {});
+    /// Highest sealed day (-1 when nothing was sealed yet).
+    int raw_sealed_through() const { return raw_sealed_through_; }
+    /// Raw samples currently resident across all series (the streaming
+    /// export's bounded-memory invariant; tests assert it shrinks).
+    std::size_t raw_resident_samples() const;
 
     /// Metric definition of a series.
     const metric_def& metric_of(series_id id) const;
@@ -92,27 +156,44 @@ public:
     /// Whole-window aggregate of a series (merged over days).
     running_stats window_aggregate(series_id id) const;
 
-    /// Raw samples (empty unless keep_raw).
+    /// Raw samples still resident (empty unless keep_raw; sealed days are
+    /// gone — stream them through the seal sink instead).
     std::span<const sample> raw(series_id id) const;
 
 private:
     struct series_data {
         std::size_t metric_index;
+        bool hourly_metric = false;  ///< hoisted registry flag
         label_set labels;
-        std::vector<running_stats> daily;   // size == config.days
-        std::vector<running_stats> hourly;  // size == days*24 if hourly metric
-        std::vector<sample> raw;
+        // sparse aggregates: slot 0 covers daily_first / hourly_first
+        std::int32_t daily_first = -1;
+        std::int32_t hourly_first = -1;
+        std::vector<running_stats> daily;
+        std::vector<running_stats> hourly;
+        std::vector<sample> raw;  ///< unsealed samples, time-ascending
     };
 
+    /// Per-shard ingest counters, cache-line separated so parallel shard
+    /// workers never share a line; totals merge on read.
+    struct alignas(64) shard_counters {
+        std::uint64_t appended = 0;
+        std::uint64_t dropped = 0;
+    };
+
+    void apply_append(series_data& s, sim_time t, double value,
+                      shard_counters& counters);
     const series_data& series_at(series_id id) const;
+    running_stats& daily_slot(series_data& s, int day);
 
     metric_registry registry_;
     store_config config_;
     std::vector<series_data> series_;
     // per metric-index: labels -> series
     std::vector<std::unordered_map<label_set, series_id>> index_;
-    std::uint64_t dropped_ = 0;
-    std::uint64_t appended_ = 0;
+    std::array<shard_counters, append_shard_count> counters_{};
+    /// Batch partition scratch: per shard, indices into the batch.
+    std::array<std::vector<std::uint32_t>, append_shard_count> batch_shards_;
+    int raw_sealed_through_ = -1;
 };
 
 }  // namespace sci

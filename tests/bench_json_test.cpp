@@ -73,6 +73,28 @@ TEST(BenchJsonTest, FreshDuplicatesCollapseToLastMeasurement) {
     EXPECT_DOUBLE_EQ(entries[0].wall_ms, 8.0);
 }
 
+TEST(BenchJsonTest, RoundTripsPeakRss) {
+    const std::vector<bench_entry> entries = {{"bm_a", 1.0, 2.0, 512.5}};
+    const auto parsed = parse_bench_json(render_bench_json(entries));
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_DOUBLE_EQ(parsed[0].peak_rss_mib, 512.5);
+}
+
+TEST(BenchJsonTest, ParsesPreRssLinesWithZeroPeak) {
+    // summary written before peak_rss_mib existed: still parses, peak = 0
+    const auto parsed = parse_bench_json(
+        "    {\"name\": \"bm_old\", \"wall_ms\": 1.000, \"samples_per_s\": 2}\n");
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(parsed[0].name, "bm_old");
+    EXPECT_DOUBLE_EQ(parsed[0].peak_rss_mib, 0.0);
+}
+
+TEST(BenchJsonTest, ProcessPeakRssIsPositiveOnLinux) {
+    // /proc/self/status always carries VmHWM on Linux; a test process has
+    // touched at least a few MiB by the time this runs
+    EXPECT_GT(process_peak_rss_mib(), 0.0);
+}
+
 TEST(BenchJsonTest, ParseSkipsMalformedLinesAndEmptyInput) {
     EXPECT_TRUE(parse_bench_json("").empty());
     EXPECT_TRUE(parse_bench_json("{\n  \"benchmarks\": [\n  ]\n}\n").empty());

@@ -280,6 +280,33 @@ TEST(EngineTest, HolisticModeRuns) {
     EXPECT_EQ(e.stats().forced_fits, 0u);  // node-level placement never forces
 }
 
+// Regression (pre-existing since PR 4): under mass faults + cross-BB
+// rebalancing the holistic path could pick a node with room while the
+// provider-level claim found the crash-shrunken BB full —
+// placement_service::claim threw capacity_error straight through the
+// event loop.  The claim must degrade to NoValidHost instead.
+TEST(EngineTest, HolisticMassFaultDegradesToNoValidHost) {
+    engine_config config = small_config();
+    config.holistic = true;
+    config.population.daily_churn_fraction = 0.10;
+    config.node_churn_fraction = 0.10;
+    config.fault.host_crash_rate_per_day = 1.0;
+    config.fault.crash_repair_time = hours(8);
+    config.fault.ha_restart_delay = 900;
+    config.fault.maintenance_windows = 4;
+    config.cross_bb_interval = 3600;
+    config.cross_bb.target_ram_spread = 0.02;
+    config.cross_bb.max_moves_per_pass = 64;
+    sim_engine e(config);
+    e.run();  // pre-fix: aborted with capacity_error
+    EXPECT_GT(e.stats().holistic_claim_rejections, 0u);
+    EXPECT_LE(e.stats().holistic_claim_rejections,
+              e.stats().placement_failures);
+    // every rejection surfaced as an explicit schedule_fail event
+    EXPECT_GE(e.events().count(lifecycle_event_kind::schedule_fail),
+              e.stats().holistic_claim_rejections);
+}
+
 TEST(EngineTest, ContentionAwareModeRuns) {
     engine_config config = small_config();
     config.scenario.scale = 0.01;
@@ -296,6 +323,49 @@ TEST(EngineTest, LifetimeAwareModeRuns) {
     sim_engine e(config);
     e.run();
     EXPECT_GT(e.stats().placements, 400u);
+}
+
+// DRS move order is reference behavior: rebalance() iterates residents
+// through the node-order-stable container (ascending vm id), so the exact
+// migration sequence of the default run is pinned here.  A container or
+// iteration-order change that reorders near-tie candidate picks shows up
+// as a diff in this list — that is the point: such a change must be a
+// deliberate, re-captured reference bump, never an accident.
+TEST(EngineTest, DrsMoveOrderMatchesCapturedReference) {
+    const sim_engine& e = shared();
+    struct move_ref {
+        sim_time t;
+        std::int32_t vm, bb, from, to;
+    };
+    // first 24 migrate events captured from the default config (scale
+    // 0.02, seed 11, sampling 900) after the resident-container change
+    static constexpr move_ref expected[] = {
+        {25200, 316, 4, 17, 14},   {39600, 184, 4, 19, 15},
+        {43200, 202, 4, 20, 18},   {43200, 810, 5, 21, 26},
+        {122400, 736, 4, 15, 14},  {122400, 247, 5, 25, 24},
+        {129600, 769, 1, 8, 7},    {133200, 347, 5, 21, 24},
+        {212400, 222, 4, 17, 19},  {219600, 720, 4, 20, 18},
+        {219600, 290, 5, 27, 24},  {295200, 184, 4, 15, 18},
+        {306000, 980, 0, 1, 0},    {399600, 507, 4, 16, 18},
+        {561600, 816, 5, 22, 27},  {565200, 736, 4, 14, 18},
+        {828000, 247, 5, 24, 26},  {918000, 361, 0, 1, 0},
+        {1245600, 507, 4, 18, 15}, {1339200, 1160, 0, 4, 0},
+        {1342800, 348, 0, 2, 3},   {1418400, 839, 0, 2, 0},
+        {1436400, 709, 0, 0, 4},   {1436400, 259, 1, 5, 9},
+    };
+    EXPECT_EQ(e.stats().drs_migrations, 42u);
+    std::vector<lifecycle_event> moves;
+    for (const lifecycle_event& ev : e.events().all()) {
+        if (ev.kind == lifecycle_event_kind::migrate) moves.push_back(ev);
+    }
+    ASSERT_GE(moves.size(), std::size(expected));
+    for (std::size_t i = 0; i < std::size(expected); ++i) {
+        EXPECT_EQ(moves[i].t, expected[i].t) << "move " << i;
+        EXPECT_EQ(moves[i].vm.value(), expected[i].vm) << "move " << i;
+        EXPECT_EQ(moves[i].bb.value(), expected[i].bb) << "move " << i;
+        EXPECT_EQ(moves[i].from.value(), expected[i].from) << "move " << i;
+        EXPECT_EQ(moves[i].to.value(), expected[i].to) << "move " << i;
+    }
 }
 
 TEST(EngineTest, DrsDisabledMeansNoMigrations) {

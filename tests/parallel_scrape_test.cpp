@@ -44,6 +44,7 @@ void expect_stats_equal(const run_stats& a, const run_stats& b) {
     EXPECT_EQ(a.drs_migrations, b.drs_migrations);
     EXPECT_EQ(a.evacuations, b.evacuations);
     EXPECT_EQ(a.forced_fits, b.forced_fits);
+    EXPECT_EQ(a.holistic_claim_rejections, b.holistic_claim_rejections);
     EXPECT_EQ(a.deletions, b.deletions);
     EXPECT_EQ(a.scrapes, b.scrapes);
     EXPECT_EQ(a.cross_bb_moves, b.cross_bb_moves);

@@ -1,0 +1,249 @@
+// Streaming dataset export (data/streaming_writer.hpp) and raw-block
+// sealing (telemetry/store.hpp).
+//
+// The invariants: (1) the streaming writer's manifest + daily aggregate
+// files are byte-identical to the materialized exporter's across every
+// engine config family; (2) streamed raw files carry exactly the
+// materialized raw rows (order is the one documented difference); (3)
+// sealing actually frees raw blocks — residency shrinks, and a
+// full-window streamed run finishes with zero resident raw samples.
+
+#include "data/streaming_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "data/dataset.hpp"
+
+namespace sci {
+namespace {
+
+std::string read_file(const std::filesystem::path& p) {
+    std::ifstream f(p, std::ios::binary);
+    EXPECT_TRUE(f.good()) << p;
+    std::ostringstream out;
+    out << f.rdbuf();
+    return out.str();
+}
+
+/// Lines of a CSV body, sorted (header excluded) — raw files are compared
+/// as unordered row collections.
+std::vector<std::string> sorted_body_lines(const std::filesystem::path& p) {
+    std::ifstream f(p);
+    EXPECT_TRUE(f.good()) << p;
+    std::vector<std::string> lines;
+    std::string line;
+    std::getline(f, line);  // header, checked separately
+    while (std::getline(f, line)) lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+    return lines;
+}
+
+std::string header_line(const std::filesystem::path& p) {
+    std::ifstream f(p);
+    std::string line;
+    std::getline(f, line);
+    return line;
+}
+
+class StreamingExportTest : public testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("sci_streaming_test_" + std::to_string(::getpid()) + "_" +
+                testing::UnitTest::GetInstance()->current_test_info()->name());
+        std::filesystem::remove_all(dir_);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    static engine_config base_config() {
+        engine_config config;
+        config.scenario.scale = 0.01;  // ~18 nodes: fast full-window runs
+        config.scenario.seed = 11;
+        config.sampling_interval = 1800;
+        return config;
+    }
+
+    /// The four config families of the acceptance matrix, shrunk.
+    static std::vector<std::pair<std::string, engine_config>> config_matrix() {
+        std::vector<std::pair<std::string, engine_config>> out;
+        out.emplace_back("default", base_config());
+
+        engine_config faulted = base_config();
+        faulted.population.daily_churn_fraction = 0.05;
+        faulted.fault.host_crash_rate_per_day = 0.5;
+        faulted.fault.crash_repair_time = hours(8);
+        faulted.fault.ha_restart_delay = 900;
+        faulted.fault.claim_failure_probability = 0.02;
+        faulted.fault.maintenance_windows = 2;
+        out.emplace_back("faulted", faulted);
+
+        engine_config contention = faulted;
+        contention.contention_aware = true;
+        out.emplace_back("contention", contention);
+
+        engine_config resize = base_config();
+        resize.lifetime_aware = true;
+        resize.daily_resize_fraction = 0.02;
+        resize.population.daily_churn_fraction = 0.05;
+        out.emplace_back("resize", resize);
+        return out;
+    }
+
+    std::filesystem::path dir_;
+};
+
+// (1) Aggregate files: streaming finish() and export_dataset must emit
+// byte-identical manifest.csv and <metric>.daily.csv for the same store.
+TEST_F(StreamingExportTest, AggregateFilesByteIdenticalAcrossConfigs) {
+    for (auto& [name, config] : config_matrix()) {
+        sim_engine engine(config);
+        engine.run();
+
+        const auto materialized = dir_ / name / "materialized";
+        const auto streamed = dir_ / name / "streamed";
+        export_dataset(engine.store(), materialized);
+        streaming_dataset_writer writer(engine.store(), streamed);
+        // no raw kept in this config family: sink never fires, finish()
+        // must still produce the full aggregate dataset
+        const dataset_export_report report = writer.finish();
+        EXPECT_GT(report.daily_rows, 0u) << name;
+        EXPECT_EQ(report.raw_rows, 0u) << name;
+
+        std::size_t files = 0;
+        for (const auto& entry :
+             std::filesystem::directory_iterator(materialized)) {
+            const auto file = entry.path().filename();
+            EXPECT_EQ(read_file(materialized / file),
+                      read_file(streamed / file))
+                << name << "/" << file;
+            ++files;
+        }
+        EXPECT_GT(files, 1u) << name;  // manifest + at least one daily
+        // and nothing extra on the streamed side
+        std::size_t streamed_files = 0;
+        for ([[maybe_unused]] const auto& entry :
+             std::filesystem::directory_iterator(streamed)) {
+            ++streamed_files;
+        }
+        EXPECT_EQ(files, streamed_files) << name;
+    }
+}
+
+// (2) + (3) With keep_raw: a run streamed through the day-boundary seal
+// produces the same raw rows as a materialized run, and ends with zero
+// raw samples resident.
+TEST_F(StreamingExportTest, RawRowsMatchMaterializedAndMemoryIsFreed) {
+    engine_config config = base_config();
+    config.store.keep_raw = true;
+
+    sim_engine materialized_engine(config);
+    materialized_engine.run();
+    const auto materialized = dir_ / "materialized";
+    const dataset_export_report mat_report =
+        export_dataset(materialized_engine.store(), materialized);
+    EXPECT_GT(mat_report.raw_rows, 0u);
+    EXPECT_GT(materialized_engine.store().raw_resident_samples(), 0u);
+
+    sim_engine streamed_engine(config);
+    const auto streamed = dir_ / "streamed";
+    streaming_dataset_writer writer(streamed_engine.store(), streamed);
+    streamed_engine.enable_raw_streaming(writer.sink());
+    streamed_engine.run();
+    const dataset_export_report stream_report = writer.finish();
+
+    // the bounded-memory invariant: every day was sealed and freed
+    EXPECT_EQ(streamed_engine.store().raw_resident_samples(), 0u);
+    EXPECT_EQ(streamed_engine.store().raw_sealed_through(),
+              streamed_engine.store().config().days - 1);
+    EXPECT_EQ(stream_report.raw_rows, mat_report.raw_rows);
+    EXPECT_EQ(stream_report.daily_rows, mat_report.daily_rows);
+
+    for (const auto& entry :
+         std::filesystem::directory_iterator(materialized)) {
+        const auto file = entry.path().filename();
+        if (file.string().find(".raw.csv") == std::string::npos) {
+            EXPECT_EQ(read_file(materialized / file),
+                      read_file(streamed / file))
+                << file;
+            continue;
+        }
+        // raw files: identical header, identical row multiset (streaming
+        // emits day-major, materialized series-major)
+        EXPECT_EQ(header_line(materialized / file),
+                  header_line(streamed / file))
+            << file;
+        EXPECT_EQ(sorted_body_lines(materialized / file),
+                  sorted_body_lines(streamed / file))
+            << file;
+    }
+}
+
+// (3) Unit-level sealing: blocks are handed out in ascending (series, day)
+// order, freed from memory, and late appends into sealed days drop.
+TEST_F(StreamingExportTest, SealFreesBlocksAndDropsLateAppends) {
+    metric_store store(metric_registry::standard_catalog(),
+                       store_config{.keep_raw = true});
+    const series_id cpu = store.open_series(
+        metric_names::host_cpu_core_utilization,
+        label_set{{"node", "n1"}, {"bb", "bb-0"}, {"dc", "dc-a"}});
+    const series_id mem = store.open_series(
+        metric_names::host_memory_usage,
+        label_set{{"node", "n1"}, {"bb", "bb-0"}, {"dc", "dc-a"}});
+    // three days of samples on both series
+    for (int day = 0; day < 3; ++day) {
+        for (int i = 0; i < 10; ++i) {
+            const sim_time t = day * seconds_per_day + i * 300;
+            store.append(cpu, t, 10.0 + day);
+            store.append(mem, t, 50.0 + day);
+        }
+    }
+    ASSERT_EQ(store.raw_resident_samples(), 60u);
+
+    struct block {
+        series_id id;
+        int day;
+        std::size_t count;
+    };
+    std::vector<block> blocks;
+    store.seal_raw_through(1, [&](series_id id, int day,
+                                  std::span<const sample> samples) {
+        blocks.push_back({id, day, samples.size()});
+    });
+
+    // days 0 and 1 of both series went out, in ascending (series, day)
+    ASSERT_EQ(blocks.size(), 4u);
+    EXPECT_EQ(blocks[0].day, 0);
+    EXPECT_EQ(blocks[1].day, 1);
+    EXPECT_EQ(blocks[2].day, 0);
+    EXPECT_EQ(blocks[3].day, 1);
+    EXPECT_LT(blocks[0].id.value(), blocks[2].id.value());
+    for (const block& b : blocks) EXPECT_EQ(b.count, 10u);
+
+    // ...and their memory is actually gone, day 2 still resident
+    EXPECT_EQ(store.raw_resident_samples(), 20u);
+    EXPECT_EQ(store.raw_sealed_through(), 1);
+    EXPECT_EQ(store.raw(cpu).size(), 10u);
+    EXPECT_EQ(store.raw(cpu).front().t, 2 * seconds_per_day);
+
+    // a straggler landing in a sealed day is dropped, not resurrected
+    const std::uint64_t dropped_before = store.dropped_samples();
+    store.append(cpu, seconds_per_day / 2, 99.0);
+    EXPECT_EQ(store.raw_resident_samples(), 20u);
+    EXPECT_EQ(store.dropped_samples(), dropped_before + 1);
+
+    // sealing without a sink frees the rest silently
+    store.seal_raw_through(2);
+    EXPECT_EQ(store.raw_resident_samples(), 0u);
+}
+
+}  // namespace
+}  // namespace sci
