@@ -235,6 +235,7 @@ void sim_engine::setup_scrape_pipeline() {
     // fault-layer per-node state; inert defaults (no host down, full
     // capacity) so the zero-fault path computes exactly what it always did
     node_down_.assign(f.node_count(), 0);
+    node_az_down_.assign(f.node_count(), 0);
     node_cpu_factor_.assign(f.node_count(), 1.0);
     scrape_nodes_.clear();
     scrape_nodes_.reserve(f.node_count());
@@ -516,9 +517,11 @@ bool sim_engine::place_vm(vm_id vm, sim_time when, lifecycle_event_kind kind,
     if (!outcome.success) {
         rec.state = vm_state::error;
         ++stats_.placement_failures;
-        events_.record(lifecycle_event{.t = when,
-                                       .kind = lifecycle_event_kind::schedule_fail,
-                                       .vm = vm});
+        events_.record(
+            lifecycle_event{.t = when,
+                            .kind = lifecycle_event_kind::schedule_fail,
+                            .vm = vm,
+                            .reason = schedule_fail_reason::no_valid_host});
         return false;
     }
 
@@ -541,10 +544,11 @@ bool sim_engine::place_vm(vm_id vm, sim_time when, lifecycle_event_kind kind,
             placement_.release(vm, f);
             rec.state = vm_state::error;
             ++stats_.placement_failures;
-            events_.record(
-                lifecycle_event{.t = when,
-                                .kind = lifecycle_event_kind::schedule_fail,
-                                .vm = vm});
+            events_.record(lifecycle_event{
+                .t = when,
+                .kind = lifecycle_event_kind::schedule_fail,
+                .vm = vm,
+                .reason = schedule_fail_reason::no_accepting_node});
             return false;
         }
         node = best->id();
@@ -641,9 +645,11 @@ bool sim_engine::place_vm_holistic(vm_id vm, sim_time when,
     if (best_cluster == nullptr) {
         rec.state = vm_state::error;
         ++stats_.placement_failures;
-        events_.record(lifecycle_event{.t = when,
-                                       .kind = lifecycle_event_kind::schedule_fail,
-                                       .vm = vm});
+        events_.record(lifecycle_event{
+            .t = when,
+            .kind = lifecycle_event_kind::schedule_fail,
+            .vm = vm,
+            .reason = schedule_fail_reason::holistic_no_candidate});
         return false;
     }
     // The node accepted the VM, but the provider-level claim re-checks
@@ -657,9 +663,11 @@ bool sim_engine::place_vm_holistic(vm_id vm, sim_time when,
         rec.state = vm_state::error;
         ++stats_.placement_failures;
         ++stats_.holistic_claim_rejections;
-        events_.record(lifecycle_event{.t = when,
-                                       .kind = lifecycle_event_kind::schedule_fail,
-                                       .vm = vm});
+        events_.record(lifecycle_event{
+            .t = when,
+            .kind = lifecycle_event_kind::schedule_fail,
+            .vm = vm,
+            .reason = schedule_fail_reason::holistic_claim_rejected});
         return false;
     }
     best_cluster->place(vm, f, best_node->id());
@@ -743,12 +751,20 @@ std::size_t sim_engine::evacuate_node(node_id node, sim_time t,
                 }
             }
             if (best == nullptr) {
-                // cluster fully out of service: the VM is terminated
+                // cluster fully out of service: the VM is terminated —
+                // recorded like any other deletion, so the log accounts
+                // for every VM that left the fleet (no silent drops)
                 placement_.release(vm, f);
                 rec.state = vm_state::deleted;
                 rec.deleted_at = t;
                 ++stats_.deletions;
                 active_erase(vm);
+                events_.record(
+                    lifecycle_event{.t = t,
+                                    .kind = lifecycle_event_kind::remove,
+                                    .vm = vm,
+                                    .bb = meta.bb,
+                                    .from = node});
                 continue;
             }
             target = best->id();
@@ -966,6 +982,7 @@ void sim_engine::scrape(sim_time t) {
     }
 
     ++stats_.scrapes;
+    if (probes_.after_scrape) probes_.after_scrape(t);
     const sim_time next = t + config_.sampling_interval;
     if (next < observation_window) {
         queue_.schedule_at(next, [this](sim_time tn) { scrape(tn); });
@@ -979,6 +996,21 @@ void sim_engine::drs_pass(sim_time t) {
     const vm_flavor_fn flavor_of = [this](vm_id vm) -> const flavor& {
         return scenario_.catalog.get(vms_.get(vm).flavor);
     };
+    // Fleet-mean cluster imbalance under this pass's demand snapshot,
+    // computed only when the invariant probe asked for it (the walk is
+    // pure — no RNG, no state — so the run is unchanged either way).
+    const auto mean_imbalance = [&]() {
+        double sum = 0.0;
+        for (const drs_cluster& cluster : clusters_) {
+            sum += cluster.imbalance(demand);
+        }
+        return clusters_.empty()
+                   ? 0.0
+                   : sum / static_cast<double>(clusters_.size());
+    };
+    const double imbalance_before =
+        probes_.drs_imbalance ? mean_imbalance() : 0.0;
+
     // Fan the per-cluster balancing across the pool: each cluster touches
     // only its own node runtimes, and the demand/flavor oracles are pure
     // per VM (a VM resides in exactly one cluster, so even the lazy
@@ -1024,6 +1056,9 @@ void sim_engine::drs_pass(sim_time t) {
                                            .from = m.from,
                                            .to = m.to});
         }
+    }
+    if (probes_.drs_imbalance) {
+        probes_.drs_imbalance(t, imbalance_before, mean_imbalance());
     }
     const sim_time next = t + config_.drs_interval;
     if (next < observation_window) {
@@ -1262,6 +1297,16 @@ void sim_engine::setup_faults() {
 }
 
 void sim_engine::apply_fault(const fault_event& event, sim_time t) {
+    // AZ outages address a zone, not a node: dispatch before the node
+    // lookup below (event.node is unset for them)
+    if (event.kind == fault_event_kind::az_outage_begin) {
+        begin_az_outage(event.az, t);
+        return;
+    }
+    if (event.kind == fault_event_kind::az_outage_end) {
+        end_az_outage(event.az, t);
+        return;
+    }
     const auto idx = static_cast<std::size_t>(event.node.value());
     const compute_node& meta = scenario_.infrastructure.get(event.node);
     node_runtime& nr = cluster_of(meta.bb).node(event.node);
@@ -1290,6 +1335,9 @@ void sim_engine::apply_fault(const fault_event& event, sim_time t) {
             node_down_[idx] = 0;
             if (meta.available_at(t)) nr.set_accepting(true);
             break;
+        case fault_event_kind::az_outage_begin:
+        case fault_event_kind::az_outage_end:
+            break;  // dispatched above, before the node lookup
     }
 }
 
@@ -1324,6 +1372,40 @@ void sim_engine::crash_node(node_id node, sim_time t) {
     if (!victims.empty()) {
         enqueue_ha_group(t + config_.fault.ha_restart_delay,
                          std::move(victims));
+    }
+}
+
+void sim_engine::begin_az_outage(az_id az, sim_time t) {
+    ++stats_.az_outages;
+    // Crash every in-service host of the zone at the same instant: one
+    // detection epoch.  Each node's victims enqueue at t + restart_delay,
+    // so the whole zone's standing population re-places as consecutive
+    // due-together groups through the batched speculate/commit pipeline —
+    // absorbed by the surviving zones (or NoValidHost when they cannot).
+    // Hosts that are already down (crashed or in maintenance) keep their
+    // own repair clock and are not re-crashed.
+    for (const bb_id bb : scenario_.infrastructure.bbs_of_az(az)) {
+        for (const node_id node : scenario_.infrastructure.get(bb).nodes) {
+            const auto idx = static_cast<std::size_t>(node.value());
+            if (node_down_[idx] != 0) continue;
+            node_az_down_[idx] = 1;
+            crash_node(node, t);
+        }
+    }
+}
+
+void sim_engine::end_az_outage(az_id az, sim_time t) {
+    for (const bb_id bb : scenario_.infrastructure.bbs_of_az(az)) {
+        for (const node_id node : scenario_.infrastructure.get(bb).nodes) {
+            const auto idx = static_cast<std::size_t>(node.value());
+            if (node_az_down_[idx] == 0) continue;  // not ours to repair
+            node_az_down_[idx] = 0;
+            node_down_[idx] = 0;
+            const compute_node& meta = scenario_.infrastructure.get(node);
+            if (meta.available_at(t)) {
+                cluster_of(meta.bb).node(node).set_accepting(true);
+            }
+        }
     }
 }
 

@@ -19,6 +19,7 @@
 
 #include <array>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -187,6 +188,7 @@ struct run_stats {
     std::uint64_t rebalance_target_invalidated = 0;
 
     // --- fault injection & HA recovery (all zero when faults are off) ----
+    std::uint64_t az_outages = 0;       ///< AZ-level correlated outages fired
     std::uint64_t host_crashes = 0;     ///< injected hypervisor failures
     std::uint64_t crash_victims = 0;    ///< VMs killed by host crashes
     std::uint64_t ha_restarts = 0;      ///< victims re-placed by HA
@@ -195,6 +197,22 @@ struct run_stats {
     std::uint64_t maintenance_evacuations = 0;  ///< unplanned maintenance moves
     /// Pre-copy work thrown away by aborted migrations (seconds).
     double wasted_migration_seconds = 0.0;
+};
+
+/// Optional in-run observation hooks for the invariants harness
+/// (sci::harness).  Both unset by default — the engine then behaves
+/// exactly as before; in particular the DRS imbalance figures are only
+/// computed when a probe asks for them.  Probes observe, they must not
+/// mutate: they fire from the serial event loop and both the demand
+/// oracle and the imbalance walk are pure, so installing a probe never
+/// perturbs the simulation's RNG draws or its deterministic output.
+struct engine_probes {
+    /// After a scrape's samples were appended, at the scrape instant.
+    std::function<void(sim_time)> after_scrape;
+    /// Around every DRS balancing pass: fleet-mean cluster imbalance under
+    /// the pass's demand snapshot, before planning and after the serial
+    /// commits (abort rollbacks included).
+    std::function<void(sim_time, double before, double after)> drs_imbalance;
 };
 
 class sim_engine {
@@ -222,6 +240,16 @@ public:
     const std::vector<drs_cluster>& clusters() const { return clusters_; }
     const placement_service& placement() const { return placement_; }
     const event_log& events() const { return events_; }
+
+    /// Install invariant probes; call before setup()/run().
+    void set_probes(engine_probes probes) { probes_ = std::move(probes); }
+
+    /// Whether a node is currently out of service (crashed, in
+    /// maintenance, or lost to an AZ outage).  False before setup().
+    bool node_is_down(node_id node) const {
+        const auto idx = static_cast<std::size_t>(node.value());
+        return idx < node_down_.size() && node_down_[idx] != 0;
+    }
 
     /// HA recovery controller; null unless config().fault.enabled().
     const ha_controller* ha() const { return ha_.get(); }
@@ -301,6 +329,10 @@ private:
     void setup_faults();
     void apply_fault(const fault_event& event, sim_time t);
     void crash_node(node_id node, sim_time t);
+    /// Crash every in-service host of one AZ in a single detection epoch.
+    void begin_az_outage(az_id az, sim_time t);
+    /// Return the zone's outage-downed hosts to service.
+    void end_az_outage(az_id az, sim_time t);
     /// Queue one detection epoch's victims (in event-time order) for a
     /// batched restart at `due`, scheduling its drain event.
     void enqueue_ha_group(sim_time due, std::vector<vm_id> victims);
@@ -522,9 +554,15 @@ private:
     };
     std::vector<bb_target_spec> cross_bb_targets_;
 
+    engine_probes probes_;  ///< invariant observation hooks (optional)
+
     // --- fault injection state (engaged only when fault.enabled()) ------
     std::unique_ptr<ha_controller> ha_;        ///< null when faults are off
     std::vector<char> node_down_;              ///< crashed / in maintenance
+    /// Down specifically because of an AZ outage: the outage-end event
+    /// repairs exactly these (individually crashed hosts keep their own
+    /// repair clock).
+    std::vector<char> node_az_down_;
     std::vector<double> node_cpu_factor_;      ///< degraded-capacity factor
     std::optional<rng_stream> mig_abort_rng_;  ///< serial event-loop draws
     std::optional<rng_stream> claim_fault_rng_;

@@ -182,12 +182,13 @@ std::size_t export_events_csv(const event_log& events,
     std::ofstream f(file);
     expects(f.good(), "export_events_csv: cannot create file");
     csv_writer w(f);
-    w.write_row({"t", "kind", "vm", "bb", "from_node", "to_node"});
+    w.write_row({"t", "kind", "vm", "bb", "from_node", "to_node", "reason"});
     for (const lifecycle_event& e : events.all()) {
         w.write_row({std::to_string(e.t), std::string(to_string(e.kind)),
                      std::to_string(e.vm.value()), std::to_string(e.bb.value()),
                      std::to_string(e.from.value()),
-                     std::to_string(e.to.value())});
+                     std::to_string(e.to.value()),
+                     std::string(to_string(e.reason))});
     }
     return events.size();
 }
@@ -198,8 +199,11 @@ std::vector<lifecycle_event> import_events_csv(
     if (!f.good()) throw not_found_error("import_events_csv: file missing");
     csv_reader reader(f);
     std::vector<std::string> fields;
-    expects(reader.next_row(fields) && fields.size() == 6,
+    // width 6 = pre-reason exports; width 7 carries the schedule_fail reason
+    expects(reader.next_row(fields) &&
+                (fields.size() == 6 || fields.size() == 7),
             "import_events_csv: malformed header");
+    const std::size_t width = fields.size();
     std::vector<lifecycle_event> out;
     const auto kind_of = [](const std::string& s) {
         for (auto k : {lifecycle_event_kind::create,
@@ -215,7 +219,7 @@ std::vector<lifecycle_event> import_events_csv(
         throw error("import_events_csv: unknown event kind '" + s + "'");
     };
     while (reader.next_row(fields)) {
-        expects(fields.size() == 6, "import_events_csv: malformed row");
+        expects(fields.size() == width, "import_events_csv: malformed row");
         lifecycle_event e;
         e.t = static_cast<sim_time>(std::stoll(fields[0]));
         e.kind = kind_of(fields[1]);
@@ -223,6 +227,14 @@ std::vector<lifecycle_event> import_events_csv(
         e.bb = bb_id(static_cast<std::int32_t>(std::stol(fields[3])));
         e.from = node_id(static_cast<std::int32_t>(std::stol(fields[4])));
         e.to = node_id(static_cast<std::int32_t>(std::stol(fields[5])));
+        if (width == 7) {
+            const auto reason = schedule_fail_reason_from(fields[6]);
+            if (!reason.has_value()) {
+                throw error("import_events_csv: unknown reason '" + fields[6] +
+                            "'");
+            }
+            e.reason = *reason;
+        }
         out.push_back(e);
     }
     return out;

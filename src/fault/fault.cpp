@@ -16,6 +16,8 @@ std::string_view to_string(fault_event_kind k) {
         case fault_event_kind::degrade_end: return "degrade_end";
         case fault_event_kind::maintenance_begin: return "maintenance_begin";
         case fault_event_kind::maintenance_end: return "maintenance_end";
+        case fault_event_kind::az_outage_begin: return "az_outage_begin";
+        case fault_event_kind::az_outage_end: return "az_outage_end";
     }
     return "unknown";
 }
@@ -50,7 +52,8 @@ std::vector<fault_event> compile_fault_schedule(const fault_config& config,
                 config.migration_abort_probability <= 1.0 &&
                 config.degraded_node_fraction >= 0.0 &&
                 config.degraded_node_fraction <= 1.0 &&
-                config.maintenance_windows >= 0,
+                config.maintenance_windows >= 0 && config.az_outages >= 0 &&
+                config.az_outage_at >= 0 && config.az_outage_repair_time >= 0,
             "compile_fault_schedule: rates out of range");
     expects(config.degraded_cpu_factor > 0.0 && config.degraded_cpu_factor <= 1.0,
             "compile_fault_schedule: degraded_cpu_factor must be in (0, 1]");
@@ -132,6 +135,33 @@ std::vector<fault_event> compile_fault_schedule(const fault_config& config,
                             .node = node});
             schedule.push_back(fault_event{
                 .t = end, .kind = fault_event_kind::maintenance_end, .node = node});
+        }
+    }
+
+    // --- AZ-level correlated outages --------------------------------------
+    if (config.az_outages > 0 && infrastructure.az_count() > 0) {
+        rng_stream rng(seed, "fault-az-outage");
+        for (int w = 0; w < config.az_outages; ++w) {
+            // the zone pick always consumes one draw, so begin times stay
+            // aligned whether az_outage_at pins them or not
+            const auto az_idx = static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(infrastructure.az_count()) - 1));
+            const az_id az = infrastructure.azs()[az_idx].id;
+            const sim_time begin =
+                config.az_outage_at > 0
+                    ? static_cast<sim_time>(w + 1) * config.az_outage_at
+                    : static_cast<sim_time>(
+                          rng.uniform(0.10, 0.80) *
+                          static_cast<double>(observation_window));
+            if (begin >= observation_window) continue;
+            schedule.push_back(fault_event{
+                .t = begin, .kind = fault_event_kind::az_outage_begin, .az = az});
+            if (config.az_outage_repair_time == 0) continue;  // never repaired
+            const sim_time end = begin + config.az_outage_repair_time;
+            if (end < observation_window) {
+                schedule.push_back(fault_event{
+                    .t = end, .kind = fault_event_kind::az_outage_end, .az = az});
+            }
         }
     }
 

@@ -47,6 +47,17 @@ struct fault_config {
     /// hold out of service, recommission).
     int maintenance_windows = 0;
     sim_duration maintenance_duration = hours(6);
+    /// AZ-level correlated outages: every host of one availability zone
+    /// crashes in the same detection epoch (power/cooling/network-spine
+    /// loss — the datacenter-scale incidents the paper's reality check
+    /// motivates).  HA re-places all victims through the real conductor,
+    /// so the surviving zones absorb the zone's standing population.
+    int az_outages = 0;
+    /// Deterministic start of outage w at (w+1)·az_outage_at; 0 draws the
+    /// start times uniformly inside [0.10, 0.80] of the window instead.
+    sim_duration az_outage_at = 0;
+    /// Wall-clock until the zone's hosts rejoin their clusters (0 = never).
+    sim_duration az_outage_repair_time = hours(4);
 
     // --- HA controller policy -------------------------------------------
     /// Detection + restart latency before the first re-placement attempt.
@@ -64,7 +75,8 @@ struct fault_config {
         return host_crash_rate_per_day > 0.0 ||
                claim_failure_probability > 0.0 ||
                migration_abort_probability > 0.0 ||
-               degraded_node_fraction > 0.0 || maintenance_windows > 0;
+               degraded_node_fraction > 0.0 || maintenance_windows > 0 ||
+               az_outages > 0;
     }
 };
 
@@ -75,22 +87,27 @@ enum class fault_event_kind {
     degrade_end,        ///< capacity restored
     maintenance_begin,  ///< evacuate + hold out of service
     maintenance_end,    ///< recommission
+    az_outage_begin,    ///< every host of one AZ crashes at once
+    az_outage_end,      ///< the zone's hosts rejoin their clusters
 };
 
 std::string_view to_string(fault_event_kind k);
 
-/// One compiled fault: what happens to which node at what instant.
+/// One compiled fault: what happens to which node (or, for AZ outages,
+/// which zone) at what instant.
 struct fault_event {
     sim_time t = 0;
     fault_event_kind kind = fault_event_kind::host_crash;
-    node_id node;
+    node_id node;  ///< unset for az_outage_* events
+    az_id az;      ///< set only for az_outage_* events
     /// Effective-capacity factor for degrade_begin events (else 1.0).
     double cpu_factor = 1.0;
 };
 
 /// Compile the deterministic fault schedule for one run: every fault the
 /// window will see, sorted by time (ties keep generation order: crashes,
-/// then degradations, then maintenance; by node id within each source).
+/// then degradations, then maintenance, then AZ outages; by node id
+/// within each source).
 /// Pure in (config, fleet size, seed); empty when config.enabled() is
 /// false.
 std::vector<fault_event> compile_fault_schedule(const fault_config& config,

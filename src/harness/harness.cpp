@@ -1,0 +1,285 @@
+#include "harness/harness.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <fstream>
+#include <sstream>
+
+#include "simcore/error.hpp"
+
+namespace sci::harness {
+
+namespace {
+
+constexpr std::uint64_t fnv_offset = 1469598103934665603ull;
+constexpr std::uint64_t fnv_prime = 1099511628211ull;
+
+void fnv1a(std::uint64_t& h, std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+        h ^= (value >> (byte * 8)) & 0xffu;
+        h *= fnv_prime;
+    }
+}
+
+void fnv1a(std::uint64_t& h, double value) {
+    fnv1a(h, std::bit_cast<std::uint64_t>(value));
+}
+
+std::string hex64(std::uint64_t value) {
+    static constexpr char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[value & 0xfu];
+        value >>= 4;
+    }
+    return out;
+}
+
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    static constexpr char digits[] = "0123456789abcdef";
+                    out += "\\u00";
+                    out += digits[(c >> 4) & 0xf];
+                    out += digits[c & 0xf];
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string_view to_string(replay_status s) {
+    switch (s) {
+        case replay_status::none: return "none";
+        case replay_status::recorded: return "recorded";
+        case replay_status::matched: return "matched";
+        case replay_status::mismatched: return "mismatched";
+        case replay_status::skipped: return "skipped";
+    }
+    return "unknown";
+}
+
+bool scenario_outcome::passed() const {
+    if (replay == replay_status::mismatched) return false;
+    return std::all_of(invariants.begin(), invariants.end(),
+                       [](const invariant_result& r) { return r.passed; });
+}
+
+std::uint64_t stats_fingerprint(const run_stats& s) {
+    std::uint64_t h = fnv_offset;
+    fnv1a(h, s.placements);
+    fnv1a(h, s.placement_failures);
+    fnv1a(h, s.scheduler_retries);
+    fnv1a(h, s.drs_migrations);
+    fnv1a(h, s.evacuations);
+    fnv1a(h, s.forced_fits);
+    fnv1a(h, s.holistic_claim_rejections);
+    fnv1a(h, s.deletions);
+    fnv1a(h, s.scrapes);
+    fnv1a(h, s.cross_bb_moves);
+    fnv1a(h, s.resizes);
+    fnv1a(h, s.resize_failures);
+    fnv1a(h, s.migration_seconds);
+    fnv1a(h, s.max_migration_downtime_ms);
+    fnv1a(h, s.speculative_placements);
+    fnv1a(h, s.speculation_misses);
+    fnv1a(h, s.window_batches);
+    fnv1a(h, s.window_speculations);
+    fnv1a(h, s.window_speculative_placements);
+    fnv1a(h, s.window_speculation_misses);
+    fnv1a(h, s.window_speculation_invalidated);
+    fnv1a(h, s.recovery_batches);
+    fnv1a(h, s.recovery_speculations);
+    fnv1a(h, s.recovery_speculative_placements);
+    fnv1a(h, s.recovery_speculation_misses);
+    fnv1a(h, s.recovery_speculation_invalidated);
+    fnv1a(h, s.recovery_speculation_cancelled);
+    fnv1a(h, s.rebalance_target_speculations);
+    fnv1a(h, s.rebalance_targets_used);
+    fnv1a(h, s.rebalance_target_invalidated);
+    fnv1a(h, s.az_outages);
+    fnv1a(h, s.host_crashes);
+    fnv1a(h, s.crash_victims);
+    fnv1a(h, s.ha_restarts);
+    fnv1a(h, s.ha_restart_failures);
+    fnv1a(h, s.migration_aborts);
+    fnv1a(h, s.maintenance_evacuations);
+    fnv1a(h, s.wasted_migration_seconds);
+    return h;
+}
+
+std::uint64_t events_fingerprint(const event_log& events) {
+    std::uint64_t h = fnv_offset;
+    for (const lifecycle_event& e : events.all()) {
+        fnv1a(h, static_cast<std::uint64_t>(e.t));
+        fnv1a(h, static_cast<std::uint64_t>(e.kind));
+        fnv1a(h, static_cast<std::uint64_t>(e.vm.value()));
+        fnv1a(h, static_cast<std::uint64_t>(e.bb.value()));
+        fnv1a(h, static_cast<std::uint64_t>(e.from.value()));
+        fnv1a(h, static_cast<std::uint64_t>(e.to.value()));
+        fnv1a(h, static_cast<std::uint64_t>(e.reason));
+    }
+    return h;
+}
+
+void write_trace_file(const trace_record& trace,
+                      const std::filesystem::path& file) {
+    if (!file.parent_path().empty()) {
+        std::filesystem::create_directories(file.parent_path());
+    }
+    std::ofstream out(file);
+    expects(out.good(), "write_trace_file: cannot create " + file.string());
+    out << "scenario = " << trace.scenario << "\n"
+        << "days = " << trace.days << "\n"
+        << "events = " << trace.event_count << "\n"
+        << "events_hash = " << hex64(trace.events_hash) << "\n"
+        << "stats_hash = " << hex64(trace.stats_hash) << "\n";
+}
+
+std::optional<trace_record> read_trace_file(
+    const std::filesystem::path& file) {
+    std::ifstream in(file);
+    if (!in.good()) return std::nullopt;
+    trace_record trace;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos) continue;
+        const auto trim = [](std::string s) {
+            const auto b = s.find_first_not_of(" \t\r");
+            const auto e = s.find_last_not_of(" \t\r");
+            return b == std::string::npos ? std::string()
+                                          : s.substr(b, e - b + 1);
+        };
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key == "scenario") trace.scenario = value;
+        else if (key == "days") trace.days = std::stoi(value);
+        else if (key == "events") trace.event_count = std::stoull(value);
+        else if (key == "events_hash") {
+            trace.events_hash = std::stoull(value, nullptr, 16);
+        } else if (key == "stats_hash") {
+            trace.stats_hash = std::stoull(value, nullptr, 16);
+        } else {
+            throw error("read_trace_file: unknown key '" + key + "' in " +
+                        file.string());
+        }
+    }
+    if (trace.scenario.empty()) {
+        throw error("read_trace_file: malformed trace " + file.string());
+    }
+    return trace;
+}
+
+scenario_outcome run_scenario(const scenario_spec& spec,
+                              const run_options& options) {
+    expects(options.days >= 0, "run_scenario: days must be non-negative");
+    engine_config config = spec.config;
+    if (options.threads.has_value()) config.threads = options.threads;
+
+    scenario_outcome outcome;
+    outcome.name = spec.name;
+    outcome.days = options.days > 0 ? std::min(options.days, observation_days)
+                                    : observation_days;
+
+    sim_engine engine(config);
+    invariant_monitor monitor(engine, spec.invariants);
+    engine.setup();
+    engine.run_until(days(outcome.days));
+
+    outcome.stats = engine.stats();
+    outcome.invariants = monitor.evaluate();
+    outcome.event_count = engine.events().size();
+    outcome.events_hash = events_fingerprint(engine.events());
+    outcome.stats_hash = stats_fingerprint(engine.stats());
+
+    if (spec.trace.empty()) return outcome;
+    if (options.record_trace) {
+        write_trace_file(trace_record{outcome.name, outcome.days,
+                                      outcome.event_count,
+                                      outcome.events_hash,
+                                      outcome.stats_hash},
+                         spec.trace);
+        outcome.replay = replay_status::recorded;
+        outcome.replay_detail = "trace written to " + spec.trace.string();
+        return outcome;
+    }
+    const std::optional<trace_record> trace = read_trace_file(spec.trace);
+    if (!trace.has_value()) {
+        outcome.replay = replay_status::skipped;
+        outcome.replay_detail =
+            "no trace at " + spec.trace.string() + " (run with --record)";
+        return outcome;
+    }
+    if (trace->days != outcome.days) {
+        outcome.replay = replay_status::skipped;
+        outcome.replay_detail =
+            "trace covers " + std::to_string(trace->days) +
+            " days, this run " + std::to_string(outcome.days);
+        return outcome;
+    }
+    if (trace->events_hash != outcome.events_hash ||
+        trace->stats_hash != outcome.stats_hash ||
+        trace->event_count != outcome.event_count) {
+        outcome.replay = replay_status::mismatched;
+        outcome.replay_detail =
+            "recorded events/stats " + hex64(trace->events_hash) + "/" +
+            hex64(trace->stats_hash) + " (" +
+            std::to_string(trace->event_count) + " events), replay got " +
+            hex64(outcome.events_hash) + "/" + hex64(outcome.stats_hash) +
+            " (" + std::to_string(outcome.event_count) + ")";
+        return outcome;
+    }
+    outcome.replay = replay_status::matched;
+    outcome.replay_detail = std::to_string(outcome.event_count) +
+                            " events bit-identical to the recorded trace";
+    return outcome;
+}
+
+std::string outcomes_json(std::span<const scenario_outcome> outcomes) {
+    std::ostringstream out;
+    const bool all_passed =
+        std::all_of(outcomes.begin(), outcomes.end(),
+                    [](const scenario_outcome& o) { return o.passed(); });
+    out << "{\n  \"passed\": " << (all_passed ? "true" : "false")
+        << ",\n  \"scenarios\": [";
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const scenario_outcome& o = outcomes[i];
+        out << (i == 0 ? "" : ",") << "\n    {\n";
+        out << "      \"name\": \"" << json_escape(o.name) << "\",\n";
+        out << "      \"passed\": " << (o.passed() ? "true" : "false")
+            << ",\n";
+        out << "      \"days\": " << o.days << ",\n";
+        out << "      \"events\": " << o.event_count << ",\n";
+        out << "      \"events_hash\": \"" << hex64(o.events_hash) << "\",\n";
+        out << "      \"stats_hash\": \"" << hex64(o.stats_hash) << "\",\n";
+        out << "      \"replay\": \"" << to_string(o.replay) << "\",\n";
+        out << "      \"replay_detail\": \"" << json_escape(o.replay_detail)
+            << "\",\n";
+        out << "      \"invariants\": [";
+        for (std::size_t j = 0; j < o.invariants.size(); ++j) {
+            const invariant_result& r = o.invariants[j];
+            out << (j == 0 ? "" : ",") << "\n        {\"name\": \""
+                << json_escape(r.name) << "\", \"passed\": "
+                << (r.passed ? "true" : "false") << ", \"detail\": \""
+                << json_escape(r.detail) << "\"}";
+        }
+        out << (o.invariants.empty() ? "]" : "\n      ]") << "\n    }";
+    }
+    out << (outcomes.empty() ? "]" : "\n  ]") << "\n}\n";
+    return out.str();
+}
+
+}  // namespace sci::harness

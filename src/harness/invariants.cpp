@@ -1,0 +1,368 @@
+#include "harness/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/engine.hpp"
+#include "fault/ha.hpp"
+#include "simcore/error.hpp"
+
+namespace sci::harness {
+
+namespace {
+
+invariant_result pass(std::string name, std::string detail) {
+    return invariant_result{std::move(name), true, std::move(detail)};
+}
+
+invariant_result fail(std::string name, std::string detail) {
+    return invariant_result{std::move(name), false, std::move(detail)};
+}
+
+}  // namespace
+
+invariant_result check_admission_accounting(const run_stats& stats,
+                                            const event_log& events) {
+    const std::string name = "admission_accounting";
+    const auto creates = events.count(lifecycle_event_kind::create);
+    const auto restarts = events.count(lifecycle_event_kind::ha_restart);
+    const auto fails = events.count(lifecycle_event_kind::schedule_fail);
+    std::uint64_t missing_reason = 0;
+    std::uint64_t holistic_rejects = 0;
+    for (const lifecycle_event& e : events.all()) {
+        if (e.kind != lifecycle_event_kind::schedule_fail) continue;
+        if (e.reason == schedule_fail_reason::none) ++missing_reason;
+        if (e.reason == schedule_fail_reason::holistic_claim_rejected) {
+            ++holistic_rejects;
+        }
+    }
+    std::ostringstream out;
+    if (stats.placements != creates + restarts) {
+        out << "placements (" << stats.placements << ") != create events ("
+            << creates << ") + ha_restart events (" << restarts << ")";
+        return fail(name, out.str());
+    }
+    if (stats.placement_failures != fails) {
+        out << "placement_failures (" << stats.placement_failures
+            << ") != schedule_fail events (" << fails << ")";
+        return fail(name, out.str());
+    }
+    if (stats.holistic_claim_rejections > stats.placement_failures) {
+        out << "holistic_claim_rejections ("
+            << stats.holistic_claim_rejections
+            << ") exceed placement_failures (" << stats.placement_failures
+            << ")";
+        return fail(name, out.str());
+    }
+    if (missing_reason > 0) {
+        out << missing_reason << " schedule_fail events carry no reason";
+        return fail(name, out.str());
+    }
+    if (holistic_rejects != stats.holistic_claim_rejections) {
+        out << "holistic_claim_rejected events (" << holistic_rejects
+            << ") != stats.holistic_claim_rejections ("
+            << stats.holistic_claim_rejections << ")";
+        return fail(name, out.str());
+    }
+    out << stats.placements << " placements = " << creates << " creates + "
+        << restarts << " ha_restarts; " << fails
+        << " explicit rejections, all with reasons";
+    return pass(name, out.str());
+}
+
+invariant_result check_no_silent_drops(std::span<const vm_record> records,
+                                       const event_log& events) {
+    const std::string name = "no_silent_drops";
+    struct vm_flags {
+        bool failed = false, crashed = false, removed = false, placed = false;
+    };
+    std::unordered_map<std::int32_t, vm_flags> flags;
+    flags.reserve(records.size());
+    for (const lifecycle_event& e : events.all()) {
+        vm_flags& f = flags[e.vm.value()];
+        switch (e.kind) {
+            case lifecycle_event_kind::schedule_fail: f.failed = true; break;
+            case lifecycle_event_kind::crash: f.crashed = true; break;
+            case lifecycle_event_kind::remove: f.removed = true; break;
+            case lifecycle_event_kind::create:
+            case lifecycle_event_kind::ha_restart: f.placed = true; break;
+            default: break;
+        }
+    }
+    std::uint64_t violations = 0;
+    std::ostringstream first;
+    const auto violate = [&](const vm_record& rec, const char* what) {
+        if (violations == 0) {
+            first << "vm " << rec.id.value() << " is " << to_string(rec.state)
+                  << " but has no " << what << " event";
+        }
+        ++violations;
+    };
+    for (const vm_record& rec : records) {
+        const auto it = flags.find(rec.id.value());
+        const vm_flags f = it == flags.end() ? vm_flags{} : it->second;
+        switch (rec.state) {
+            case vm_state::error:
+                if (!f.failed) violate(rec, "schedule_fail");
+                break;
+            case vm_state::pending:
+                // A pending VM with no events at all was never admitted
+                // (its planned arrival lies beyond a truncated window).
+                // Once admitted, pending means a crash victim awaiting
+                // HA; anything else fell through the cracks.
+                if (it == flags.end()) break;
+                if (!f.crashed) violate(rec, "crash");
+                break;
+            case vm_state::deleted:
+                if (!f.removed) violate(rec, "remove");
+                break;
+            case vm_state::active:
+                if (!f.placed) violate(rec, "create/ha_restart");
+                break;
+        }
+    }
+    if (violations > 0) {
+        std::ostringstream out;
+        out << violations << " unexplained VM states; first: " << first.str();
+        return fail(name, out.str());
+    }
+    std::ostringstream out;
+    out << records.size() << " VM lifecycles fully explained by the log";
+    return pass(name, out.str());
+}
+
+invariant_result check_bounded_flapping(const event_log& events,
+                                        int max_moves_per_vm_day) {
+    expects(max_moves_per_vm_day >= 0,
+            "check_bounded_flapping: bound must be non-negative");
+    const std::string name = "bounded_flapping";
+    struct day_count {
+        std::int64_t day = -1;
+        int count = 0;
+    };
+    std::unordered_map<std::int32_t, day_count> per_vm;
+    std::int32_t worst_vm = -1;
+    std::int64_t worst_day = -1;
+    int worst = 0;
+    for (const lifecycle_event& e : events.all()) {
+        if (e.kind != lifecycle_event_kind::migrate) continue;
+        day_count& dc = per_vm[e.vm.value()];
+        const std::int64_t day = day_index(e.t);
+        if (dc.day != day) {
+            dc.day = day;
+            dc.count = 0;
+        }
+        ++dc.count;
+        if (dc.count > worst) {
+            worst = dc.count;
+            worst_vm = e.vm.value();
+            worst_day = day;
+        }
+    }
+    std::ostringstream out;
+    if (worst > max_moves_per_vm_day) {
+        out << "vm " << worst_vm << " migrated " << worst << " times on day "
+            << worst_day << " (bound " << max_moves_per_vm_day << ")";
+        return fail(name, out.str());
+    }
+    out << "worst VM saw " << worst << " migrations in a day (bound "
+        << max_moves_per_vm_day << ")";
+    return pass(name, out.str());
+}
+
+invariant_result check_monotone_imbalance(
+    std::span<const imbalance_sample> samples, double epsilon) {
+    expects(epsilon >= 0.0,
+            "check_monotone_imbalance: epsilon must be non-negative");
+    const std::string name = "monotone_imbalance";
+    const imbalance_sample* worst = nullptr;
+    double worst_excess = 0.0;
+    for (const imbalance_sample& s : samples) {
+        const double excess = s.after - (s.before + epsilon);
+        if (excess > worst_excess) {
+            worst_excess = excess;
+            worst = &s;
+        }
+    }
+    std::ostringstream out;
+    if (worst != nullptr) {
+        out << "DRS pass at t=" << worst->t << " worsened imbalance "
+            << worst->before << " -> " << worst->after << " (epsilon "
+            << epsilon << ")";
+        return fail(name, out.str());
+    }
+    out << samples.size() << " DRS passes, none worsened imbalance beyond "
+        << epsilon;
+    return pass(name, out.str());
+}
+
+invariant_result check_recovery_tail(std::span<const double> downtime_seconds,
+                                     double p99_limit_seconds) {
+    expects(p99_limit_seconds > 0.0,
+            "check_recovery_tail: limit must be positive");
+    const std::string name = "recovery_tail";
+    if (downtime_seconds.empty()) {
+        return pass(name, "no HA recoveries observed");
+    }
+    std::vector<double> sorted(downtime_seconds.begin(),
+                               downtime_seconds.end());
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(std::ceil(
+                          0.99 * static_cast<double>(sorted.size()))) -
+                      1;
+    const double p99 = sorted[rank];
+    std::ostringstream out;
+    out << "downtime p99 " << p99 << " s over " << sorted.size()
+        << " recoveries (limit " << p99_limit_seconds << " s)";
+    if (p99 > p99_limit_seconds) return fail(name, out.str());
+    return pass(name, out.str());
+}
+
+conservation_snapshot collect_conservation(const sim_engine& engine) {
+    conservation_snapshot snap;
+    const fleet& f = engine.infrastructure();
+    snap.bbs.resize(f.bb_count());
+    for (const building_block& bb : f.bbs()) {
+        bb_usage_row& row = snap.bbs[static_cast<std::size_t>(bb.id.value())];
+        row.bb = bb.id;
+        const provider_usage& use = engine.placement().usage(bb.id);
+        row.claimed_vcpus = static_cast<std::int64_t>(use.vcpus_used);
+        row.claimed_ram_mib = static_cast<std::int64_t>(use.ram_used_mib);
+        row.claimed_instances = static_cast<std::int64_t>(use.instances);
+    }
+    for (const drs_cluster& cluster : engine.clusters()) {
+        bb_usage_row& row =
+            snap.bbs[static_cast<std::size_t>(cluster.bb().value())];
+        for (const node_runtime& nr : cluster.nodes()) {
+            row.resident_vcpus +=
+                static_cast<std::int64_t>(nr.reserved_vcpus());
+            row.resident_ram_mib +=
+                static_cast<std::int64_t>(nr.reserved_ram_mib());
+            row.resident_instances +=
+                static_cast<std::int64_t>(nr.residents().size());
+            if (engine.node_is_down(nr.id()) && !nr.residents().empty()) {
+                snap.down_nodes_with_residents.push_back(nr.id());
+            }
+        }
+    }
+    for (const vm_record& rec : engine.vms().all()) {
+        if (rec.state != vm_state::active) continue;
+        const flavor& fl = engine.catalog().get(rec.flavor);
+        bb_usage_row& row =
+            snap.bbs[static_cast<std::size_t>(rec.placed_bb.value())];
+        row.registry_vcpus += fl.vcpus;
+        row.registry_ram_mib += static_cast<std::int64_t>(fl.ram_mib);
+        row.registry_instances += 1;
+    }
+    return snap;
+}
+
+invariant_result check_conservation(const conservation_snapshot& snapshot) {
+    const std::string name = "conservation";
+    std::ostringstream out;
+    if (!snapshot.down_nodes_with_residents.empty()) {
+        out << snapshot.down_nodes_with_residents.size()
+            << " downed hosts still carry residents; first: node "
+            << snapshot.down_nodes_with_residents.front().value() << " at t="
+            << snapshot.t;
+        return fail(name, out.str());
+    }
+    for (const bb_usage_row& row : snapshot.bbs) {
+        const auto mismatch = [&](const char* what, std::int64_t claimed,
+                                  std::int64_t resident,
+                                  std::int64_t registry) {
+            out << "bb " << row.bb.value() << " " << what
+                << " disagree at t=" << snapshot.t << ": claimed " << claimed
+                << ", resident " << resident << ", registry " << registry;
+            return fail(name, out.str());
+        };
+        if (row.claimed_vcpus != row.resident_vcpus ||
+            row.claimed_vcpus != row.registry_vcpus) {
+            return mismatch("vcpus", row.claimed_vcpus, row.resident_vcpus,
+                            row.registry_vcpus);
+        }
+        if (row.claimed_ram_mib != row.resident_ram_mib ||
+            row.claimed_ram_mib != row.registry_ram_mib) {
+            return mismatch("ram_mib", row.claimed_ram_mib,
+                            row.resident_ram_mib, row.registry_ram_mib);
+        }
+        if (row.claimed_instances != row.resident_instances ||
+            row.claimed_instances != row.registry_instances) {
+            return mismatch("instances", row.claimed_instances,
+                            row.resident_instances, row.registry_instances);
+        }
+    }
+    out << snapshot.bbs.size()
+        << " building blocks balanced (claims = reservations = registry)";
+    return pass(name, out.str());
+}
+
+invariant_monitor::invariant_monitor(sim_engine& engine,
+                                     invariant_config config)
+    : engine_(&engine), config_(config) {
+    engine_probes probes;
+    if (config_.imbalance_epsilon.has_value()) {
+        probes.drs_imbalance = [this](sim_time t, double before,
+                                      double after) {
+            imbalance_samples_.push_back(imbalance_sample{t, before, after});
+        };
+    }
+    if (config_.conservation) {
+        probes.after_scrape = [this](sim_time t) {
+            if (++scrapes_seen_ % live_check_every != 0) return;
+            if (!live_violation_.empty()) return;  // first violation wins
+            ++live_checks_;
+            conservation_snapshot snap = collect_conservation(*engine_);
+            snap.t = t;
+            const invariant_result result = check_conservation(snap);
+            if (!result.passed) live_violation_ = result.detail;
+        };
+    }
+    if (probes.after_scrape || probes.drs_imbalance) {
+        engine.set_probes(std::move(probes));
+    }
+}
+
+std::vector<invariant_result> invariant_monitor::evaluate() const {
+    std::vector<invariant_result> results;
+    if (config_.admission_accounting) {
+        results.push_back(check_admission_accounting(engine_->stats(),
+                                                     engine_->events()));
+    }
+    if (config_.no_silent_drops) {
+        results.push_back(
+            check_no_silent_drops(engine_->vms().all(), engine_->events()));
+    }
+    if (config_.conservation) {
+        if (!live_violation_.empty()) {
+            results.push_back(invariant_result{"conservation", false,
+                                               "live: " + live_violation_});
+        } else {
+            conservation_snapshot snap = collect_conservation(*engine_);
+            invariant_result result = check_conservation(snap);
+            result.detail += " (" + std::to_string(live_checks_) +
+                             " live spot-checks + final)";
+            results.push_back(std::move(result));
+        }
+    }
+    if (config_.flapping_max_moves_per_vm_day.has_value()) {
+        results.push_back(check_bounded_flapping(
+            engine_->events(), *config_.flapping_max_moves_per_vm_day));
+    }
+    if (config_.imbalance_epsilon.has_value()) {
+        results.push_back(check_monotone_imbalance(
+            imbalance_samples_, *config_.imbalance_epsilon));
+    }
+    if (config_.recovery_p99_seconds.has_value()) {
+        const ha_controller* ha = engine_->ha();
+        results.push_back(check_recovery_tail(
+            ha != nullptr ? std::span<const double>(ha->downtime_samples())
+                          : std::span<const double>{},
+            *config_.recovery_p99_seconds));
+    }
+    return results;
+}
+
+}  // namespace sci::harness

@@ -1,0 +1,157 @@
+#pragma once
+
+// sci::harness — machine-checked invariants over a simulation run.
+//
+// Each checker is a pure function over narrow inputs (run_stats, the
+// event log, collected snapshots) so tests can feed deliberately broken
+// data and prove the checker actually fails — no vacuously-green checks.
+// The invariant_monitor wires the probes into a live engine: it records
+// DRS imbalance samples and runs conservation spot-checks while the run
+// plays, then evaluates every enabled checker at the end.
+//
+// The invariants themselves are the "physics" of the reproduced system
+// (ROADMAP direction 1, modeled on Continuity's RFC 0006 harness):
+//   - admission accounting: every admitted request is placed or explicitly
+//     rejected with a reason; holistic claim rejections are a subset of
+//     placement failures.
+//   - no silent drops: every VM that is in error has a schedule_fail
+//     event, every deleted VM a remove event, every down VM a crash event.
+//   - bounded flapping: no VM is DRS-migrated more than a bound per day.
+//   - monotone imbalance: a DRS pass never leaves its clusters worse than
+//     it found them (under the pass's own demand snapshot), up to epsilon.
+//   - bounded recovery tail: HA downtime p99 stays under a limit.
+//   - conservation: provider claims == node reservations == active
+//     registry VMs per building block, and no resident sits on a downed
+//     host.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "infra/event_log.hpp"
+#include "infra/ids.hpp"
+#include "infra/vm.hpp"
+#include "simcore/time.hpp"
+
+namespace sci {
+struct run_stats;
+class sim_engine;
+}  // namespace sci
+
+namespace sci::harness {
+
+/// Which invariants a scenario evaluates ([invariants] section of the
+/// DSL).  Everything is off by default: a scenario names its physics.
+struct invariant_config {
+    bool admission_accounting = false;
+    bool no_silent_drops = false;
+    bool conservation = false;
+    /// Max DRS migrations of one VM within one day (unset: not checked).
+    std::optional<int> flapping_max_moves_per_vm_day;
+    /// Per-pass tolerance for imbalance(after) <= imbalance(before) + eps.
+    std::optional<double> imbalance_epsilon;
+    /// HA downtime p99 bound in seconds (unset: not checked).
+    std::optional<double> recovery_p99_seconds;
+
+    /// Number of enabled checkers.
+    int count() const {
+        return (admission_accounting ? 1 : 0) + (no_silent_drops ? 1 : 0) +
+               (conservation ? 1 : 0) +
+               (flapping_max_moves_per_vm_day.has_value() ? 1 : 0) +
+               (imbalance_epsilon.has_value() ? 1 : 0) +
+               (recovery_p99_seconds.has_value() ? 1 : 0);
+    }
+};
+
+/// Outcome of one checker.
+struct invariant_result {
+    std::string name;
+    bool passed = true;
+    std::string detail;  ///< precise violation (or a short pass note)
+};
+
+/// admitted == placed + explicitly rejected, every rejection carries a
+/// reason, and holistic claim rejections are a subset of failures.
+invariant_result check_admission_accounting(const run_stats& stats,
+                                            const event_log& events);
+
+/// Every terminal/down VM state is explained by a logged event.
+invariant_result check_no_silent_drops(std::span<const vm_record> records,
+                                       const event_log& events);
+
+/// No VM is DRS-migrated more than `max_moves_per_vm_day` times in a day.
+invariant_result check_bounded_flapping(const event_log& events,
+                                        int max_moves_per_vm_day);
+
+/// One DRS pass's fleet-mean imbalance, before planning and after commit.
+struct imbalance_sample {
+    sim_time t = 0;
+    double before = 0.0;
+    double after = 0.0;
+};
+
+/// Every pass satisfies after <= before + epsilon.
+invariant_result check_monotone_imbalance(
+    std::span<const imbalance_sample> samples, double epsilon);
+
+/// HA downtime p99 (nearest-rank over `downtime_seconds`) <= limit.
+invariant_result check_recovery_tail(std::span<const double> downtime_seconds,
+                                     double p99_limit_seconds);
+
+/// Per-building-block accounting triangle: what the placement service has
+/// claimed, what the cluster's nodes have reserved, and what the active
+/// VMs of the registry add up to.
+struct bb_usage_row {
+    bb_id bb;
+    std::int64_t claimed_vcpus = 0, resident_vcpus = 0, registry_vcpus = 0;
+    std::int64_t claimed_ram_mib = 0, resident_ram_mib = 0,
+                 registry_ram_mib = 0;
+    std::int64_t claimed_instances = 0, resident_instances = 0,
+                 registry_instances = 0;
+};
+
+struct conservation_snapshot {
+    sim_time t = 0;
+    std::vector<bb_usage_row> bbs;
+    /// Out-of-service hosts that still carry residents (must be empty).
+    std::vector<node_id> down_nodes_with_residents;
+};
+
+/// Snapshot the engine's current accounting state (callable mid-run from
+/// a probe or after the run).
+conservation_snapshot collect_conservation(const sim_engine& engine);
+
+/// All three usage views agree per BB and no resident sits on a downed
+/// host.
+invariant_result check_conservation(const conservation_snapshot& snapshot);
+
+/// Wires the enabled checkers into a live engine: installs the
+/// engine_probes before the run (construct it before engine.setup() /
+/// engine.run()), samples while the window plays, and evaluates every
+/// enabled checker in evaluate().
+class invariant_monitor {
+public:
+    invariant_monitor(sim_engine& engine, invariant_config config);
+
+    /// Evaluate every enabled checker; call after the run.
+    std::vector<invariant_result> evaluate() const;
+
+    std::span<const imbalance_sample> imbalance_samples() const {
+        return imbalance_samples_;
+    }
+
+private:
+    sim_engine* engine_;
+    invariant_config config_;
+    std::vector<imbalance_sample> imbalance_samples_;
+    /// Conservation is spot-checked live every Nth scrape; the first
+    /// in-run violation wins over the end-of-run state (it would
+    /// otherwise be masked by a later self-correction).
+    static constexpr std::uint64_t live_check_every = 8;
+    std::uint64_t scrapes_seen_ = 0;
+    std::uint64_t live_checks_ = 0;
+    std::string live_violation_;
+};
+
+}  // namespace sci::harness

@@ -1,0 +1,345 @@
+#include "harness/scenario_dsl.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "simcore/error.hpp"
+
+namespace sci::harness {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+        s.remove_prefix(1);
+    }
+    while (!s.empty() &&
+           (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+        s.remove_suffix(1);
+    }
+    return s;
+}
+
+[[noreturn]] void parse_fail(int line, const std::string& message) {
+    throw error("scenario parse: line " + std::to_string(line) + ": " +
+                message);
+}
+
+bool parse_bool(std::string_view value, int line) {
+    if (value == "true") return true;
+    if (value == "false") return false;
+    parse_fail(line, "expected true/false, got '" + std::string(value) + "'");
+}
+
+double parse_double(std::string_view value, int line) {
+    double out = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), out);
+    if (ec != std::errc{} || ptr != value.data() + value.size()) {
+        parse_fail(line, "expected a number, got '" + std::string(value) + "'");
+    }
+    return out;
+}
+
+std::int64_t parse_int(std::string_view value, int line) {
+    std::int64_t out = 0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), out);
+    if (ec != std::errc{} || ptr != value.data() + value.size()) {
+        parse_fail(line,
+                   "expected an integer, got '" + std::string(value) + "'");
+    }
+    return out;
+}
+
+/// Shortest decimal that round-trips the double (so rendered files stay
+/// as readable as hand-written ones and parse back bit-identically).
+std::string format_double(double value) {
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+    ensures(ec == std::errc{}, "format_double: to_chars failed");
+    return std::string(buf, ptr);
+}
+
+enum class section { none, scenario, engine, fault, invariants, replay };
+
+}  // namespace
+
+scenario_spec parse_scenario(std::string_view text) {
+    scenario_spec spec;
+    section current = section::none;
+    int line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t eol = text.find('\n', pos);
+        std::string_view line = text.substr(
+            pos, eol == std::string_view::npos ? text.size() - pos
+                                               : eol - pos);
+        pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+        ++line_no;
+
+        if (const std::size_t hash = line.find('#');
+            hash != std::string_view::npos) {
+            line = line.substr(0, hash);
+        }
+        line = trim(line);
+        if (line.empty()) continue;
+
+        if (line.front() == '[') {
+            if (line.back() != ']') parse_fail(line_no, "unterminated section");
+            const std::string_view name = line.substr(1, line.size() - 2);
+            if (name == "scenario") current = section::scenario;
+            else if (name == "engine") current = section::engine;
+            else if (name == "fault") current = section::fault;
+            else if (name == "invariants") current = section::invariants;
+            else if (name == "replay") current = section::replay;
+            else parse_fail(line_no,
+                            "unknown section '" + std::string(name) + "'");
+            continue;
+        }
+
+        const std::size_t eq = line.find('=');
+        if (eq == std::string_view::npos) {
+            parse_fail(line_no, "expected 'key = value'");
+        }
+        const std::string_view key = trim(line.substr(0, eq));
+        const std::string_view value = trim(line.substr(eq + 1));
+        if (key.empty()) parse_fail(line_no, "empty key");
+
+        engine_config& cfg = spec.config;
+        fault_config& fault = cfg.fault;
+        invariant_config& inv = spec.invariants;
+        switch (current) {
+            case section::none:
+                parse_fail(line_no, "key outside any [section]");
+            case section::scenario:
+                if (key == "name") spec.name = std::string(value);
+                else if (key == "description") {
+                    spec.description = std::string(value);
+                } else {
+                    parse_fail(line_no, "unknown [scenario] key '" +
+                                            std::string(key) + "'");
+                }
+                break;
+            case section::engine:
+                if (key == "scale") {
+                    cfg.scenario.scale = parse_double(value, line_no);
+                } else if (key == "seed") {
+                    // one seed drives the whole run: fleet construction,
+                    // population sampling, and the fault schedule
+                    const auto seed = static_cast<std::uint64_t>(
+                        parse_int(value, line_no));
+                    cfg.scenario.seed = seed;
+                    cfg.population.seed = seed;
+                } else if (key == "sampling_interval") {
+                    cfg.sampling_interval =
+                        static_cast<sim_duration>(parse_int(value, line_no));
+                } else if (key == "drs_interval") {
+                    cfg.drs_interval =
+                        static_cast<sim_duration>(parse_int(value, line_no));
+                } else if (key == "cross_bb_interval") {
+                    cfg.cross_bb_interval =
+                        static_cast<sim_duration>(parse_int(value, line_no));
+                } else if (key == "contention_aware") {
+                    cfg.contention_aware = parse_bool(value, line_no);
+                } else if (key == "holistic") {
+                    cfg.holistic = parse_bool(value, line_no);
+                } else if (key == "lifetime_aware") {
+                    cfg.lifetime_aware = parse_bool(value, line_no);
+                } else if (key == "node_churn_fraction") {
+                    cfg.node_churn_fraction = parse_double(value, line_no);
+                } else if (key == "daily_resize_fraction") {
+                    cfg.daily_resize_fraction = parse_double(value, line_no);
+                } else if (key == "daily_churn_fraction") {
+                    cfg.population.daily_churn_fraction =
+                        parse_double(value, line_no);
+                } else if (key == "project_count") {
+                    cfg.population.project_count =
+                        static_cast<int>(parse_int(value, line_no));
+                } else if (key == "gp_cpu_allocation_ratio") {
+                    cfg.gp_cpu_allocation_ratio_override =
+                        parse_double(value, line_no);
+                } else {
+                    parse_fail(line_no, "unknown [engine] key '" +
+                                            std::string(key) + "'");
+                }
+                break;
+            case section::fault:
+                if (key == "crash_rate_per_day") {
+                    fault.host_crash_rate_per_day =
+                        parse_double(value, line_no);
+                } else if (key == "claim_failure_probability") {
+                    fault.claim_failure_probability =
+                        parse_double(value, line_no);
+                } else if (key == "migration_abort_probability") {
+                    fault.migration_abort_probability =
+                        parse_double(value, line_no);
+                } else if (key == "degraded_node_fraction") {
+                    fault.degraded_node_fraction =
+                        parse_double(value, line_no);
+                } else if (key == "degraded_cpu_factor") {
+                    fault.degraded_cpu_factor = parse_double(value, line_no);
+                } else if (key == "maintenance_windows") {
+                    fault.maintenance_windows =
+                        static_cast<int>(parse_int(value, line_no));
+                } else if (key == "maintenance_duration") {
+                    fault.maintenance_duration =
+                        static_cast<sim_duration>(parse_int(value, line_no));
+                } else if (key == "az_outages") {
+                    fault.az_outages =
+                        static_cast<int>(parse_int(value, line_no));
+                } else if (key == "az_outage_at") {
+                    fault.az_outage_at =
+                        static_cast<sim_duration>(parse_int(value, line_no));
+                } else if (key == "az_outage_repair_time") {
+                    fault.az_outage_repair_time =
+                        static_cast<sim_duration>(parse_int(value, line_no));
+                } else if (key == "ha_restart_delay") {
+                    fault.ha_restart_delay =
+                        static_cast<sim_duration>(parse_int(value, line_no));
+                } else if (key == "ha_retry_backoff") {
+                    fault.ha_retry_backoff =
+                        static_cast<sim_duration>(parse_int(value, line_no));
+                } else if (key == "ha_max_restart_attempts") {
+                    fault.ha_max_restart_attempts =
+                        static_cast<int>(parse_int(value, line_no));
+                } else if (key == "crash_repair_time") {
+                    fault.crash_repair_time =
+                        static_cast<sim_duration>(parse_int(value, line_no));
+                } else {
+                    parse_fail(line_no, "unknown [fault] key '" +
+                                            std::string(key) + "'");
+                }
+                break;
+            case section::invariants:
+                if (key == "admission_accounting") {
+                    inv.admission_accounting = parse_bool(value, line_no);
+                } else if (key == "no_silent_drops") {
+                    inv.no_silent_drops = parse_bool(value, line_no);
+                } else if (key == "conservation") {
+                    inv.conservation = parse_bool(value, line_no);
+                } else if (key == "flapping_max_moves_per_vm_day") {
+                    inv.flapping_max_moves_per_vm_day =
+                        static_cast<int>(parse_int(value, line_no));
+                } else if (key == "imbalance_epsilon") {
+                    inv.imbalance_epsilon = parse_double(value, line_no);
+                } else if (key == "recovery_p99_seconds") {
+                    inv.recovery_p99_seconds = parse_double(value, line_no);
+                } else {
+                    parse_fail(line_no, "unknown [invariants] key '" +
+                                            std::string(key) + "'");
+                }
+                break;
+            case section::replay:
+                if (key == "trace") {
+                    spec.trace = std::filesystem::path(std::string(value));
+                } else {
+                    parse_fail(line_no, "unknown [replay] key '" +
+                                            std::string(key) + "'");
+                }
+                break;
+        }
+    }
+    if (spec.name.empty()) {
+        throw error("scenario parse: missing [scenario] name");
+    }
+    return spec;
+}
+
+std::string render_scenario(const scenario_spec& spec) {
+    const engine_config& cfg = spec.config;
+    const fault_config& fault = cfg.fault;
+    const invariant_config& inv = spec.invariants;
+    std::ostringstream out;
+    const auto boolean = [](bool b) { return b ? "true" : "false"; };
+    out << "[scenario]\n";
+    out << "name = " << spec.name << "\n";
+    out << "description = " << spec.description << "\n";
+    out << "\n[engine]\n";
+    out << "scale = " << format_double(cfg.scenario.scale) << "\n";
+    out << "seed = " << cfg.scenario.seed << "\n";
+    out << "sampling_interval = " << cfg.sampling_interval << "\n";
+    out << "drs_interval = " << cfg.drs_interval << "\n";
+    out << "cross_bb_interval = " << cfg.cross_bb_interval << "\n";
+    out << "contention_aware = " << boolean(cfg.contention_aware) << "\n";
+    out << "holistic = " << boolean(cfg.holistic) << "\n";
+    out << "lifetime_aware = " << boolean(cfg.lifetime_aware) << "\n";
+    out << "node_churn_fraction = " << format_double(cfg.node_churn_fraction)
+        << "\n";
+    out << "daily_resize_fraction = "
+        << format_double(cfg.daily_resize_fraction) << "\n";
+    out << "daily_churn_fraction = "
+        << format_double(cfg.population.daily_churn_fraction) << "\n";
+    out << "project_count = " << cfg.population.project_count << "\n";
+    if (cfg.gp_cpu_allocation_ratio_override.has_value()) {
+        out << "gp_cpu_allocation_ratio = "
+            << format_double(*cfg.gp_cpu_allocation_ratio_override) << "\n";
+    }
+    out << "\n[fault]\n";
+    out << "crash_rate_per_day = "
+        << format_double(fault.host_crash_rate_per_day) << "\n";
+    out << "claim_failure_probability = "
+        << format_double(fault.claim_failure_probability) << "\n";
+    out << "migration_abort_probability = "
+        << format_double(fault.migration_abort_probability) << "\n";
+    out << "degraded_node_fraction = "
+        << format_double(fault.degraded_node_fraction) << "\n";
+    out << "degraded_cpu_factor = " << format_double(fault.degraded_cpu_factor)
+        << "\n";
+    out << "maintenance_windows = " << fault.maintenance_windows << "\n";
+    out << "maintenance_duration = " << fault.maintenance_duration << "\n";
+    out << "az_outages = " << fault.az_outages << "\n";
+    out << "az_outage_at = " << fault.az_outage_at << "\n";
+    out << "az_outage_repair_time = " << fault.az_outage_repair_time << "\n";
+    out << "ha_restart_delay = " << fault.ha_restart_delay << "\n";
+    out << "ha_retry_backoff = " << fault.ha_retry_backoff << "\n";
+    out << "ha_max_restart_attempts = " << fault.ha_max_restart_attempts
+        << "\n";
+    out << "crash_repair_time = " << fault.crash_repair_time << "\n";
+    out << "\n[invariants]\n";
+    out << "admission_accounting = " << boolean(inv.admission_accounting)
+        << "\n";
+    out << "no_silent_drops = " << boolean(inv.no_silent_drops) << "\n";
+    out << "conservation = " << boolean(inv.conservation) << "\n";
+    if (inv.flapping_max_moves_per_vm_day.has_value()) {
+        out << "flapping_max_moves_per_vm_day = "
+            << *inv.flapping_max_moves_per_vm_day << "\n";
+    }
+    if (inv.imbalance_epsilon.has_value()) {
+        out << "imbalance_epsilon = " << format_double(*inv.imbalance_epsilon)
+            << "\n";
+    }
+    if (inv.recovery_p99_seconds.has_value()) {
+        out << "recovery_p99_seconds = "
+            << format_double(*inv.recovery_p99_seconds) << "\n";
+    }
+    if (!spec.trace.empty()) {
+        out << "\n[replay]\n";
+        out << "trace = " << spec.trace.generic_string() << "\n";
+    }
+    return out.str();
+}
+
+scenario_spec load_scenario_file(const std::filesystem::path& file) {
+    std::ifstream in(file);
+    if (!in.good()) {
+        throw not_found_error("load_scenario_file: cannot read " +
+                              file.string());
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    scenario_spec spec;
+    try {
+        spec = parse_scenario(text.str());
+    } catch (const error& e) {
+        throw error(file.string() + ": " + e.what());
+    }
+    if (!spec.trace.empty() && spec.trace.is_relative()) {
+        spec.trace = file.parent_path() / spec.trace;
+    }
+    return spec;
+}
+
+}  // namespace sci::harness

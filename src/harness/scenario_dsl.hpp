@@ -1,0 +1,71 @@
+#pragma once
+
+// sci::harness — the scenario DSL (*.scn).
+//
+// A scenario is a small dependency-free text file: '#' comments,
+// [section] headers, and key = value lines.  It compiles into the
+// existing engine_config (scenario + population + fault nested inside),
+// plus the invariants the run must satisfy and an optional replay trace:
+//
+//   [scenario]
+//   name = az_outage
+//   description = lose one availability zone, recover through HA
+//
+//   [engine]
+//   scale = 0.03
+//   seed = 42
+//   daily_churn_fraction = 0.018
+//
+//   [fault]
+//   az_outages = 1
+//   az_outage_at = 21600
+//
+//   [invariants]
+//   admission_accounting = true
+//   conservation = true
+//   recovery_p99_seconds = 7200
+//
+//   [replay]
+//   trace = traces/az_outage.trace
+//
+// Unknown sections or keys are errors (with the line number) — a typo'd
+// knob must not silently run the default physics.  render_scenario emits
+// the canonical form; parse(render(parse(x))) == parse(x) byte for byte,
+// which tests/harness_test.cpp pins.
+//
+// Deliberately NOT in the DSL: `threads` (runtime concern — SCI_THREADS;
+// a scenario's output is bit-identical at any worker count) and
+// `initial_population` (derived from scale, like every fleet dimension).
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "core/engine.hpp"
+#include "harness/invariants.hpp"
+
+namespace sci::harness {
+
+/// A parsed scenario: what to run and what must hold.
+struct scenario_spec {
+    std::string name;
+    std::string description;
+    engine_config config;
+    invariant_config invariants;
+    /// Replay trace path ([replay] trace = ...); empty when absent.
+    /// Relative to the .scn file's directory — load_scenario_file
+    /// resolves it, parse_scenario keeps it verbatim.
+    std::filesystem::path trace;
+};
+
+/// Parse scenario text; throws sci::error with the offending line number.
+scenario_spec parse_scenario(std::string_view text);
+
+/// Canonical text of a spec (parse . render is the identity on specs).
+std::string render_scenario(const scenario_spec& spec);
+
+/// Read + parse a .scn file, resolving the trace path against its
+/// directory.
+scenario_spec load_scenario_file(const std::filesystem::path& file);
+
+}  // namespace sci::harness

@@ -20,6 +20,32 @@ std::string_view to_string(lifecycle_event_kind k) {
     return "unknown";
 }
 
+std::string_view to_string(schedule_fail_reason r) {
+    switch (r) {
+        case schedule_fail_reason::none: return "";
+        case schedule_fail_reason::no_valid_host: return "no_valid_host";
+        case schedule_fail_reason::no_accepting_node:
+            return "no_accepting_node";
+        case schedule_fail_reason::holistic_no_candidate:
+            return "holistic_no_candidate";
+        case schedule_fail_reason::holistic_claim_rejected:
+            return "holistic_claim_rejected";
+    }
+    return "unknown";
+}
+
+std::optional<schedule_fail_reason> schedule_fail_reason_from(
+    std::string_view token) {
+    for (auto r : {schedule_fail_reason::none,
+                   schedule_fail_reason::no_valid_host,
+                   schedule_fail_reason::no_accepting_node,
+                   schedule_fail_reason::holistic_no_candidate,
+                   schedule_fail_reason::holistic_claim_rejected}) {
+        if (token == to_string(r)) return r;
+    }
+    return std::nullopt;
+}
+
 void event_log::record(lifecycle_event event) {
     expects(events_.empty() || event.t >= events_.back().t,
             "event_log::record: events must arrive in time order");

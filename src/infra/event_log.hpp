@@ -31,6 +31,24 @@ enum class lifecycle_event_kind {
 
 std::string_view to_string(lifecycle_event_kind k);
 
+/// Why a schedule_fail happened (`none` for every other kind).  Exported
+/// with the event rows, so admission accounting — every rejected request
+/// names its rejecting stage — is auditable from the dataset alone.
+enum class schedule_fail_reason {
+    none,                     ///< not a schedule_fail event
+    no_valid_host,            ///< scheduler exhausted candidates/retries
+    no_accepting_node,        ///< BB admitted, but no node was accepting
+    holistic_no_candidate,    ///< holistic scan found no admissible node
+    holistic_claim_rejected,  ///< node accepted, provider claim was full
+};
+
+/// CSV token of a reason ("" for none, so non-failure rows stay clean).
+std::string_view to_string(schedule_fail_reason r);
+
+/// Inverse of to_string; nullopt for an unknown token.
+std::optional<schedule_fail_reason> schedule_fail_reason_from(
+    std::string_view token);
+
 struct lifecycle_event {
     sim_time t = 0;
     lifecycle_event_kind kind = lifecycle_event_kind::create;
@@ -38,6 +56,8 @@ struct lifecycle_event {
     bb_id bb;        ///< building block involved (if any)
     node_id from;    ///< source node for migrations
     node_id to;      ///< destination node (placement/migrations)
+    /// Rejecting stage for schedule_fail events; none otherwise.
+    schedule_fail_reason reason = schedule_fail_reason::none;
 };
 
 /// Append-only, time-ordered event log.

@@ -15,6 +15,8 @@
 #include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include <fstream>
@@ -25,6 +27,8 @@
 #include "core/engine.hpp"
 #include "core/report.hpp"
 #include "data/dataset.hpp"
+#include "harness/invariants.hpp"
+#include "harness/scenario_dsl.hpp"
 
 namespace {
 
@@ -34,6 +38,12 @@ struct cli_options {
     std::filesystem::path out_dir = "sci_dataset";
     std::filesystem::path markdown_file;  ///< report: write markdown here
     sci::fault_config fault;              ///< inert unless a knob is set
+    std::filesystem::path scenario_file;  ///< --scenario: run a .scn file
+    bool check_invariants = false;
+    // CLI flags win over a --scenario file only when actually given.
+    bool scale_set = false;
+    bool seed_set = false;
+    bool fault_touched = false;
 };
 
 cli_options parse_options(int argc, char** argv, int first) {
@@ -49,24 +59,36 @@ cli_options parse_options(int argc, char** argv, int first) {
         };
         if (arg == "--scale") {
             options.scale = std::atof(next());
+            options.scale_set = true;
         } else if (arg == "--seed") {
             options.seed = std::strtoull(next(), nullptr, 10);
+            options.seed_set = true;
         } else if (arg == "--out") {
             options.out_dir = next();
         } else if (arg == "--markdown") {
             options.markdown_file = next();
+        } else if (arg == "--scenario") {
+            options.scenario_file = next();
+        } else if (arg == "--check-invariants") {
+            options.check_invariants = true;
         } else if (arg == "--crash-rate") {
             options.fault.host_crash_rate_per_day = std::atof(next());
+            options.fault_touched = true;
         } else if (arg == "--claim-fail") {
             options.fault.claim_failure_probability = std::atof(next());
+            options.fault_touched = true;
         } else if (arg == "--mig-abort") {
             options.fault.migration_abort_probability = std::atof(next());
+            options.fault_touched = true;
         } else if (arg == "--degraded") {
             options.fault.degraded_node_fraction = std::atof(next());
+            options.fault_touched = true;
         } else if (arg == "--degraded-cpu-factor") {
             options.fault.degraded_cpu_factor = std::atof(next());
+            options.fault_touched = true;
         } else if (arg == "--maintenance") {
             options.fault.maintenance_windows = std::atoi(next());
+            options.fault_touched = true;
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             std::exit(2);
@@ -79,31 +101,78 @@ cli_options parse_options(int argc, char** argv, int first) {
     return options;
 }
 
-sci::sim_engine run_engine(const cli_options& options) {
+/// A finished run.  The engine lives behind a pointer because the
+/// invariant_monitor holds a reference into it for the whole window.
+struct engine_run {
+    std::unique_ptr<sci::sim_engine> engine;
+    std::vector<sci::harness::invariant_result> invariants;
+    bool invariants_ok = true;
+};
+
+engine_run run_engine(const cli_options& options) {
     sci::engine_config config;
-    config.scenario.scale = options.scale;
-    config.scenario.seed = options.seed;
-    config.fault = options.fault;
-    std::cout << "simulating 30 days at scale " << options.scale << " (seed "
-              << options.seed << ") ...\n";
-    sci::sim_engine engine(config);
-    engine.run();
-    const sci::run_stats& stats = engine.stats();
-    std::cout << "  " << engine.infrastructure().node_count() << " nodes, "
-              << stats.placements << " placements, " << stats.deletions
-              << " deletions, " << stats.drs_migrations << " DRS migrations, "
-              << stats.scrapes << " scrapes\n";
+    sci::harness::invariant_config inv;
+    if (!options.scenario_file.empty()) {
+        const sci::harness::scenario_spec spec =
+            sci::harness::load_scenario_file(options.scenario_file);
+        config = spec.config;
+        inv = spec.invariants;
+        std::cout << "scenario " << spec.name
+                  << (spec.description.empty() ? "" : ": " + spec.description)
+                  << "\n";
+        // Explicit CLI flags still win over the scenario file.
+        if (options.scale_set) config.scenario.scale = options.scale;
+        if (options.seed_set) {
+            config.scenario.seed = options.seed;
+            config.population.seed = options.seed;
+        }
+        if (options.fault_touched) config.fault = options.fault;
+    } else {
+        config.scenario.scale = options.scale;
+        config.scenario.seed = options.seed;
+        config.fault = options.fault;
+    }
+    if (options.check_invariants && inv.count() == 0) {
+        // No scenario (or one without an [invariants] section): check the
+        // always-applicable physics.
+        inv.admission_accounting = true;
+        inv.no_silent_drops = true;
+        inv.conservation = true;
+    }
+    std::cout << "simulating 30 days at scale " << config.scenario.scale
+              << " (seed " << config.scenario.seed << ") ...\n";
+    engine_run run;
+    run.engine = std::make_unique<sci::sim_engine>(config);
+    std::optional<sci::harness::invariant_monitor> monitor;
+    if (options.check_invariants) monitor.emplace(*run.engine, inv);
+    run.engine->run();
+    const sci::run_stats& stats = run.engine->stats();
+    std::cout << "  " << run.engine->infrastructure().node_count()
+              << " nodes, " << stats.placements << " placements, "
+              << stats.deletions << " deletions, " << stats.drs_migrations
+              << " DRS migrations, " << stats.scrapes << " scrapes\n";
     if (config.fault.enabled()) {
         std::cout << "  faults: " << stats.host_crashes << " host crashes, "
                   << stats.crash_victims << " victims, " << stats.ha_restarts
                   << " HA restarts, " << stats.migration_aborts
                   << " migration aborts\n";
     }
-    return engine;
+    if (monitor.has_value()) {
+        run.invariants = monitor->evaluate();
+        std::cout << "  invariants:\n";
+        for (const auto& r : run.invariants) {
+            std::cout << "    [" << (r.passed ? "pass" : "FAIL") << "] "
+                      << r.name << (r.detail.empty() ? "" : ": " + r.detail)
+                      << "\n";
+            run.invariants_ok = run.invariants_ok && r.passed;
+        }
+    }
+    return run;
 }
 
 int cmd_simulate(const cli_options& options) {
-    const sci::sim_engine engine = run_engine(options);
+    const engine_run run = run_engine(options);
+    const sci::sim_engine& engine = *run.engine;
     std::cout << "exporting dataset to " << options.out_dir << " ...\n";
     const auto report = sci::export_dataset(engine.store(), options.out_dir);
     const std::size_t events = sci::export_events_csv(
@@ -111,11 +180,12 @@ int cmd_simulate(const cli_options& options) {
     std::cout << "  " << report.metrics_exported << " metrics, "
               << report.series_exported << " series, " << report.daily_rows
               << " daily rows, " << events << " scheduling events\n";
-    return 0;
+    return run.invariants_ok ? 0 : 1;
 }
 
 int cmd_report(const cli_options& options) {
-    sci::sim_engine engine = run_engine(options);
+    const engine_run run = run_engine(options);
+    sci::sim_engine& engine = *run.engine;
     if (!options.markdown_file.empty()) {
         std::ofstream out(options.markdown_file);
         if (!out.good()) {
@@ -125,7 +195,7 @@ int cmd_report(const cli_options& options) {
         sci::write_markdown_report(out, engine);
         std::cout << "wrote markdown report to " << options.markdown_file
                   << "\n";
-        return 0;
+        return run.invariants_ok ? 0 : 1;
     }
     const sci::fleet& fleet = engine.infrastructure();
     const sci::dc_id dc = fleet.dcs().front().id;
@@ -164,7 +234,7 @@ int cmd_report(const cli_options& options) {
               << ", evacuations "
               << engine.events().count(sci::lifecycle_event_kind::evacuate)
               << "\n";
-    return 0;
+    return run.invariants_ok ? 0 : 1;
 }
 
 int cmd_analyze(const cli_options& options) {
@@ -202,7 +272,8 @@ int cmd_analyze(const cli_options& options) {
 }
 
 int cmd_advisor(const cli_options& options) {
-    const sci::sim_engine engine = run_engine(options);
+    const engine_run run = run_engine(options);
+    const sci::sim_engine& engine = *run.engine;
     const auto recs = sci::recommend_cpu_overcommit(
         engine.store(), engine.infrastructure(), engine.placement(), {});
     sci::table_printer table({"building block", "purpose", "current ratio",
@@ -215,7 +286,7 @@ int cmd_advisor(const cli_options& options) {
                        sci::format_double(r.recommended_ratio)});
     }
     std::cout << "\n" << table.to_string();
-    return 0;
+    return run.invariants_ok ? 0 : 1;
 }
 
 int cmd_fleet() {
@@ -236,6 +307,18 @@ int cmd_fleet() {
 void usage() {
     std::cout << "usage: scisim <simulate|report|analyze|advisor|fleet> "
                  "[--scale S] [--seed N] [--out DIR] [--markdown FILE]\n"
+                 "scenario harness (sci::harness):\n"
+                 "  --scenario FILE           run a *.scn scenario file "
+                 "(engine + fault\n"
+                 "                            config from the file; explicit "
+                 "CLI flags win)\n"
+                 "  --check-invariants        evaluate the scenario's "
+                 "invariants after the\n"
+                 "                            run (without a scenario: "
+                 "admission accounting,\n"
+                 "                            no silent drops, conservation); "
+                 "exit 1 on any\n"
+                 "                            violation\n"
                  "fault injection (sci::fault; all default off):\n"
                  "  --crash-rate R            host crashes per node per day\n"
                  "  --claim-fail P            transient placement-claim failure "
