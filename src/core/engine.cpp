@@ -201,17 +201,26 @@ unsigned sim_engine::worker_threads() const {
 }
 
 void sim_engine::run_sharded(std::size_t count, const thread_pool::range_fn& fn) {
-    if (pool_ != nullptr) {
+    if (shared_pool_ != nullptr) {
+        shared_pool_->parallel_for(0, count, fn);
+    } else if (pool_ != nullptr) {
         pool_->parallel_for(0, count, fn);
     } else if (count > 0) {
         fn(0, 0, count);
     }
 }
 
+void sim_engine::set_shared_pool(thread_pool* pool) {
+    expects(!setup_done_, "sim_engine::set_shared_pool: call before setup()");
+    shared_pool_ = pool;
+}
+
 void sim_engine::setup_scrape_pipeline() {
     const fleet& f = scenario_.infrastructure;
     const unsigned workers = worker_threads();
-    if (workers > 0) pool_ = std::make_unique<thread_pool>(workers);
+    if (shared_pool_ == nullptr && workers > 0) {
+        pool_ = std::make_unique<thread_pool>(workers);
+    }
 
     // The slot map is the only per-VM-ever array (4 B each); the slot
     // columns grow to the peak concurrently-active population and recycle
@@ -1011,38 +1020,41 @@ void sim_engine::drs_pass(sim_time t) {
     const double imbalance_before =
         probes_.drs_imbalance ? mean_imbalance() : 0.0;
 
-    // Fan the per-cluster balancing across the pool: each cluster touches
-    // only its own node runtimes, and the demand/flavor oracles are pure
-    // per VM (a VM resides in exactly one cluster, so even the lazy
-    // behavior-cache fills land in disjoint slots pre-sized at setup).
+    // Fan the per-cluster *planning* across the pool: plan_rebalance is
+    // const — each cluster's plan is computed against a frozen copy of its
+    // node runtimes, so the fan-out never mutates shared placement state
+    // (the demand/flavor oracles stay pure per VM; a VM resides in exactly
+    // one cluster, so even the lazy behavior-cache fills land in disjoint
+    // slots pre-sized at setup).
     drs_moved_buf_.resize(clusters_.size());
     run_sharded(clusters_.size(),
                 [&](unsigned, std::size_t begin, std::size_t end) {
         for (std::size_t c = begin; c < end; ++c) {
-            drs_moved_buf_[c] = clusters_[c].rebalance(demand, flavor_of);
+            drs_moved_buf_[c] = clusters_[c].plan_rebalance(demand, flavor_of);
         }
     });
 
-    // Commit serially in cluster order — bookkeeping, events and abort
-    // rollbacks happen in exactly the order the old serial loop produced,
-    // so runs stay bit-identical at any worker count.
+    // Commit serially in cluster order — reservations move, bookkeeping
+    // and events fire, and abort draws happen in exactly the order the old
+    // eager loop produced, so runs stay bit-identical at any worker count.
     for (std::size_t c = 0; c < clusters_.size(); ++c) {
         drs_cluster& cluster = clusters_[c];
+        cluster.begin_pass();
         for (const drs_migration& m : drs_moved_buf_[c]) {
             if (migration_aborted()) {
                 // pre-copy failed mid-stream (sci::fault): the VM never
-                // left its source — roll the reservation back and bill
-                // the wasted pre-copy bandwidth (exactly once per move;
-                // record_abort asserts the VM wasn't already charged)
-                const flavor& f = scenario_.catalog.get(vms_.get(m.vm).flavor);
-                cluster.remove(m.vm, f, m.to);
-                cluster.place(m.vm, f, m.from);
-                cluster.record_abort(m.vm);
+                // left its source — the planned move is simply not
+                // committed; bill the wasted pre-copy bandwidth (exactly
+                // once per move; record_abort asserts the VM wasn't
+                // already charged)
+                cluster.abort_migration(m);
                 ++stats_.migration_aborts;
                 stats_.wasted_migration_seconds +=
                     estimate_vm_migration(m.vm, t).total_seconds;
                 continue;
             }
+            cluster.commit_migration(
+                m, scenario_.catalog.get(vms_.get(m.vm).flavor));
             vm_record& rec = vms_.get_mutable(m.vm);
             rec.placed_node = m.to;
             slot_move(m.vm, m.to);

@@ -276,6 +276,13 @@ public:
     /// Resolved scrape worker count (config override, else SCI_THREADS).
     unsigned worker_threads() const;
 
+    /// Run all sharded stages on an externally owned pool instead of
+    /// creating a private one (multi-region: N engines share one pool, so
+    /// region-level tasks and intra-region shards never oversubscribe).
+    /// Must be called before setup(); the pool must outlive the engine.
+    /// Output is unaffected — sharding is fixed-count by contract.
+    void set_shared_pool(thread_pool* pool);
+
     /// Arrival-time span of one speculated churn batch (diagnostics: lets
     /// tests prove batches straddled deletion / fault events in-window).
     struct churn_batch_span {
@@ -449,6 +456,7 @@ private:
     };
 
     std::unique_ptr<thread_pool> pool_;  ///< null when running serial
+    thread_pool* shared_pool_ = nullptr;  ///< non-owning; wins over pool_
     std::vector<double> scrape_cpu_col_;        ///< per active VM
     std::vector<double> scrape_mem_col_;        ///< per active VM
     /// One scrape's samples in canonical order, handed to the store's

@@ -92,24 +92,29 @@ double drs_cluster::imbalance(const vm_cpu_demand_fn& demand) const {
     return utils.stddev();
 }
 
-std::vector<drs_migration> drs_cluster::rebalance(
-    const vm_cpu_demand_fn& demand, const vm_flavor_fn& flavor_of) {
-    aborted_this_pass_.clear();  // new pass: a fresh abort-charge window
-    std::vector<drs_migration> applied;
-    if (!config_.enabled || nodes_.size() < 2) return applied;
+std::vector<drs_migration> drs_cluster::plan_rebalance(
+    const vm_cpu_demand_fn& demand, const vm_flavor_fn& flavor_of) const {
+    std::vector<drs_migration> planned;
+    if (!config_.enabled || nodes_.size() < 2) return planned;
+
+    // Plan against a frozen copy of the node runtimes and replay the
+    // classic eager pass on the copy: candidate scans see earlier in-pass
+    // moves through the copy's node-ordered residents and reservation
+    // sums, so the plan — move order included — is bit-identical to what
+    // the eager commit produced, while the live cluster stays untouched.
+    std::vector<node_runtime> view = nodes_;
 
     // cache per-node demand; updated incrementally as we move VMs
-    std::vector<double>& demands = demand_scratch_;
-    demands.resize(nodes_.size());
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        demands[i] = node_demand_cores(nodes_[i], demand);
+    std::vector<double> demands(view.size());
+    for (std::size_t i = 0; i < view.size(); ++i) {
+        demands[i] = node_demand_cores(view[i], demand);
     }
     const auto util = [&](std::size_t i) {
-        return demands[i] / static_cast<double>(nodes_[i].profile().pcpu_cores);
+        return demands[i] / static_cast<double>(view[i].profile().pcpu_cores);
     };
     const auto stddev_util = [&] {
         running_stats s;
-        for (std::size_t i = 0; i < nodes_.size(); ++i) s.add(util(i));
+        for (std::size_t i = 0; i < view.size(); ++i) s.add(util(i));
         return s.stddev();
     };
 
@@ -120,7 +125,7 @@ std::vector<drs_migration> drs_cluster::rebalance(
             // memory-packed clusters tolerate CPU imbalance: only rebalance
             // when some node is actually oversubscribed (demand > capacity)
             const bool any_oversubscribed = [&] {
-                for (std::size_t i = 0; i < nodes_.size(); ++i) {
+                for (std::size_t i = 0; i < view.size(); ++i) {
                     if (util(i) > 1.0) return true;
                 }
                 return false;
@@ -131,11 +136,11 @@ std::vector<drs_migration> drs_cluster::rebalance(
         // donor = most utilized, receiver = least utilized accepting node
         std::size_t donor = 0;
         std::optional<std::size_t> receiver_opt;
-        for (std::size_t i = 1; i < nodes_.size(); ++i) {
+        for (std::size_t i = 1; i < view.size(); ++i) {
             if (util(i) > util(donor)) donor = i;
         }
-        for (std::size_t i = 0; i < nodes_.size(); ++i) {
-            if (i == donor || !nodes_[i].accepting()) continue;
+        for (std::size_t i = 0; i < view.size(); ++i) {
+            if (i == donor || !view[i].accepting()) continue;
             if (!receiver_opt.has_value() || util(i) < util(*receiver_opt)) {
                 receiver_opt = i;
             }
@@ -147,17 +152,17 @@ std::vector<drs_migration> drs_cluster::rebalance(
         // skipping heavy VMs and VMs the receiver cannot admit
         const double gap_cores =
             (util(donor) - util(receiver)) *
-            static_cast<double>(nodes_[donor].profile().pcpu_cores);
+            static_cast<double>(view[donor].profile().pcpu_cores);
         const double ideal = gap_cores / 2.0;
 
         vm_id best_vm;
         double best_delta = std::numeric_limits<double>::infinity();
         double best_demand = 0.0;
-        for (vm_id vm : nodes_[donor].residents()) {
+        for (vm_id vm : view[donor].residents()) {
             const flavor& f = flavor_of(vm);
             if (f.ram_mib > config_.heavy_vm_ram_mib) continue;
-            if (!nodes_[receiver].fits(f, config_.cpu_allocation_ratio,
-                                       config_.ram_allocation_ratio)) {
+            if (!view[receiver].fits(f, config_.cpu_allocation_ratio,
+                                     config_.ram_allocation_ratio)) {
                 continue;
             }
             const double d = demand(vm);
@@ -182,14 +187,35 @@ std::vector<drs_migration> drs_cluster::rebalance(
         }
 
         const flavor& f = flavor_of(best_vm);
-        nodes_[donor].remove(best_vm, f);
-        nodes_[receiver].place(best_vm, f);
-        usage_version_ += 2;  // one remove + one place
-        ++migrations_;
-        applied.push_back(drs_migration{best_vm, nodes_[donor].id(),
-                                        nodes_[receiver].id()});
+        view[donor].remove(best_vm, f);
+        view[receiver].place(best_vm, f);
+        planned.push_back(
+            drs_migration{best_vm, view[donor].id(), view[receiver].id()});
     }
-    return applied;
+    return planned;
+}
+
+void drs_cluster::begin_pass() {
+    aborted_this_pass_.clear();  // new pass: a fresh abort-charge window
+}
+
+void drs_cluster::commit_migration(const drs_migration& m, const flavor& f) {
+    remove(m.vm, f, m.from);
+    place(m.vm, f, m.to);
+    ++migrations_;
+}
+
+void drs_cluster::abort_migration(const drs_migration& m) {
+    ++migrations_;  // the move was attempted; pre-copy bandwidth was spent
+    record_abort(m.vm);
+}
+
+std::vector<drs_migration> drs_cluster::rebalance(
+    const vm_cpu_demand_fn& demand, const vm_flavor_fn& flavor_of) {
+    begin_pass();
+    const std::vector<drs_migration> planned = plan_rebalance(demand, flavor_of);
+    for (const drs_migration& m : planned) commit_migration(m, flavor_of(m.vm));
+    return planned;
 }
 
 }  // namespace sci

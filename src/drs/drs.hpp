@@ -91,7 +91,37 @@ public:
     /// Current imbalance given per-VM demand.
     double imbalance(const vm_cpu_demand_fn& demand) const;
 
-    /// Run one balancing pass; applies and returns migrations.
+    /// Plan one balancing pass against a frozen copy of the node state
+    /// without mutating the cluster.  The plan replays the exact
+    /// place/remove sequence of the classic eager pass on the copy, so the
+    /// returned moves — order included — are bit-identical to what the
+    /// eager pass would have applied.  Being const, planning is safe to
+    /// fan out across clusters (and across regions sharing one pool)
+    /// while readers observe the live state; the caller commits serially
+    /// via begin_pass() + commit_migration()/abort_migration().
+    std::vector<drs_migration> plan_rebalance(
+        const vm_cpu_demand_fn& demand, const vm_flavor_fn& flavor_of) const;
+
+    /// Open the serial commit of one planned pass: resets the per-pass
+    /// abort-charge dedup window.
+    void begin_pass();
+
+    /// Commit one planned migration: remove from the source, place on the
+    /// target (one usage_version_ bump each), count it.
+    void commit_migration(const drs_migration& m, const flavor& f);
+
+    /// A planned migration whose pre-copy aborted: the VM never left its
+    /// source, but the move still counts as attempted and the wasted
+    /// pre-copy is charged (see record_abort).  Node state — and therefore
+    /// usage_version() — is untouched: an aborted move leaves reservations
+    /// bitwise identical, so open speculations keyed on the version stay
+    /// exact.
+    void abort_migration(const drs_migration& m);
+
+    /// Run one balancing pass; applies and returns migrations.  Equivalent
+    /// to begin_pass() + plan_rebalance() + commit_migration() per move —
+    /// the single-caller convenience the engine's split commit no longer
+    /// uses but direct consumers (tests, tools) still do.
     std::vector<drs_migration> rebalance(const vm_cpu_demand_fn& demand,
                                          const vm_flavor_fn& flavor_of);
 
@@ -127,7 +157,6 @@ private:
     std::uint64_t migrations_ = 0;
     std::uint64_t aborts_ = 0;
     std::uint64_t usage_version_ = 0;
-    std::vector<double> demand_scratch_;  ///< per-node demand, reused per pass
     std::vector<vm_id> aborted_this_pass_;  ///< record_abort dedup window
 };
 

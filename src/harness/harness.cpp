@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
+#include "multiregion/region_set.hpp"
 #include "simcore/error.hpp"
 
 namespace sci::harness {
@@ -183,27 +185,83 @@ std::optional<trace_record> read_trace_file(
     return trace;
 }
 
+namespace {
+
+/// Multi-region run: one engine per [region.N] on a shared pool, one
+/// invariant_monitor per region, plus the fleet-wide cross-region
+/// conservation check.  Combined fingerprints chain the per-region
+/// hashes in region order — each region's hash is bit-identical to its
+/// solo run, so the chain is too.
+void run_multi_region(const scenario_spec& spec, const run_options& options,
+                      scenario_outcome& outcome) {
+    region_set set(region_specs_of(spec), options.threads);
+
+    // cross_region_conservation is a fleet-wide checker evaluated below
+    // over all regions at once; the per-region monitors run the rest.
+    invariant_config per_region = spec.invariants;
+    per_region.cross_region_conservation = false;
+    std::vector<std::unique_ptr<invariant_monitor>> monitors;
+    monitors.reserve(set.region_count());
+    for (std::size_t r = 0; r < set.region_count(); ++r) {
+        monitors.push_back(
+            std::make_unique<invariant_monitor>(set.region(r), per_region));
+    }
+
+    set.setup();
+    set.run_until(days(outcome.days));
+
+    outcome.stats = set.merged_stats();
+    outcome.stats_hash = fnv_offset;
+    outcome.events_hash = fnv_offset;
+    for (std::size_t r = 0; r < set.region_count(); ++r) {
+        const sim_engine& engine = set.region(r);
+        outcome.event_count += engine.events().size();
+        fnv1a(outcome.events_hash, events_fingerprint(engine.events()));
+        fnv1a(outcome.stats_hash, stats_fingerprint(engine.stats()));
+        for (invariant_result result : monitors[r]->evaluate()) {
+            result.name = set.spec(r).name + "." + result.name;
+            outcome.invariants.push_back(std::move(result));
+        }
+    }
+    if (spec.invariants.cross_region_conservation) {
+        std::vector<conservation_snapshot> snapshots;
+        snapshots.reserve(set.region_count());
+        for (std::size_t r = 0; r < set.region_count(); ++r) {
+            snapshots.push_back(collect_conservation(set.region(r)));
+        }
+        outcome.invariants.push_back(
+            check_cross_region_conservation(snapshots));
+    }
+}
+
+}  // namespace
+
 scenario_outcome run_scenario(const scenario_spec& spec,
                               const run_options& options) {
     expects(options.days >= 0, "run_scenario: days must be non-negative");
-    engine_config config = spec.config;
-    if (options.threads.has_value()) config.threads = options.threads;
 
     scenario_outcome outcome;
     outcome.name = spec.name;
     outcome.days = options.days > 0 ? std::min(options.days, observation_days)
                                     : observation_days;
 
-    sim_engine engine(config);
-    invariant_monitor monitor(engine, spec.invariants);
-    engine.setup();
-    engine.run_until(days(outcome.days));
+    if (!spec.regions.empty()) {
+        run_multi_region(spec, options, outcome);
+    } else {
+        engine_config config = spec.config;
+        if (options.threads.has_value()) config.threads = options.threads;
 
-    outcome.stats = engine.stats();
-    outcome.invariants = monitor.evaluate();
-    outcome.event_count = engine.events().size();
-    outcome.events_hash = events_fingerprint(engine.events());
-    outcome.stats_hash = stats_fingerprint(engine.stats());
+        sim_engine engine(config);
+        invariant_monitor monitor(engine, spec.invariants);
+        engine.setup();
+        engine.run_until(days(outcome.days));
+
+        outcome.stats = engine.stats();
+        outcome.invariants = monitor.evaluate();
+        outcome.event_count = engine.events().size();
+        outcome.events_hash = events_fingerprint(engine.events());
+        outcome.stats_hash = stats_fingerprint(engine.stats());
+    }
 
     if (spec.trace.empty()) return outcome;
     if (options.record_trace) {

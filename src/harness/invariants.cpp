@@ -299,6 +299,64 @@ invariant_result check_conservation(const conservation_snapshot& snapshot) {
     return pass(name, out.str());
 }
 
+invariant_result check_cross_region_conservation(
+    std::span<const conservation_snapshot> per_region) {
+    const std::string name = "cross_region_conservation";
+    std::ostringstream out;
+    if (per_region.empty()) {
+        return fail(name, "no region snapshots collected");
+    }
+    std::int64_t claimed_vcpus = 0, resident_vcpus = 0, registry_vcpus = 0;
+    std::int64_t claimed_ram = 0, resident_ram = 0, registry_ram = 0;
+    std::int64_t claimed_inst = 0, resident_inst = 0, registry_inst = 0;
+    std::size_t bbs = 0;
+    for (std::size_t r = 0; r < per_region.size(); ++r) {
+        const conservation_snapshot& snap = per_region[r];
+        if (!snap.down_nodes_with_residents.empty()) {
+            out << "region " << r << ": "
+                << snap.down_nodes_with_residents.size()
+                << " downed hosts still carry residents; first: node "
+                << snap.down_nodes_with_residents.front().value()
+                << " at t=" << snap.t;
+            return fail(name, out.str());
+        }
+        bbs += snap.bbs.size();
+        for (const bb_usage_row& row : snap.bbs) {
+            claimed_vcpus += row.claimed_vcpus;
+            resident_vcpus += row.resident_vcpus;
+            registry_vcpus += row.registry_vcpus;
+            claimed_ram += row.claimed_ram_mib;
+            resident_ram += row.resident_ram_mib;
+            registry_ram += row.registry_ram_mib;
+            claimed_inst += row.claimed_instances;
+            resident_inst += row.resident_instances;
+            registry_inst += row.registry_instances;
+        }
+    }
+    const auto mismatch = [&](const char* what, std::int64_t claimed,
+                              std::int64_t resident, std::int64_t registry) {
+        out << "fleet-wide " << what << " disagree across "
+            << per_region.size() << " regions: claimed " << claimed
+            << ", resident " << resident << ", registry " << registry;
+        return fail(name, out.str());
+    };
+    if (claimed_vcpus != resident_vcpus || claimed_vcpus != registry_vcpus) {
+        return mismatch("vcpus", claimed_vcpus, resident_vcpus,
+                        registry_vcpus);
+    }
+    if (claimed_ram != resident_ram || claimed_ram != registry_ram) {
+        return mismatch("ram_mib", claimed_ram, resident_ram, registry_ram);
+    }
+    if (claimed_inst != resident_inst || claimed_inst != registry_inst) {
+        return mismatch("instances", claimed_inst, resident_inst,
+                        registry_inst);
+    }
+    out << per_region.size() << " regions / " << bbs
+        << " building blocks balanced fleet-wide (" << registry_inst
+        << " instances)";
+    return pass(name, out.str());
+}
+
 invariant_monitor::invariant_monitor(sim_engine& engine,
                                      invariant_config config)
     : engine_(&engine), config_(config) {

@@ -53,6 +53,10 @@ struct invariant_config {
     std::optional<double> imbalance_epsilon;
     /// HA downtime p99 bound in seconds (unset: not checked).
     std::optional<double> recovery_p99_seconds;
+    /// Fleet-wide conservation across every region of a multi-region
+    /// scenario (single-region runs treat it as plain conservation over
+    /// the one region).
+    bool cross_region_conservation = false;
 
     /// Number of enabled checkers.
     int count() const {
@@ -60,7 +64,8 @@ struct invariant_config {
                (conservation ? 1 : 0) +
                (flapping_max_moves_per_vm_day.has_value() ? 1 : 0) +
                (imbalance_epsilon.has_value() ? 1 : 0) +
-               (recovery_p99_seconds.has_value() ? 1 : 0);
+               (recovery_p99_seconds.has_value() ? 1 : 0) +
+               (cross_region_conservation ? 1 : 0);
     }
 };
 
@@ -125,6 +130,16 @@ conservation_snapshot collect_conservation(const sim_engine& engine);
 /// All three usage views agree per BB and no resident sits on a downed
 /// host.
 invariant_result check_conservation(const conservation_snapshot& snapshot);
+
+/// Fleet-wide conservation over every region of a multi-region run: the
+/// summed accounting triangle (claimed == resident == registry, per
+/// resource, totalled across all regions' building blocks) must close,
+/// and no region may have a resident on a downed host.  The sums make
+/// this falsifiable against cross-region bleed: a VM double-counted (or
+/// lost) by the aggregation layer breaks the fleet totals even when each
+/// region's own triangle still closes.
+invariant_result check_cross_region_conservation(
+    std::span<const conservation_snapshot> per_region);
 
 /// Wires the enabled checkers into a live engine: installs the
 /// engine_probes before the run (construct it before engine.setup() /

@@ -1,11 +1,13 @@
 #include "harness/scenario_dsl.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "simcore/error.hpp"
+#include "simcore/rng.hpp"
 
 namespace sci::harness {
 
@@ -63,13 +65,14 @@ std::string format_double(double value) {
     return std::string(buf, ptr);
 }
 
-enum class section { none, scenario, engine, fault, invariants, replay };
+enum class section { none, scenario, engine, fault, invariants, region, replay };
 
 }  // namespace
 
 scenario_spec parse_scenario(std::string_view text) {
     scenario_spec spec;
     section current = section::none;
+    std::size_t current_region = 0;  // index into spec.regions while parsing
     int line_no = 0;
     std::size_t pos = 0;
     while (pos <= text.size()) {
@@ -95,6 +98,22 @@ scenario_spec parse_scenario(std::string_view text) {
             else if (name == "fault") current = section::fault;
             else if (name == "invariants") current = section::invariants;
             else if (name == "replay") current = section::replay;
+            else if (name.starts_with("region.")) {
+                const std::string_view index_text = name.substr(7);
+                const std::int64_t index = parse_int(index_text, line_no);
+                if (index < 0) parse_fail(line_no, "negative region index");
+                for (const region_override& r : spec.regions) {
+                    if (r.index == static_cast<std::size_t>(index)) {
+                        parse_fail(line_no, "duplicate section '[" +
+                                                std::string(name) + "]'");
+                    }
+                }
+                region_override region;
+                region.index = static_cast<std::size_t>(index);
+                current_region = spec.regions.size();
+                spec.regions.push_back(region);
+                current = section::region;
+            }
             else parse_fail(line_no,
                             "unknown section '" + std::string(name) + "'");
             continue;
@@ -227,11 +246,44 @@ scenario_spec parse_scenario(std::string_view text) {
                     inv.imbalance_epsilon = parse_double(value, line_no);
                 } else if (key == "recovery_p99_seconds") {
                     inv.recovery_p99_seconds = parse_double(value, line_no);
+                } else if (key == "cross_region_conservation") {
+                    inv.cross_region_conservation = parse_bool(value, line_no);
                 } else {
                     parse_fail(line_no, "unknown [invariants] key '" +
                                             std::string(key) + "'");
                 }
                 break;
+            case section::region: {
+                region_override& region = spec.regions[current_region];
+                if (key == "name") {
+                    region.name = std::string(value);
+                } else if (key == "scale") {
+                    region.scale = parse_double(value, line_no);
+                } else if (key == "seed") {
+                    region.seed =
+                        static_cast<std::uint64_t>(parse_int(value, line_no));
+                } else if (key == "daily_churn_fraction") {
+                    region.daily_churn_fraction = parse_double(value, line_no);
+                } else if (key == "crash_rate_per_day") {
+                    region.crash_rate_per_day = parse_double(value, line_no);
+                } else if (key == "migration_abort_probability") {
+                    region.migration_abort_probability =
+                        parse_double(value, line_no);
+                } else if (key == "az_outages") {
+                    region.az_outages =
+                        static_cast<int>(parse_int(value, line_no));
+                } else if (key == "az_outage_at") {
+                    region.az_outage_at =
+                        static_cast<sim_duration>(parse_int(value, line_no));
+                } else if (key == "az_outage_repair_time") {
+                    region.az_outage_repair_time =
+                        static_cast<sim_duration>(parse_int(value, line_no));
+                } else {
+                    parse_fail(line_no, "unknown [region] key '" +
+                                            std::string(key) + "'");
+                }
+                break;
+            }
             case section::replay:
                 if (key == "trace") {
                     spec.trace = std::filesystem::path(std::string(value));
@@ -245,7 +297,72 @@ scenario_spec parse_scenario(std::string_view text) {
     if (spec.name.empty()) {
         throw error("scenario parse: missing [scenario] name");
     }
+    // canonical region order: by index, and the indexes must be exactly
+    // 0..K-1 (a gap would silently drop a region the author counted on)
+    std::sort(spec.regions.begin(), spec.regions.end(),
+              [](const region_override& a, const region_override& b) {
+                  return a.index < b.index;
+              });
+    for (std::size_t r = 0; r < spec.regions.size(); ++r) {
+        if (spec.regions[r].index != r) {
+            throw error("scenario parse: region indexes must be contiguous "
+                        "from 0; missing [region." +
+                        std::to_string(r) + "]");
+        }
+    }
     return spec;
+}
+
+std::vector<region_spec> region_specs_of(const scenario_spec& spec) {
+    std::vector<region_spec> out;
+    if (spec.regions.empty()) {
+        out.push_back(region_spec{"region0", spec.config});
+        return out;
+    }
+    out.reserve(spec.regions.size());
+    for (const region_override& region : spec.regions) {
+        region_spec rs;
+        rs.name = region.name.empty()
+                      ? "region" + std::to_string(region.index)
+                      : region.name;
+        rs.config = spec.config;
+        const std::uint64_t seed = region.seed.value_or(
+            derive_region_seed(spec.config.scenario.seed, region.index));
+        rs.config.scenario.seed = seed;
+        rs.config.population.seed = seed;
+        if (region.scale.has_value()) rs.config.scenario.scale = *region.scale;
+        if (region.daily_churn_fraction.has_value()) {
+            rs.config.population.daily_churn_fraction =
+                *region.daily_churn_fraction;
+        }
+        if (region.crash_rate_per_day.has_value()) {
+            rs.config.fault.host_crash_rate_per_day = *region.crash_rate_per_day;
+        }
+        if (region.migration_abort_probability.has_value()) {
+            rs.config.fault.migration_abort_probability =
+                *region.migration_abort_probability;
+        }
+        if (region.az_outages.has_value()) {
+            rs.config.fault.az_outages = *region.az_outages;
+        }
+        if (region.az_outage_at.has_value()) {
+            rs.config.fault.az_outage_at = *region.az_outage_at;
+        }
+        if (region.az_outage_repair_time.has_value()) {
+            rs.config.fault.az_outage_repair_time =
+                *region.az_outage_repair_time;
+        }
+        out.push_back(std::move(rs));
+    }
+    for (std::size_t a = 0; a < out.size(); ++a) {
+        for (std::size_t b = a + 1; b < out.size(); ++b) {
+            if (out[a].name == out[b].name) {
+                throw error("region_specs_of: duplicate region name '" +
+                            out[a].name + "'");
+            }
+        }
+    }
+    return out;
 }
 
 std::string render_scenario(const scenario_spec& spec) {
@@ -314,6 +431,38 @@ std::string render_scenario(const scenario_spec& spec) {
     if (inv.recovery_p99_seconds.has_value()) {
         out << "recovery_p99_seconds = "
             << format_double(*inv.recovery_p99_seconds) << "\n";
+    }
+    out << "cross_region_conservation = "
+        << boolean(inv.cross_region_conservation) << "\n";
+    for (const region_override& region : spec.regions) {
+        out << "\n[region." << region.index << "]\n";
+        if (!region.name.empty()) out << "name = " << region.name << "\n";
+        if (region.scale.has_value()) {
+            out << "scale = " << format_double(*region.scale) << "\n";
+        }
+        if (region.seed.has_value()) out << "seed = " << *region.seed << "\n";
+        if (region.daily_churn_fraction.has_value()) {
+            out << "daily_churn_fraction = "
+                << format_double(*region.daily_churn_fraction) << "\n";
+        }
+        if (region.crash_rate_per_day.has_value()) {
+            out << "crash_rate_per_day = "
+                << format_double(*region.crash_rate_per_day) << "\n";
+        }
+        if (region.migration_abort_probability.has_value()) {
+            out << "migration_abort_probability = "
+                << format_double(*region.migration_abort_probability) << "\n";
+        }
+        if (region.az_outages.has_value()) {
+            out << "az_outages = " << *region.az_outages << "\n";
+        }
+        if (region.az_outage_at.has_value()) {
+            out << "az_outage_at = " << *region.az_outage_at << "\n";
+        }
+        if (region.az_outage_repair_time.has_value()) {
+            out << "az_outage_repair_time = " << *region.az_outage_repair_time
+                << "\n";
+        }
     }
     if (!spec.trace.empty()) {
         out << "\n[replay]\n";

@@ -33,18 +33,50 @@
 // the canonical form; parse(render(parse(x))) == parse(x) byte for byte,
 // which tests/harness_test.cpp pins.
 //
+// Multi-region scenarios add `[region.N]` sections: one scenario file
+// declares N regions, each the base [engine]/[fault] config plus the
+// section's per-region deltas.  A region's seed defaults to
+// derive_region_seed(base seed, N) and may be overridden explicitly:
+//
+//   [region.0]
+//   name = steady
+//
+//   [region.1]
+//   name = churn_storm
+//   daily_churn_fraction = 0.25
+//
 // Deliberately NOT in the DSL: `threads` (runtime concern — SCI_THREADS;
 // a scenario's output is bit-identical at any worker count) and
 // `initial_population` (derived from scale, like every fleet dimension).
 
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "harness/invariants.hpp"
+#include "multiregion/region_set.hpp"
 
 namespace sci::harness {
+
+/// One [region.N] section: deltas this region applies on top of the base
+/// [engine]/[fault] config.  Unset keys inherit the base scenario.
+struct region_override {
+    std::size_t index = 0;
+    /// Export/diagnostic name; defaults to "region<index>".
+    std::string name;
+    std::optional<double> scale;
+    /// Explicit master seed; defaults to derive_region_seed(base, index).
+    std::optional<std::uint64_t> seed;
+    std::optional<double> daily_churn_fraction;
+    std::optional<double> crash_rate_per_day;
+    std::optional<double> migration_abort_probability;
+    std::optional<int> az_outages;
+    std::optional<sim_duration> az_outage_at;
+    std::optional<sim_duration> az_outage_repair_time;
+};
 
 /// A parsed scenario: what to run and what must hold.
 struct scenario_spec {
@@ -52,11 +84,20 @@ struct scenario_spec {
     std::string description;
     engine_config config;
     invariant_config invariants;
+    /// Declared [region.N] sections in index order; empty = single-region
+    /// scenario run through a plain sim_engine.
+    std::vector<region_override> regions;
     /// Replay trace path ([replay] trace = ...); empty when absent.
     /// Relative to the .scn file's directory — load_scenario_file
     /// resolves it, parse_scenario keeps it verbatim.
     std::filesystem::path trace;
 };
+
+/// Expand a spec into one region_spec per declared [region.N] (a spec
+/// without regions yields one region carrying the base config verbatim —
+/// derive_region_seed(seed, 0) == seed, so the solo run is unchanged).
+/// Region names must be unique: they become export subdirectories.
+std::vector<region_spec> region_specs_of(const scenario_spec& spec);
 
 /// Parse scenario text; throws sci::error with the offending line number.
 scenario_spec parse_scenario(std::string_view text);

@@ -33,6 +33,18 @@ constexpr std::uint64_t fnv1a(std::string_view s) {
     return h;
 }
 
+/// Derive the master seed for one region of a multi-region fleet.  Region 0
+/// keeps the fleet master seed unchanged, so a single-region deployment is
+/// bit-identical to a plain engine run at that seed; higher regions hash
+/// (master, "region", index) through splitmix64.  The derivation is a pure
+/// function of (master_seed, region_index): adding or removing regions
+/// never perturbs another region's streams.
+constexpr std::uint64_t derive_region_seed(std::uint64_t master_seed,
+                                           std::uint64_t region_index) {
+    if (region_index == 0) return master_seed;
+    return splitmix64(master_seed ^ splitmix64(fnv1a("region") + region_index));
+}
+
 /// A named, independently seeded random stream.
 class rng_stream {
 public:

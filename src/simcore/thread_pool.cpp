@@ -1,5 +1,6 @@
 #include "simcore/thread_pool.hpp"
 
+#include <atomic>
 #include <cstdlib>
 
 #include "simcore/error.hpp"
@@ -86,6 +87,67 @@ void thread_pool::parallel_for(std::size_t begin, std::size_t end,
             lock.unlock();
             std::rethrow_exception(first);
         }
+    }
+}
+
+void thread_pool::run_tasks(std::size_t count, const task_fn& fn) {
+    expects(static_cast<bool>(fn), "thread_pool::run_tasks: empty task");
+    if (count == 0) return;
+    if (workers_.empty() || inside_pool_task || count == 1) {
+        // Inline on the caller without the nested-use flag: with one task
+        // (or a serial pool) the workers stay idle, so the task's own
+        // parallel_for calls can still fan out across them.
+        for (std::size_t i = 0; i < count; ++i) fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    const range_fn claim = [&next, count, &fn](unsigned, std::size_t,
+                                               std::size_t) {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count) return;
+            fn(i);
+        }
+    };
+
+    const std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        job_fn_ = &claim;
+        job_begin_ = 0;
+        job_end_ = count;
+        job_pending_ = worker_count();
+        ++job_epoch_;
+    }
+    work_cv_.notify_all();
+
+    // The caller claims tasks too, under the nested-use flag so a task's
+    // internal parallel_for serializes inline here exactly as on a worker.
+    std::exception_ptr caller_error;
+    inside_pool_task = true;
+    try {
+        claim(0, 0, 0);
+    } catch (...) {
+        caller_error = std::current_exception();
+    }
+    inside_pool_task = false;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return job_pending_ == 0; });
+    job_fn_ = nullptr;
+
+    for (std::exception_ptr& err : errors_) {
+        if (err) {
+            const std::exception_ptr first = std::exchange(err, nullptr);
+            for (std::exception_ptr& rest : errors_) rest = nullptr;
+            lock.unlock();
+            std::rethrow_exception(first);
+        }
+    }
+    if (caller_error) {
+        lock.unlock();
+        std::rethrow_exception(caller_error);
     }
 }
 

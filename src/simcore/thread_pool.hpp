@@ -21,6 +21,15 @@
 //   - Concurrent parallel_for calls from distinct external threads are
 //     serialized against each other; the pool runs one job at a time.
 //
+// Coarse-grained tasks (run_tasks) layer a second scheduling level on the
+// same workers: independent heavyweight tasks (e.g. whole simulation
+// regions) are claimed dynamically from a shared counter by every worker
+// *and* the calling thread.  Each task runs under the nested-use flag, so
+// any parallel_for a task issues internally serializes inline — region
+// parallelism composes with intra-region sharding instead of deadlocking
+// or oversubscribing.  A single task runs on the caller with the pool left
+// idle, so its internal stages can still fan out across the workers.
+//
 // Worker count resolution: callers usually take an explicit count or fall
 // back to env_threads() (the SCI_THREADS environment variable, default 0).
 
@@ -41,6 +50,9 @@ public:
     /// Task over one contiguous index shard: fn(worker, begin, end).
     using range_fn = std::function<void(unsigned, std::size_t, std::size_t)>;
 
+    /// One coarse-grained task by index: fn(task).
+    using task_fn = std::function<void(std::size_t)>;
+
     /// Start `workers` threads (0 = serial fallback, no threads).
     explicit thread_pool(unsigned workers);
     ~thread_pool();
@@ -57,6 +69,18 @@ public:
     /// every shard finished; rethrows the first worker exception.  Empty
     /// ranges return immediately without invoking fn.
     void parallel_for(std::size_t begin, std::size_t end, const range_fn& fn);
+
+    /// Run `count` independent coarse-grained tasks, dynamically claimed
+    /// by the workers and the calling thread.  Every task executes under
+    /// the nested-use flag, so a parallel_for issued from inside a task
+    /// serializes inline on its claimant.  A single task (or a serial /
+    /// nested pool) runs inline on the caller *without* the flag, leaving
+    /// the workers available to the task's own parallel stages.  Blocks
+    /// until all tasks finished; rethrows the lowest-indexed worker
+    /// exception, else the caller's own.  Task completion order is not
+    /// deterministic — callers must not let task side effects interleave
+    /// (each task owns its state; merge results by task index afterwards).
+    void run_tasks(std::size_t count, const task_fn& fn);
 
     /// Contiguous shard `index` of `count` over [begin, end): the same
     /// block decomposition parallel_for uses.  Exposed so callers can

@@ -28,6 +28,28 @@ TEST(Fnv1aTest, DistinctStrings) {
     EXPECT_EQ(fnv1a("behavior"), fnv1a("behavior"));
 }
 
+TEST(DeriveRegionSeedTest, RegionZeroKeepsTheMasterSeed) {
+    // a single-region deployment must be bit-identical to a plain engine
+    EXPECT_EQ(derive_region_seed(42, 0), 42u);
+    EXPECT_EQ(derive_region_seed(0xdeadbeef, 0), 0xdeadbeefull);
+}
+
+TEST(DeriveRegionSeedTest, RegionsGetDistinctIndependentSeeds) {
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t r = 0; r < 64; ++r) {
+        seeds.insert(derive_region_seed(42, r));
+    }
+    EXPECT_EQ(seeds.size(), 64u);
+    // derived seeds must also differ across masters and not collide with
+    // the other master itself
+    EXPECT_NE(derive_region_seed(1, 1), derive_region_seed(2, 1));
+    EXPECT_NE(derive_region_seed(1, 1), 2u);
+}
+
+TEST(DeriveRegionSeedTest, IsAPureFunction) {
+    EXPECT_EQ(derive_region_seed(7, 3), derive_region_seed(7, 3));
+}
+
 TEST(RngStreamTest, SameSeedAndNameReproduces) {
     rng_stream a(42, "workload");
     rng_stream b(42, "workload");

@@ -3,6 +3,8 @@
 //
 //   scisim simulate [--scale S] [--seed N] [--out DIR]   run + export dataset
 //   scisim report   [--scale S] [--seed N]               run + key findings
+//       both accept --regions N: run N regions (seeds derived per region)
+//       concurrently on one shared pool and aggregate across the fleet
 //   scisim analyze  --out DIR                            analyze an exported
 //                                                        dataset (no sim)
 //   scisim advisor  [--scale S] [--seed N]               overcommit advice
@@ -29,6 +31,7 @@
 #include "data/dataset.hpp"
 #include "harness/invariants.hpp"
 #include "harness/scenario_dsl.hpp"
+#include "multiregion/region_set.hpp"
 
 namespace {
 
@@ -39,6 +42,7 @@ struct cli_options {
     std::filesystem::path markdown_file;  ///< report: write markdown here
     sci::fault_config fault;              ///< inert unless a knob is set
     std::filesystem::path scenario_file;  ///< --scenario: run a .scn file
+    int regions = 1;                      ///< --regions: multi-region run
     bool check_invariants = false;
     // CLI flags win over a --scenario file only when actually given.
     bool scale_set = false;
@@ -69,6 +73,8 @@ cli_options parse_options(int argc, char** argv, int first) {
             options.markdown_file = next();
         } else if (arg == "--scenario") {
             options.scenario_file = next();
+        } else if (arg == "--regions") {
+            options.regions = std::atoi(next());
         } else if (arg == "--check-invariants") {
             options.check_invariants = true;
         } else if (arg == "--crash-rate") {
@@ -98,7 +104,63 @@ cli_options parse_options(int argc, char** argv, int first) {
         std::cerr << "--scale must be positive\n";
         std::exit(2);
     }
+    if (options.regions < 1) {
+        std::cerr << "--regions must be at least 1\n";
+        std::exit(2);
+    }
     return options;
+}
+
+/// Base config + invariants resolved from the scenario file / CLI flags
+/// (shared by the single-engine and multi-region paths), plus the
+/// region specs when the run is multi-region.
+struct resolved_run {
+    sci::engine_config config;
+    sci::harness::invariant_config inv;
+    /// Non-empty = multi-region ([region.N] sections or --regions N > 1).
+    std::vector<sci::region_spec> region_specs;
+};
+
+resolved_run resolve_run(const cli_options& options) {
+    resolved_run run;
+    if (!options.scenario_file.empty()) {
+        sci::harness::scenario_spec spec =
+            sci::harness::load_scenario_file(options.scenario_file);
+        run.config = spec.config;
+        run.inv = spec.invariants;
+        std::cout << "scenario " << spec.name
+                  << (spec.description.empty() ? "" : ": " + spec.description)
+                  << "\n";
+        // Explicit CLI flags still win over the scenario file.
+        if (options.scale_set) run.config.scenario.scale = options.scale;
+        if (options.seed_set) {
+            run.config.scenario.seed = options.seed;
+            run.config.population.seed = options.seed;
+        }
+        if (options.fault_touched) run.config.fault = options.fault;
+        if (!spec.regions.empty()) {
+            spec.config = run.config;  // overrides become the regions' base
+            run.region_specs = sci::harness::region_specs_of(spec);
+        }
+    } else {
+        run.config.scenario.scale = options.scale;
+        run.config.scenario.seed = options.seed;
+        run.config.population.seed = options.seed;
+        run.config.fault = options.fault;
+    }
+    if (run.region_specs.empty() && options.regions > 1) {
+        run.region_specs = sci::make_region_specs(
+            run.config, static_cast<std::size_t>(options.regions));
+    }
+    if (options.check_invariants && run.inv.count() == 0) {
+        // No scenario (or one without an [invariants] section): check the
+        // always-applicable physics.
+        run.inv.admission_accounting = true;
+        run.inv.no_silent_drops = true;
+        run.inv.conservation = true;
+        if (!run.region_specs.empty()) run.inv.cross_region_conservation = true;
+    }
+    return run;
 }
 
 /// A finished run.  The engine lives behind a pointer because the
@@ -109,42 +171,15 @@ struct engine_run {
     bool invariants_ok = true;
 };
 
-engine_run run_engine(const cli_options& options) {
-    sci::engine_config config;
-    sci::harness::invariant_config inv;
-    if (!options.scenario_file.empty()) {
-        const sci::harness::scenario_spec spec =
-            sci::harness::load_scenario_file(options.scenario_file);
-        config = spec.config;
-        inv = spec.invariants;
-        std::cout << "scenario " << spec.name
-                  << (spec.description.empty() ? "" : ": " + spec.description)
-                  << "\n";
-        // Explicit CLI flags still win over the scenario file.
-        if (options.scale_set) config.scenario.scale = options.scale;
-        if (options.seed_set) {
-            config.scenario.seed = options.seed;
-            config.population.seed = options.seed;
-        }
-        if (options.fault_touched) config.fault = options.fault;
-    } else {
-        config.scenario.scale = options.scale;
-        config.scenario.seed = options.seed;
-        config.fault = options.fault;
-    }
-    if (options.check_invariants && inv.count() == 0) {
-        // No scenario (or one without an [invariants] section): check the
-        // always-applicable physics.
-        inv.admission_accounting = true;
-        inv.no_silent_drops = true;
-        inv.conservation = true;
-    }
+engine_run run_engine(const cli_options& options,
+                      const resolved_run& resolved) {
+    const sci::engine_config& config = resolved.config;
     std::cout << "simulating 30 days at scale " << config.scenario.scale
               << " (seed " << config.scenario.seed << ") ...\n";
     engine_run run;
     run.engine = std::make_unique<sci::sim_engine>(config);
     std::optional<sci::harness::invariant_monitor> monitor;
-    if (options.check_invariants) monitor.emplace(*run.engine, inv);
+    if (options.check_invariants) monitor.emplace(*run.engine, resolved.inv);
     run.engine->run();
     const sci::run_stats& stats = run.engine->stats();
     std::cout << "  " << run.engine->infrastructure().node_count()
@@ -170,8 +205,95 @@ engine_run run_engine(const cli_options& options) {
     return run;
 }
 
+/// A finished multi-region run: the region_set plus invariant outcomes.
+struct region_run {
+    std::unique_ptr<sci::region_set> set;
+    bool invariants_ok = true;
+};
+
+region_run run_region_set(const cli_options& options,
+                          const resolved_run& resolved) {
+    region_run run;
+    run.set = std::make_unique<sci::region_set>(resolved.region_specs);
+    sci::region_set& set = *run.set;
+    std::cout << "simulating 30 days across " << set.region_count()
+              << " regions (base seed " << options.seed << ") ...\n";
+    std::vector<std::unique_ptr<sci::harness::invariant_monitor>> monitors;
+    if (options.check_invariants) {
+        sci::harness::invariant_config per_region = resolved.inv;
+        per_region.cross_region_conservation = false;
+        for (std::size_t r = 0; r < set.region_count(); ++r) {
+            monitors.push_back(
+                std::make_unique<sci::harness::invariant_monitor>(
+                    set.region(r), per_region));
+        }
+    }
+    set.run();
+    std::size_t nodes = 0;
+    for (std::size_t r = 0; r < set.region_count(); ++r) {
+        const sci::run_stats& rs = set.region(r).stats();
+        std::cout << "  " << set.spec(r).name << ": "
+                  << set.region(r).infrastructure().node_count() << " nodes, "
+                  << rs.placements << " placements, " << rs.drs_migrations
+                  << " DRS migrations, " << rs.host_crashes
+                  << " host crashes\n";
+        nodes += set.region(r).infrastructure().node_count();
+    }
+    const sci::run_stats merged = set.merged_stats();
+    std::cout << "  fleet: " << nodes << " nodes, " << merged.placements
+              << " placements, " << merged.deletions << " deletions, "
+              << merged.drs_migrations << " DRS migrations, "
+              << merged.scrapes << " scrapes\n";
+    if (options.check_invariants) {
+        std::cout << "  invariants:\n";
+        const auto show = [&](const sci::harness::invariant_result& r) {
+            std::cout << "    [" << (r.passed ? "pass" : "FAIL") << "] "
+                      << r.name << (r.detail.empty() ? "" : ": " + r.detail)
+                      << "\n";
+            run.invariants_ok = run.invariants_ok && r.passed;
+        };
+        for (std::size_t r = 0; r < set.region_count(); ++r) {
+            for (sci::harness::invariant_result result :
+                 monitors[r]->evaluate()) {
+                result.name = set.spec(r).name + "." + result.name;
+                show(result);
+            }
+        }
+        if (resolved.inv.cross_region_conservation) {
+            std::vector<sci::harness::conservation_snapshot> snaps;
+            for (std::size_t r = 0; r < set.region_count(); ++r) {
+                snaps.push_back(
+                    sci::harness::collect_conservation(set.region(r)));
+            }
+            show(sci::harness::check_cross_region_conservation(snaps));
+        }
+    }
+    return run;
+}
+
 int cmd_simulate(const cli_options& options) {
-    const engine_run run = run_engine(options);
+    const resolved_run resolved = resolve_run(options);
+    if (!resolved.region_specs.empty()) {
+        const region_run run = run_region_set(options, resolved);
+        sci::region_set& set = *run.set;
+        std::cout << "exporting per-region datasets + fleet aggregation to "
+                  << options.out_dir << " ...\n";
+        const sci::region_export_report report =
+            set.export_datasets(options.out_dir);
+        std::size_t events = 0;
+        for (std::size_t r = 0; r < set.region_count(); ++r) {
+            events += sci::export_events_csv(
+                set.region(r).events(),
+                options.out_dir / set.spec(r).name / "events.csv");
+        }
+        std::cout << "  " << report.combined.metrics_exported
+                  << " metrics, " << report.combined.series_exported
+                  << " series, " << report.combined.daily_rows
+                  << " daily rows, " << events << " scheduling events across "
+                  << set.region_count() << " regions\n";
+        return run.invariants_ok ? 0 : 1;
+    }
+    const engine_run run = run_engine(options, resolved);
     const sci::sim_engine& engine = *run.engine;
     std::cout << "exporting dataset to " << options.out_dir << " ...\n";
     const auto report = sci::export_dataset(engine.store(), options.out_dir);
@@ -184,7 +306,26 @@ int cmd_simulate(const cli_options& options) {
 }
 
 int cmd_report(const cli_options& options) {
-    const engine_run run = run_engine(options);
+    const resolved_run resolved = resolve_run(options);
+    if (!resolved.region_specs.empty()) {
+        // Multi-region report: per-region and fleet-wide scheduling
+        // summaries (the per-node figures stay a single-region view).
+        const region_run run = run_region_set(options, resolved);
+        sci::region_set& set = *run.set;
+        std::uint64_t creates = 0, removes = 0, migrations = 0, evacs = 0;
+        for (std::size_t r = 0; r < set.region_count(); ++r) {
+            const sci::event_log& events = set.region(r).events();
+            creates += events.count(sci::lifecycle_event_kind::create);
+            removes += events.count(sci::lifecycle_event_kind::remove);
+            migrations += events.count(sci::lifecycle_event_kind::migrate);
+            evacs += events.count(sci::lifecycle_event_kind::evacuate);
+        }
+        std::cout << "-- fleet events -- creates " << creates << ", deletes "
+                  << removes << ", migrations " << migrations
+                  << ", evacuations " << evacs << "\n";
+        return run.invariants_ok ? 0 : 1;
+    }
+    const engine_run run = run_engine(options, resolved);
     sci::sim_engine& engine = *run.engine;
     if (!options.markdown_file.empty()) {
         std::ofstream out(options.markdown_file);
@@ -272,7 +413,13 @@ int cmd_analyze(const cli_options& options) {
 }
 
 int cmd_advisor(const cli_options& options) {
-    const engine_run run = run_engine(options);
+    const resolved_run resolved = resolve_run(options);
+    if (!resolved.region_specs.empty()) {
+        std::cerr << "advisor is a per-region analysis; run it without "
+                     "--regions\n";
+        return 2;
+    }
+    const engine_run run = run_engine(options, resolved);
     const sci::sim_engine& engine = *run.engine;
     const auto recs = sci::recommend_cpu_overcommit(
         engine.store(), engine.infrastructure(), engine.placement(), {});
@@ -312,6 +459,12 @@ void usage() {
                  "(engine + fault\n"
                  "                            config from the file; explicit "
                  "CLI flags win)\n"
+                 "  --regions N               simulate/report: run N regions "
+                 "concurrently on\n"
+                 "                            one shared pool (per-region "
+                 "derived seeds) and\n"
+                 "                            aggregate stats + datasets "
+                 "fleet-wide\n"
                  "  --check-invariants        evaluate the scenario's "
                  "invariants after the\n"
                  "                            run (without a scenario: "
