@@ -41,7 +41,7 @@ void sim_engine::setup() {
 
 void sim_engine::run() {
     if (!setup_done_) setup();
-    queue_.run_until(observation_window);
+    run_until(observation_window);
     if (raw_stream_sink_) {
         // the window is over: flush the still-open trailing days
         store_.seal_raw_through(store_.config().days - 1, raw_stream_sink_);
@@ -54,7 +54,69 @@ void sim_engine::enable_raw_streaming(metric_store::raw_sink sink) {
 
 void sim_engine::run_until(sim_time until) {
     expects(setup_done_, "sim_engine::run_until: call setup() first");
-    queue_.run_until(until);
+    queue_.run_until(until, [this](const engine_event& event, sim_time t) {
+        dispatch(event, t);
+    });
+}
+
+void sim_engine::dispatch(const engine_event& event, sim_time t) {
+    using action = engine_event::action;
+    switch (event.act) {
+        case action::commission_node: {
+            const node_id node(event.id);
+            cluster_of(scenario_.infrastructure.get(node).bb)
+                .node(node)
+                .set_accepting(true);
+            break;
+        }
+        case action::decommission_node:
+            decommission_node(node_id(event.id), t);
+            break;
+        case action::delete_vm:
+            delete_vm(vm_id(event.id), t);
+            break;
+        case action::drain_arrivals:
+            drain_arrivals(t);
+            break;
+        case action::scrape:
+            scrape(t);
+            break;
+        case action::drs_pass:
+            drs_pass(t);
+            break;
+        case action::cross_bb_pass:
+            cross_bb_pass(t);
+            break;
+        case action::resize_vm:
+            resize_vm(vm_id(event.id), t);
+            break;
+        case action::fault:
+            apply_fault(event.fault, t);
+            break;
+        case action::drain_ha_restarts:
+            drain_ha_restarts(t);
+            break;
+    }
+}
+
+void sim_engine::set_drs_enabled(bool enabled) {
+    config_.drs.enabled = enabled;
+    for (drs_cluster& cluster : clusters_) cluster.set_enabled(enabled);
+}
+
+void sim_engine::set_gp_cpu_allocation_ratio(double ratio) {
+    expects(ratio > 0.0,
+            "sim_engine::set_gp_cpu_allocation_ratio: ratio must be positive");
+    config_.gp_cpu_allocation_ratio_override = ratio;
+    for (const building_block& bb : scenario_.infrastructure.bbs()) {
+        if (bb.purpose != bb_purpose::general) continue;
+        provider_inventory inv = placement_.inventory(bb.id);
+        inv.cpu_allocation_ratio = ratio;
+        placement_.update_inventory(bb.id, inv);
+        cluster_of(bb.id).set_allocation_ratios(ratio,
+                                                inv.ram_allocation_ratio);
+    }
+    conductor_->invalidate_host_view();
 }
 
 // ---------------------------------------------------------------------------
@@ -142,8 +204,8 @@ void sim_engine::setup_providers() {
         label_set{{"region", f.get(scenario_.region).name}});
 }
 
-void sim_engine::setup_node_churn() {
-    fleet& f = scenario_.infrastructure;
+std::vector<sim_engine::node_churn_action> sim_engine::plan_node_churn() const {
+    const fleet& f = scenario_.infrastructure;
     rng_stream rng(config_.scenario.seed, "node-churn");
     // deterministic count (round(fraction * nodes)): the white heatmap
     // cells must appear at any fleet size, not just in expectation
@@ -160,30 +222,39 @@ void sim_engine::setup_node_churn() {
             node_id(static_cast<std::int32_t>(indices[slot])));
         indices.erase(indices.begin() + static_cast<std::ptrdiff_t>(slot));
     }
+    std::vector<node_churn_action> plan;
+    plan.reserve(churned.size());
     for (const node_id churned_id : churned) {
-        const compute_node& node = f.get(churned_id);
-        compute_node& mutable_node = f.get_mutable(node.id);
-        drs_cluster& cluster = cluster_of(node.bb);
         if (rng.chance(0.5)) {
             // commissioned mid-window: unavailable before available_from
             const auto from = static_cast<sim_time>(
                 rng.uniform(0.1, 0.8) * static_cast<double>(observation_window));
-            mutable_node.available_from = from;
-            cluster.node(node.id).set_accepting(false);
-            const node_id id = node.id;
-            queue_.schedule_at(from, [this, id](sim_time) {
-                cluster_of(scenario_.infrastructure.get(id).bb)
-                    .node(id)
-                    .set_accepting(true);
-            });
+            plan.push_back({churned_id, true, from});
         } else {
             // decommissioned mid-window: evacuated at available_until
             const auto until = static_cast<sim_time>(
                 rng.uniform(0.2, 0.95) * static_cast<double>(observation_window));
-            mutable_node.available_until = until;
-            const node_id id = node.id;
-            queue_.schedule_at(until,
-                               [this, id](sim_time t) { decommission_node(id, t); });
+            plan.push_back({churned_id, false, until});
+        }
+    }
+    return plan;
+}
+
+void sim_engine::setup_node_churn() {
+    fleet& f = scenario_.infrastructure;
+    for (const node_churn_action& a : plan_node_churn()) {
+        compute_node& mutable_node = f.get_mutable(a.node);
+        if (a.commission) {
+            mutable_node.available_from = a.at;
+            cluster_of(mutable_node.bb).node(a.node).set_accepting(false);
+            queue_.schedule_at(
+                a.at, engine_event{engine_event::action::commission_node,
+                                   a.node.value()});
+        } else {
+            mutable_node.available_until = a.at;
+            queue_.schedule_at(
+                a.at, engine_event{engine_event::action::decommission_node,
+                                   a.node.value()});
         }
     }
 }
@@ -273,9 +344,9 @@ void sim_engine::place_initial_population() {
 
     const auto schedule_deletion = [this](const vm_plan* plan) {
         if (!plan->deleted_at.has_value()) return;
-        const vm_id vm = plan->vm;
         queue_.schedule_at(*plan->deleted_at,
-                           [this, vm](sim_time t) { delete_vm(vm, t); });
+                           engine_event{engine_event::action::delete_vm,
+                                        plan->vm.value()});
     };
 
     if (config_.holistic) {
@@ -365,19 +436,19 @@ void sim_engine::schedule_window_events() {
                      });
     arrival_drain_seq_ = queue_.reserve_seq();
     if (!arrivals_.empty()) {
-        queue_.schedule_at_pinned(arrivals_.front().created_at,
-                                  arrival_drain_seq_,
-                                  [this](sim_time t) { drain_arrivals(t); });
+        queue_.schedule_at_pinned(
+            arrivals_.front().created_at, arrival_drain_seq_,
+            engine_event{engine_event::action::drain_arrivals});
     }
     // scrapes (self-rescheduling)
-    queue_.schedule_at(0, [this](sim_time t) { scrape(t); });
+    queue_.schedule_at(0, engine_event{engine_event::action::scrape});
     // DRS passes, offset so they interleave between scrapes
     queue_.schedule_at(config_.drs_interval,
-                       [this](sim_time t) { drs_pass(t); });
+                       engine_event{engine_event::action::drs_pass});
     // cross-BB rebalancer (optional; the paper's "external rebalancers")
     if (config_.cross_bb_interval > 0) {
         queue_.schedule_at(config_.cross_bb_interval,
-                           [this](sim_time t) { cross_bb_pass(t); });
+                          engine_event{engine_event::action::cross_bb_pass});
     }
 }
 
@@ -415,8 +486,9 @@ void sim_engine::drain_arrivals(sim_time t) {
         if (place_vm(vm, t, lifecycle_event_kind::create, spec,
                      spec_claim_counts_) &&
             deleted_at.has_value()) {
-            queue_.schedule_at(*deleted_at,
-                               [this, vm](sim_time td) { delete_vm(vm, td); });
+            queue_.schedule_at(
+                *deleted_at,
+                engine_event{engine_event::action::delete_vm, vm.value()});
         }
         stats_.window_speculative_placements +=
             conductor_->speculative_placement_count() - spec_ok;
@@ -429,9 +501,9 @@ void sim_engine::drain_arrivals(sim_time t) {
     if (arrival_cursor_ < arrivals_.size()) {
         // re-arm in the same pinned slot: the tie order above holds at
         // every future timestamp too
-        queue_.schedule_at_pinned(arrivals_[arrival_cursor_].created_at,
-                                  arrival_drain_seq_,
-                                  [this](sim_time next) { drain_arrivals(next); });
+        queue_.schedule_at_pinned(
+            arrivals_[arrival_cursor_].created_at, arrival_drain_seq_,
+            engine_event{engine_event::action::drain_arrivals});
     }
     stats_.churn_placement_wall_ms +=
         std::chrono::duration<double, std::milli>(
@@ -994,7 +1066,7 @@ void sim_engine::scrape(sim_time t) {
     if (probes_.after_scrape) probes_.after_scrape(t);
     const sim_time next = t + config_.sampling_interval;
     if (next < observation_window) {
-        queue_.schedule_at(next, [this](sim_time tn) { scrape(tn); });
+        queue_.schedule_at(next, engine_event{engine_event::action::scrape});
     }
 }
 
@@ -1074,7 +1146,7 @@ void sim_engine::drs_pass(sim_time t) {
     }
     const sim_time next = t + config_.drs_interval;
     if (next < observation_window) {
-        queue_.schedule_at(next, [this](sim_time tn) { drs_pass(tn); });
+        queue_.schedule_at(next, engine_event{engine_event::action::drs_pass});
     }
 }
 
@@ -1159,7 +1231,8 @@ void sim_engine::cross_bb_pass(sim_time t) {
     }
     const sim_time next = t + config_.cross_bb_interval;
     if (next < observation_window) {
-        queue_.schedule_at(next, [this](sim_time tn) { cross_bb_pass(tn); });
+        queue_.schedule_at(next,
+                           engine_event{engine_event::action::cross_bb_pass});
     }
 }
 
@@ -1202,8 +1275,8 @@ void sim_engine::schedule_resizes() {
         if (hi <= lo) return;
         const auto at = static_cast<sim_time>(
             rng.uniform(static_cast<double>(lo), static_cast<double>(hi)));
-        const vm_id vm = plan.vm;
-        queue_.schedule_at(at, [this, vm](sim_time t) { resize_vm(vm, t); });
+        queue_.schedule_at(at, engine_event{engine_event::action::resize_vm,
+                                            plan.vm.value()});
     };
     for (const vm_plan& plan : population_plan_.initial) consider(plan);
     for (const vm_plan& plan : population_plan_.arrivals) consider(plan);
@@ -1260,8 +1333,11 @@ void sim_engine::resize_vm(vm_id vm, sim_time t) {
         }
     }
     if (!admitted) {
-        // fleet rejects the resize: restore the old reservation
-        placement_.claim(vm, rec.placed_bb, old_flavor);
+        // fleet rejects the resize: restore the old reservation.  reclaim,
+        // not claim — when an allocation ratio was retuned below live usage
+        // (fork-arm overcommit sweeps), the capacity re-check would refuse
+        // to give back what this VM just released.
+        placement_.reclaim(vm, rec.placed_bb, old_flavor);
         node.place(vm, old_flavor);
         ++stats_.resize_failures;
         return;
@@ -1303,8 +1379,8 @@ void sim_engine::setup_faults() {
     }
     for (const fault_event& event : compile_fault_schedule(
              fc, scenario_.infrastructure, config_.scenario.seed)) {
-        const fault_event ev = event;
-        queue_.schedule_at(ev.t, [this, ev](sim_time t) { apply_fault(ev, t); });
+        queue_.schedule_at(
+            event.t, engine_event{engine_event::action::fault, -1, event});
     }
 }
 
@@ -1433,7 +1509,8 @@ void sim_engine::enqueue_ha_group(sim_time due, std::vector<vm_id> victims) {
         ha_groups_.begin(), ha_groups_.end(), due,
         [](sim_time d, const ha_group& g) { return d < g.due; });
     ha_groups_.insert(it, ha_group{due, std::move(victims)});
-    queue_.schedule_at(due, [this](sim_time t) { drain_ha_restarts(t); });
+    queue_.schedule_at(due,
+                       engine_event{engine_event::action::drain_ha_restarts});
 }
 
 void sim_engine::drain_ha_restarts(sim_time t) {

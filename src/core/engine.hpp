@@ -35,7 +35,7 @@
 #include "infra/vm.hpp"
 #include "rebalancer/cross_bb.hpp"
 #include "sched/conductor.hpp"
-#include "simcore/event_queue.hpp"
+#include "simcore/event_heap.hpp"
 #include "simcore/rng.hpp"
 #include "simcore/thread_pool.hpp"
 #include "telemetry/store.hpp"
@@ -43,6 +43,35 @@
 #include "workload/population.hpp"
 
 namespace sci {
+
+namespace snapshot {
+struct engine_access;  // checkpoint/restore implementation (src/snapshot)
+}
+
+/// One pending simulation event, as data.  The engine's event loop is an
+/// event_heap<engine_event>: every schedule site enqueues one of these
+/// instead of a closure, and sim_engine::dispatch interprets it — which
+/// is what makes the complete pending-event set serializable for
+/// checkpoint/restore.  `id` carries the target node or VM where the
+/// action needs one; `fault` carries the compiled fault event for
+/// action::fault.
+struct engine_event {
+    enum class action : std::uint8_t {
+        commission_node,    ///< id = node: set_accepting(true)
+        decommission_node,  ///< id = node
+        delete_vm,          ///< id = vm
+        drain_arrivals,     ///< pinned-slot churn drain
+        scrape,             ///< self-rescheduling telemetry scrape
+        drs_pass,           ///< self-rescheduling DRS balancing pass
+        cross_bb_pass,      ///< self-rescheduling cross-BB rebalance
+        resize_vm,          ///< id = vm
+        fault,              ///< apply `fault`
+        drain_ha_restarts,  ///< drain the due HA victim group
+    };
+    action act = action::scrape;
+    std::int32_t id = -1;
+    fault_event fault{};
+};
 
 struct engine_config {
     scenario_config scenario;
@@ -301,7 +330,42 @@ public:
         return recovery_batch_spans_;
     }
 
+    /// True once setup() ran (or the engine was restored from a snapshot).
+    bool is_setup() const { return setup_done_; }
+
+    // --- post-restore fork mutators (sci::snapshot ablation arms) --------
+    // Both flip pure *policy* knobs after a snapshot restore: the event
+    // stream (pass cadence, sequence numbers) is untouched, so forked
+    // arms stay event-for-event comparable with the base run.
+
+    /// Toggle automatic DRS balancing on every cluster.  The balancing
+    /// events keep firing either way (plan_rebalance checks the flag), so
+    /// flipping it never changes the event/sequence stream.
+    void set_drs_enabled(bool enabled);
+
+    /// Rewrite the general-purpose vCPU:pCPU allocation ratio in place:
+    /// provider inventories, cluster admission ratios, and the config
+    /// field the report echoes.  The scheduler's cached host view is
+    /// invalidated so the next decision sees the new capacity.
+    void set_gp_cpu_allocation_ratio(double ratio);
+
 private:
+    friend struct snapshot::engine_access;
+
+    /// Interpret one typed event at its fire time.
+    void dispatch(const engine_event& event, sim_time t);
+
+    /// One node's mid-window commission/decommission draw.  The plan is a
+    /// pure function of (seed, fleet size), so a snapshot restore can
+    /// re-apply the fleet mutations without replaying the RNG into any
+    /// shared stream.
+    struct node_churn_action {
+        node_id node;
+        bool commission;
+        sim_time at;
+    };
+    std::vector<node_churn_action> plan_node_churn() const;
+
     void setup_providers();
     void setup_node_churn();
     void build_population();
@@ -393,7 +457,7 @@ private:
     std::unique_ptr<conductor> conductor_;
     std::vector<drs_cluster> clusters_;  ///< indexed by bb id value
     metric_store store_;
-    event_queue queue_;
+    event_heap<engine_event> queue_;
     population population_plan_;
     run_stats stats_;
     event_log events_;

@@ -146,6 +146,29 @@ public:
         return migrations_ - aborts_;
     }
 
+    // --- snapshot / fork support ------------------------------------------
+    /// Flip automatic balancing post-restore (fork ablation arm).  Pure
+    /// policy: plan_rebalance returns no moves when disabled and nothing
+    /// else reads the flag, so the event stream is untouched.
+    void set_enabled(bool enabled) { config_.enabled = enabled; }
+
+    /// Rewrite the admission ratios post-restore (overcommit fork arm).
+    void set_allocation_ratios(double cpu, double ram) {
+        config_.cpu_allocation_ratio = cpu;
+        config_.ram_allocation_ratio = ram;
+    }
+
+    /// Overwrite the lifetime counters with checkpointed values.  The
+    /// per-pass abort dedup window is cleared — a snapshot barrier never
+    /// falls inside a pass.
+    void restore_counters(std::uint64_t migrations, std::uint64_t aborts,
+                          std::uint64_t usage_version) {
+        migrations_ = migrations;
+        aborts_ = aborts;
+        usage_version_ = usage_version;
+        aborted_this_pass_.clear();
+    }
+
 private:
     /// Node CPU demand in cores (sum over residents).
     double node_demand_cores(const node_runtime& nr,

@@ -1,5 +1,7 @@
 #include "fault/ha.hpp"
 
+#include <algorithm>
+
 #include "simcore/error.hpp"
 
 namespace sci {
@@ -51,6 +53,41 @@ std::optional<sim_time> ha_controller::on_restart_failure(vm_id vm, sim_time t) 
 int ha_controller::attempts_of(vm_id vm) const {
     const auto it = pending_.find(vm);
     return it != pending_.end() ? it->second.attempts : 0;
+}
+
+std::vector<ha_controller::pending_row> ha_controller::pending_table() const {
+    std::vector<pending_row> rows;
+    rows.reserve(pending_.size());
+    for (const auto& [vm, v] : pending_) {
+        rows.push_back({vm, v.crashed_at, v.attempts});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const pending_row& a, const pending_row& b) {
+                  return a.vm < b.vm;
+              });
+    return rows;
+}
+
+void ha_controller::restore_state(const std::vector<pending_row>& pending,
+                                  std::vector<double> downtime,
+                                  std::uint64_t crashed,
+                                  std::uint64_t restarted,
+                                  std::uint64_t abandoned,
+                                  std::uint64_t cancelled,
+                                  std::uint64_t failed_attempts) {
+    pending_.clear();
+    for (const pending_row& row : pending) {
+        const bool inserted =
+            pending_.insert({row.vm, victim{row.crashed_at, row.attempts}})
+                .second;
+        expects(inserted, "ha_controller::restore_state: duplicate victim");
+    }
+    downtime_ = std::move(downtime);
+    crashed_ = crashed;
+    restarted_ = restarted;
+    abandoned_ = abandoned;
+    cancelled_ = cancelled;
+    failed_attempts_ = failed_attempts;
 }
 
 double ha_controller::mttr() const {

@@ -69,6 +69,25 @@ public:
     /// Mean time to recovery over restarted VMs (seconds; 0 when none).
     double mttr() const;
 
+    // --- snapshot support -------------------------------------------------
+    struct pending_row {
+        vm_id vm;
+        sim_time crashed_at = 0;
+        int attempts = 0;
+    };
+
+    /// Pending victims as rows sorted by vm id — the canonical serialized
+    /// form (the live map's iteration order is not).
+    std::vector<pending_row> pending_table() const;
+
+    /// Overwrite the complete controller state with checkpointed values.
+    /// `downtime` keeps recovery order; the backoff/attempt policy comes
+    /// from the constructor (config, not state).
+    void restore_state(const std::vector<pending_row>& pending,
+                       std::vector<double> downtime, std::uint64_t crashed,
+                       std::uint64_t restarted, std::uint64_t abandoned,
+                       std::uint64_t cancelled, std::uint64_t failed_attempts);
+
 private:
     struct victim {
         sim_time crashed_at = 0;

@@ -8,6 +8,7 @@
 
 #include "multiregion/region_set.hpp"
 #include "simcore/error.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace sci::harness {
 
@@ -187,6 +188,40 @@ std::optional<trace_record> read_trace_file(
 
 namespace {
 
+/// Resolve the restore_bit_identity barrier: the [snapshot] at value,
+/// else mid-window.  Returns a skip note instead of a barrier when the
+/// point falls outside the (possibly day-capped) window — a capped CI
+/// run must not fail a scenario whose barrier sits past the cap.
+std::optional<sim_time> restore_barrier(const scenario_spec& spec,
+                                        sim_time window_end,
+                                        std::string& skip_note) {
+    const sim_time at = spec.snapshot_at.value_or(window_end / 2);
+    if (at <= 0 || at >= window_end) {
+        skip_note = "skipped: snapshot barrier t=" + std::to_string(at) +
+                    "s falls outside the " +
+                    std::to_string(window_end) + "s window";
+        return std::nullopt;
+    }
+    return at;
+}
+
+invariant_result restore_identity_result(sim_time at, std::uint64_t events,
+                                         std::uint64_t stats,
+                                         const scenario_outcome& outcome) {
+    if (events != outcome.events_hash || stats != outcome.stats_hash) {
+        return invariant_result{
+            "restore_bit_identity", false,
+            "restored run diverged: events/stats " + hex64(events) + "/" +
+                hex64(stats) + " vs uninterrupted " +
+                hex64(outcome.events_hash) + "/" +
+                hex64(outcome.stats_hash)};
+    }
+    return invariant_result{
+        "restore_bit_identity", true,
+        "snapshot at t=" + std::to_string(at) +
+            "s -> codec round-trip -> restore -> replay is bit-identical"};
+}
+
 /// Multi-region run: one engine per [region.N] on a shared pool, one
 /// invariant_monitor per region, plus the fleet-wide cross-region
 /// conservation check.  Combined fingerprints chain the per-region
@@ -196,19 +231,33 @@ void run_multi_region(const scenario_spec& spec, const run_options& options,
                       scenario_outcome& outcome) {
     region_set set(region_specs_of(spec), options.threads);
 
-    // cross_region_conservation is a fleet-wide checker evaluated below
-    // over all regions at once; the per-region monitors run the rest.
+    // cross_region_conservation and restore_bit_identity are fleet-wide
+    // checks evaluated below over all regions at once; the per-region
+    // monitors run the rest.
     invariant_config per_region = spec.invariants;
     per_region.cross_region_conservation = false;
+    per_region.restore_bit_identity = false;
     std::vector<std::unique_ptr<invariant_monitor>> monitors;
     monitors.reserve(set.region_count());
     for (std::size_t r = 0; r < set.region_count(); ++r) {
-        monitors.push_back(
-            std::make_unique<invariant_monitor>(set.region(r), per_region));
+        monitors.push_back(std::make_unique<invariant_monitor>(
+            set.region(r), per_region, options.watch));
     }
 
     set.setup();
-    set.run_until(days(outcome.days));
+    const sim_time window_end = days(outcome.days);
+    std::string skip_note;
+    std::optional<sim_time> barrier;
+    std::vector<snapshot::engine_state> mid;
+    if (spec.invariants.restore_bit_identity) {
+        barrier = restore_barrier(spec, window_end, skip_note);
+        if (barrier.has_value()) {
+            // one event-time barrier snapshots all N regions at once
+            set.run_until(*barrier);
+            mid = snapshot::capture(set);
+        }
+    }
+    set.run_until(window_end);
 
     outcome.stats = set.merged_stats();
     outcome.stats_hash = fnv_offset;
@@ -232,6 +281,33 @@ void run_multi_region(const scenario_spec& spec, const run_options& options,
         outcome.invariants.push_back(
             check_cross_region_conservation(snapshots));
     }
+    if (spec.invariants.restore_bit_identity) {
+        if (!barrier.has_value()) {
+            outcome.invariants.push_back(
+                invariant_result{"restore_bit_identity", true, skip_note});
+        } else {
+            // full byte-codec round trip per region, then replay the
+            // restored bundle and chain its hashes the same way
+            std::vector<snapshot::engine_state> decoded;
+            decoded.reserve(mid.size());
+            for (const snapshot::engine_state& state : mid) {
+                decoded.push_back(
+                    snapshot::deserialize(snapshot::serialize(state)));
+            }
+            const std::unique_ptr<region_set> replay =
+                snapshot::restore_regions(decoded, options.threads);
+            replay->run_until(window_end);
+            std::uint64_t events = fnv_offset;
+            std::uint64_t stats = fnv_offset;
+            for (std::size_t r = 0; r < replay->region_count(); ++r) {
+                fnv1a(events,
+                      events_fingerprint(replay->region(r).events()));
+                fnv1a(stats, stats_fingerprint(replay->region(r).stats()));
+            }
+            outcome.invariants.push_back(
+                restore_identity_result(*barrier, events, stats, outcome));
+        }
+    }
 }
 
 }  // namespace
@@ -252,15 +328,45 @@ scenario_outcome run_scenario(const scenario_spec& spec,
         if (options.threads.has_value()) config.threads = options.threads;
 
         sim_engine engine(config);
-        invariant_monitor monitor(engine, spec.invariants);
+        invariant_monitor monitor(engine, spec.invariants, options.watch);
         engine.setup();
-        engine.run_until(days(outcome.days));
+
+        const sim_time window_end = days(outcome.days);
+        std::string skip_note;
+        std::optional<sim_time> barrier;
+        std::optional<snapshot::engine_state> mid;
+        if (spec.invariants.restore_bit_identity) {
+            barrier = restore_barrier(spec, window_end, skip_note);
+            if (barrier.has_value()) {
+                engine.run_until(*barrier);
+                mid = snapshot::capture(engine);
+            }
+        }
+        engine.run_until(window_end);
 
         outcome.stats = engine.stats();
         outcome.invariants = monitor.evaluate();
         outcome.event_count = engine.events().size();
         outcome.events_hash = events_fingerprint(engine.events());
         outcome.stats_hash = stats_fingerprint(engine.stats());
+
+        if (spec.invariants.restore_bit_identity) {
+            if (!barrier.has_value()) {
+                outcome.invariants.push_back(invariant_result{
+                    "restore_bit_identity", true, skip_note});
+            } else {
+                // the replayed engine starts from the decoded bytes, so
+                // one check covers serializer + codec + restore at once
+                const snapshot::engine_state decoded =
+                    snapshot::deserialize(snapshot::serialize(*mid));
+                const std::unique_ptr<sim_engine> replay =
+                    snapshot::restore(decoded);
+                replay->run_until(window_end);
+                outcome.invariants.push_back(restore_identity_result(
+                    *barrier, events_fingerprint(replay->events()),
+                    stats_fingerprint(replay->stats()), outcome));
+            }
+        }
     }
 
     if (spec.trace.empty()) return outcome;

@@ -39,6 +39,9 @@ struct run_options {
     /// Worker-thread override for this run (else engine_config semantics:
     /// SCI_THREADS environment variable).
     std::optional<unsigned> threads;
+    /// Assert the scrape-checkable invariants at every scrape barrier
+    /// instead of spot-checking (sciverify --watch).
+    bool watch = false;
 };
 
 enum class replay_status {

@@ -358,8 +358,8 @@ invariant_result check_cross_region_conservation(
 }
 
 invariant_monitor::invariant_monitor(sim_engine& engine,
-                                     invariant_config config)
-    : engine_(&engine), config_(config) {
+                                     invariant_config config, bool watch)
+    : engine_(&engine), config_(config), watch_(watch) {
     engine_probes probes;
     if (config_.imbalance_epsilon.has_value()) {
         probes.drs_imbalance = [this](sim_time t, double before,
@@ -367,46 +367,79 @@ invariant_monitor::invariant_monitor(sim_engine& engine,
             imbalance_samples_.push_back(imbalance_sample{t, before, after});
         };
     }
-    if (config_.conservation) {
-        probes.after_scrape = [this](sim_time t) {
-            if (++scrapes_seen_ % live_check_every != 0) return;
-            if (!live_violation_.empty()) return;  // first violation wins
-            ++live_checks_;
-            conservation_snapshot snap = collect_conservation(*engine_);
-            snap.t = t;
-            const invariant_result result = check_conservation(snap);
-            if (!result.passed) live_violation_ = result.detail;
-        };
+    const bool scrape_checks =
+        config_.conservation ||
+        (watch_ && (config_.no_silent_drops ||
+                    config_.flapping_max_moves_per_vm_day.has_value()));
+    if (scrape_checks) {
+        probes.after_scrape = [this](sim_time t) { on_scrape(t); };
     }
     if (probes.after_scrape || probes.drs_imbalance) {
         engine.set_probes(std::move(probes));
     }
 }
 
+void invariant_monitor::on_scrape(sim_time t) {
+    ++scrapes_seen_;
+    if (!live_violation_.empty()) return;  // first violation wins
+    const auto record = [&](invariant_result result) {
+        if (result.passed || !live_violation_.empty()) return;
+        live_violation_name_ = result.name;
+        live_violation_ = "t=" + std::to_string(t) + "s: " + result.detail;
+    };
+    if (config_.conservation &&
+        (watch_ || scrapes_seen_ % live_check_every == 0)) {
+        ++live_checks_;
+        conservation_snapshot snap = collect_conservation(*engine_);
+        snap.t = t;
+        record(check_conservation(snap));
+    }
+    if (!watch_) return;
+    // Event-log prefix checkers: valid at any scrape barrier because
+    // state transitions and their events commit atomically per event.
+    if (config_.no_silent_drops) {
+        record(check_no_silent_drops(engine_->vms().all(),
+                                     engine_->events()));
+    }
+    if (config_.flapping_max_moves_per_vm_day.has_value()) {
+        record(check_bounded_flapping(
+            engine_->events(), *config_.flapping_max_moves_per_vm_day));
+    }
+}
+
 std::vector<invariant_result> invariant_monitor::evaluate() const {
     std::vector<invariant_result> results;
+    // A live (in-run) violation of this checker trumps the end-of-run
+    // state; a clean final check gets annotated with the live coverage.
+    const auto finish = [&](invariant_result result) {
+        if (live_violation_name_ == result.name) {
+            result.passed = false;
+            result.detail = "live: " + live_violation_;
+        } else if (result.passed && watch_) {
+            result.detail += " (watched over " +
+                             std::to_string(scrapes_seen_) + " scrapes)";
+        }
+        results.push_back(std::move(result));
+    };
     if (config_.admission_accounting) {
         results.push_back(check_admission_accounting(engine_->stats(),
                                                      engine_->events()));
     }
     if (config_.no_silent_drops) {
-        results.push_back(
-            check_no_silent_drops(engine_->vms().all(), engine_->events()));
+        finish(check_no_silent_drops(engine_->vms().all(),
+                                     engine_->events()));
     }
     if (config_.conservation) {
-        if (!live_violation_.empty()) {
-            results.push_back(invariant_result{"conservation", false,
-                                               "live: " + live_violation_});
-        } else {
-            conservation_snapshot snap = collect_conservation(*engine_);
-            invariant_result result = check_conservation(snap);
+        conservation_snapshot snap = collect_conservation(*engine_);
+        invariant_result result = check_conservation(snap);
+        if (result.passed) {
             result.detail += " (" + std::to_string(live_checks_) +
                              " live spot-checks + final)";
-            results.push_back(std::move(result));
         }
+        finish(std::move(result));
     }
     if (config_.flapping_max_moves_per_vm_day.has_value()) {
-        results.push_back(check_bounded_flapping(
+        finish(check_bounded_flapping(
             engine_->events(), *config_.flapping_max_moves_per_vm_day));
     }
     if (config_.imbalance_epsilon.has_value()) {

@@ -57,6 +57,13 @@ struct invariant_config {
     /// scenario (single-region runs treat it as plain conservation over
     /// the one region).
     bool cross_region_conservation = false;
+    /// Snapshot the run at the [snapshot] barrier (default: mid-window),
+    /// round-trip the state through the byte codec, restore into a fresh
+    /// engine, replay to the end, and require the restored run's
+    /// events/stats fingerprints to be bit-identical to the
+    /// uninterrupted run's.  Evaluated by run_scenario (it needs the
+    /// second run), not by the invariant_monitor.
+    bool restore_bit_identity = false;
 
     /// Number of enabled checkers.
     int count() const {
@@ -65,7 +72,8 @@ struct invariant_config {
                (flapping_max_moves_per_vm_day.has_value() ? 1 : 0) +
                (imbalance_epsilon.has_value() ? 1 : 0) +
                (recovery_p99_seconds.has_value() ? 1 : 0) +
-               (cross_region_conservation ? 1 : 0);
+               (cross_region_conservation ? 1 : 0) +
+               (restore_bit_identity ? 1 : 0);
     }
 };
 
@@ -147,7 +155,15 @@ invariant_result check_cross_region_conservation(
 /// enabled checker in evaluate().
 class invariant_monitor {
 public:
-    invariant_monitor(sim_engine& engine, invariant_config config);
+    /// `watch` = assert the scrape-checkable invariants at EVERY scrape
+    /// barrier instead of spot-checking: conservation runs each scrape
+    /// (not every Nth), and no_silent_drops / bounded_flapping — pure
+    /// functions over the event-log prefix, valid at any barrier — run
+    /// live too.  Pass-scoped checkers (admission accounting over the
+    /// closed window, imbalance monotonicity, recovery tail) still
+    /// evaluate once at end-of-run, where their inputs are complete.
+    invariant_monitor(sim_engine& engine, invariant_config config,
+                      bool watch = false);
 
     /// Evaluate every enabled checker; call after the run.
     std::vector<invariant_result> evaluate() const;
@@ -157,15 +173,19 @@ public:
     }
 
 private:
+    void on_scrape(sim_time t);
+
     sim_engine* engine_;
     invariant_config config_;
+    bool watch_ = false;
     std::vector<imbalance_sample> imbalance_samples_;
-    /// Conservation is spot-checked live every Nth scrape; the first
-    /// in-run violation wins over the end-of-run state (it would
-    /// otherwise be masked by a later self-correction).
+    /// Conservation is spot-checked live every Nth scrape (every scrape
+    /// under watch); the first in-run violation wins over the end-of-run
+    /// state (it would otherwise be masked by a later self-correction).
     static constexpr std::uint64_t live_check_every = 8;
     std::uint64_t scrapes_seen_ = 0;
     std::uint64_t live_checks_ = 0;
+    std::string live_violation_name_;
     std::string live_violation_;
 };
 

@@ -65,7 +65,9 @@ std::string format_double(double value) {
     return std::string(buf, ptr);
 }
 
-enum class section { none, scenario, engine, fault, invariants, region, replay };
+enum class section {
+    none, scenario, engine, fault, invariants, snapshot, region, replay
+};
 
 }  // namespace
 
@@ -97,6 +99,7 @@ scenario_spec parse_scenario(std::string_view text) {
             else if (name == "engine") current = section::engine;
             else if (name == "fault") current = section::fault;
             else if (name == "invariants") current = section::invariants;
+            else if (name == "snapshot") current = section::snapshot;
             else if (name == "replay") current = section::replay;
             else if (name.starts_with("region.")) {
                 const std::string_view index_text = name.substr(7);
@@ -248,8 +251,23 @@ scenario_spec parse_scenario(std::string_view text) {
                     inv.recovery_p99_seconds = parse_double(value, line_no);
                 } else if (key == "cross_region_conservation") {
                     inv.cross_region_conservation = parse_bool(value, line_no);
+                } else if (key == "restore_bit_identity") {
+                    inv.restore_bit_identity = parse_bool(value, line_no);
                 } else {
                     parse_fail(line_no, "unknown [invariants] key '" +
+                                            std::string(key) + "'");
+                }
+                break;
+            case section::snapshot:
+                if (key == "at") {
+                    const std::int64_t at = parse_int(value, line_no);
+                    if (at <= 0) {
+                        parse_fail(line_no,
+                                   "snapshot barrier must be positive");
+                    }
+                    spec.snapshot_at = static_cast<sim_duration>(at);
+                } else {
+                    parse_fail(line_no, "unknown [snapshot] key '" +
                                             std::string(key) + "'");
                 }
                 break;
@@ -434,6 +452,12 @@ std::string render_scenario(const scenario_spec& spec) {
     }
     out << "cross_region_conservation = "
         << boolean(inv.cross_region_conservation) << "\n";
+    out << "restore_bit_identity = " << boolean(inv.restore_bit_identity)
+        << "\n";
+    if (spec.snapshot_at.has_value()) {
+        out << "\n[snapshot]\n";
+        out << "at = " << *spec.snapshot_at << "\n";
+    }
     for (const region_override& region : spec.regions) {
         out << "\n[region." << region.index << "]\n";
         if (!region.name.empty()) out << "name = " << region.name << "\n";

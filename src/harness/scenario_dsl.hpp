@@ -24,6 +24,10 @@
 //   admission_accounting = true
 //   conservation = true
 //   recovery_p99_seconds = 7200
+//   restore_bit_identity = true
+//
+//   [snapshot]
+//   at = 43200          # barrier for restore_bit_identity (default: mid-window)
 //
 //   [replay]
 //   trace = traces/az_outage.trace
@@ -87,6 +91,11 @@ struct scenario_spec {
     /// Declared [region.N] sections in index order; empty = single-region
     /// scenario run through a plain sim_engine.
     std::vector<region_override> regions;
+    /// [snapshot] at = <seconds>: the event-time barrier where the
+    /// restore_bit_identity invariant snapshots the run (and where
+    /// tooling defaults its checkpoint).  Unset = mid-window.  For
+    /// multi-region scenarios the one barrier covers every region.
+    std::optional<sim_duration> snapshot_at;
     /// Replay trace path ([replay] trace = ...); empty when absent.
     /// Relative to the .scn file's directory — load_scenario_file
     /// resolves it, parse_scenario keeps it verbatim.

@@ -136,6 +136,21 @@ public:
     bool fits(const flavor& f, double cpu_allocation_ratio,
               double ram_allocation_ratio) const;
 
+    // --- snapshot support -------------------------------------------------
+    /// Overwrite the reservation state with checkpointed values.  The
+    /// reserved disk total accumulates flavor-by-flavor over the run, so
+    /// it must round-trip bitwise rather than be recomputed.  `residents`
+    /// must be ascending (the invariant every walk relies on).
+    void restore(bool accepting, std::vector<vm_id> residents,
+                 core_count reserved_vcpus, mebibytes reserved_ram_mib,
+                 gibibytes reserved_disk_gib) {
+        accepting_ = accepting;
+        residents_ = std::move(residents);
+        reserved_vcpus_ = reserved_vcpus;
+        reserved_ram_ = reserved_ram_mib;
+        reserved_disk_ = reserved_disk_gib;
+    }
+
 private:
     node_id id_;
     hardware_profile profile_;

@@ -228,6 +228,30 @@ region_set::region_set(std::vector<region_spec> specs,
     }
 }
 
+region_set::region_set(std::vector<region_spec> specs,
+                       const engine_builder& build,
+                       std::optional<unsigned> threads)
+    : specs_(std::move(specs)),
+      pool_(threads.value_or(thread_pool::env_threads())) {
+    expects(!specs_.empty(), "region_set: need at least one region");
+    expects(static_cast<bool>(build), "region_set: null engine builder");
+
+    std::set<std::uint64_t> seeds;
+    for (const region_spec& spec : specs_) {
+        expects(seeds.insert(spec.config.scenario.seed).second,
+                "region_set: two regions share a derived master seed");
+    }
+
+    engines_.reserve(specs_.size());
+    for (std::size_t r = 0; r < specs_.size(); ++r) {
+        engines_.push_back(build(r, pool_));
+        expects(engines_.back() != nullptr && engines_.back()->is_setup(),
+                "region_set: engine builder must return a set-up engine");
+    }
+    // adopted engines carry their own timelines — setup() must not run
+    setup_done_ = true;
+}
+
 void region_set::setup() {
     if (setup_done_) return;
     setup_done_ = true;

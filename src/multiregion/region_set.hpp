@@ -30,6 +30,7 @@
 // budget of PR 6.
 
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -85,6 +86,16 @@ public:
     /// "independent" regions replay each other's RNG streams.
     explicit region_set(std::vector<region_spec> specs,
                         std::optional<unsigned> threads = std::nullopt);
+
+    /// Adopt pre-built engines (snapshot restore): `build(r, pool)` must
+    /// return the engine for spec r, already set up (e.g. restored from a
+    /// checkpoint) and wired to `pool` via set_shared_pool.  setup() on
+    /// the result is a no-op; run/run_until continue the adopted
+    /// timelines.
+    using engine_builder =
+        std::function<std::unique_ptr<sim_engine>(std::size_t, thread_pool&)>;
+    region_set(std::vector<region_spec> specs, const engine_builder& build,
+               std::optional<unsigned> threads = std::nullopt);
 
     std::size_t region_count() const { return engines_.size(); }
     sim_engine& region(std::size_t r) { return *engines_[r]; }

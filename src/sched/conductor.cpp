@@ -103,6 +103,33 @@ void conductor::snapshot_claim_counts(std::vector<std::uint64_t>& out) {
     out.assign(claim_counts_.begin(), claim_counts_.end());
 }
 
+void conductor::restore_counters(std::uint64_t scheduled,
+                                 std::uint64_t no_valid_host,
+                                 std::uint64_t retries,
+                                 std::uint64_t transient_claim_failures,
+                                 std::uint64_t speculative_placements,
+                                 std::uint64_t speculation_misses) {
+    scheduled_ = scheduled;
+    no_valid_host_ = no_valid_host;
+    retries_ = retries;
+    transient_claim_failures_ = transient_claim_failures;
+    speculative_placements_ = speculative_placements;
+    speculation_misses_ = speculation_misses;
+}
+
+void conductor::restore_claim_counts(const std::vector<std::uint64_t>& counts) {
+    refresh_host_states();  // sizes claim_counts_ to the provider set
+    expects(counts.size() == claim_counts_.size(),
+            "conductor::restore_claim_counts: provider count mismatch");
+    claim_counts_ = counts;
+}
+
+void conductor::invalidate_host_view() {
+    states_.clear();
+    usage_refs_.clear();
+    states_version_ = 0;
+}
+
 void conductor::mark_claimed(bb_id bb) {
     if (claim_counts_.empty()) return;  // no host view built yet
     ++claim_counts_[provider_pos_[static_cast<std::size_t>(bb.value())]];

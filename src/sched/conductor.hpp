@@ -118,6 +118,24 @@ public:
     /// time; the request went through the full retry loop instead.
     std::uint64_t speculation_miss_count() const { return speculation_misses_; }
 
+    // --- snapshot / fork support ------------------------------------------
+    /// Overwrite the cumulative counters with checkpointed values.
+    void restore_counters(std::uint64_t scheduled, std::uint64_t no_valid_host,
+                          std::uint64_t retries,
+                          std::uint64_t transient_claim_failures,
+                          std::uint64_t speculative_placements,
+                          std::uint64_t speculation_misses);
+
+    /// Overwrite the per-provider claim counters (index-aligned with
+    /// placement().providers()); builds the host view first so the
+    /// counter vector is sized.
+    void restore_claim_counts(const std::vector<std::uint64_t>& counts);
+
+    /// Drop the cached host view so the next request rebuilds it from the
+    /// live inventories (a fork policy knob changed provider capacity).
+    /// Claim counters survive — the rebuild resizes without clearing.
+    void invalidate_host_view();
+
 private:
     void refresh_host_states();
     void mark_claimed(bb_id bb);

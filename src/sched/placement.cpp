@@ -1,5 +1,7 @@
 #include "sched/placement.hpp"
 
+#include <algorithm>
+
 #include "simcore/error.hpp"
 
 namespace sci {
@@ -64,6 +66,13 @@ void placement_service::claim(vm_id vm, bb_id bb, const flavor& f) {
     if (!can_fit(bb, f)) {
         throw capacity_error("placement_service::claim: provider full");
     }
+    reclaim(vm, bb, f);
+}
+
+void placement_service::reclaim(vm_id vm, bb_id bb, const flavor& f) {
+    expects(vm.valid(), "placement_service::reclaim: invalid vm");
+    expects(!allocations_.contains(vm),
+            "placement_service::reclaim: vm already allocated");
     provider_record& r = record(bb);
     r.usage.vcpus_used += f.vcpus;
     r.usage.ram_used_mib += f.ram_mib;
@@ -99,9 +108,49 @@ void placement_service::move(vm_id vm, bb_id to, const flavor& f) {
     try {
         claim(vm, to, f);
     } catch (const capacity_error&) {
-        claim(vm, from, f);  // roll back
+        // unchecked: the source may sit above a shrunk capacity, and the
+        // rollback must restore the reservation regardless
+        reclaim(vm, from, f);
         throw;
     }
+}
+
+std::vector<std::pair<vm_id, bb_id>> placement_service::allocation_table() const {
+    std::vector<std::pair<vm_id, bb_id>> rows(allocations_.begin(),
+                                              allocations_.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return rows;
+}
+
+void placement_service::restore_usage(bb_id bb, const provider_usage& usage) {
+    record(bb).usage = usage;
+}
+
+void placement_service::restore_allocations(
+    const std::vector<std::pair<vm_id, bb_id>>& rows) {
+    allocations_.clear();
+    for (const auto& [vm, bb] : rows) {
+        expects(providers_.contains(bb),
+                "placement_service::restore_allocations: unknown provider");
+        const bool inserted = allocations_.emplace(vm, bb).second;
+        expects(inserted,
+                "placement_service::restore_allocations: duplicate vm row");
+    }
+}
+
+void placement_service::restore_versions(std::uint64_t version,
+                                         std::uint64_t shrink_version) {
+    version_ = version;
+    shrink_version_ = shrink_version;
+}
+
+void placement_service::update_inventory(bb_id bb,
+                                         const provider_inventory& inventory) {
+    expects(inventory.cpu_allocation_ratio > 0.0 &&
+                inventory.ram_allocation_ratio > 0.0,
+            "placement_service::update_inventory: ratios must be positive");
+    record(bb).inventory = inventory;
 }
 
 std::optional<bb_id> placement_service::allocation_of(vm_id vm) const {

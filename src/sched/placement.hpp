@@ -56,6 +56,14 @@ public:
     /// Release a VM's allocation.  Throws if the VM holds none.
     void release(vm_id vm, const flavor& f);
 
+    /// Re-record a reservation that was just release()d, skipping the
+    /// capacity check.  Rollback paths (failed resize, failed move) restore
+    /// exactly what they released, so they cannot create *new* overcommit —
+    /// but the provider may legitimately sit above a capacity that shrank
+    /// under live usage (update_inventory with a lower allocation ratio),
+    /// and the ordinary claim() would refuse the restore.
+    void reclaim(vm_id vm, bb_id bb, const flavor& f);
+
     /// Move a VM's allocation between providers (cross-BB migration).
     void move(vm_id vm, bb_id to, const flavor& f);
 
@@ -81,6 +89,28 @@ public:
     /// batch the moment a deletion/evacuation/crash/resize/cross-BB move
     /// shrinks any provider.
     std::uint64_t shrink_version() const { return shrink_version_; }
+
+    // --- snapshot / fork support ------------------------------------------
+    /// Every allocation as (vm, bb) rows sorted by vm id — the canonical
+    /// serialized form (the live map's iteration order is not).
+    std::vector<std::pair<vm_id, bb_id>> allocation_table() const;
+
+    /// Overwrite one provider's usage with checkpointed values.  Usage
+    /// doubles accumulate over the run, so they must round-trip bitwise —
+    /// recomputing from allocations would drift.
+    void restore_usage(bb_id bb, const provider_usage& usage);
+
+    /// Replace the allocation table wholesale (rows as produced by
+    /// allocation_table); usage is restored separately via restore_usage.
+    void restore_allocations(const std::vector<std::pair<vm_id, bb_id>>& rows);
+
+    void restore_versions(std::uint64_t version, std::uint64_t shrink_version);
+
+    /// Replace a provider's inventory in place (fork policy knob: e.g. the
+    /// overcommit-sweep ratio).  Usage and allocations are untouched and
+    /// the version counters do not move — callers holding cached host
+    /// views must invalidate them explicitly.
+    void update_inventory(bb_id bb, const provider_inventory& inventory);
 
 private:
     struct provider_record {

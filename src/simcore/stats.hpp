@@ -43,6 +43,31 @@ public:
     double max() const { return max_; }
     bool empty() const { return count_ == 0; }
 
+    /// Exact internal state for checkpointing.  Unlike from_moments this
+    /// round-trips the Welford accumulators bitwise, so variance — and
+    /// every future add() — continues exactly where the original left off.
+    struct exact_state {
+        std::uint64_t count = 0;
+        double sum = 0.0;
+        double m2 = 0.0;
+        double mean = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+    };
+    exact_state exact() const {
+        return {count_, sum_, m2_, mean_, min_, max_};
+    }
+    static running_stats from_exact(const exact_state& s) {
+        running_stats r;
+        r.count_ = s.count;
+        r.sum_ = s.sum;
+        r.m2_ = s.m2;
+        r.mean_ = s.mean;
+        r.min_ = s.min;
+        r.max_ = s.max;
+        return r;
+    }
+
 private:
     std::uint64_t count_ = 0;
     double sum_ = 0.0;

@@ -1,0 +1,31 @@
+#pragma once
+
+// Snapshot-internal backdoor into sim_engine (the friend declared in
+// core/engine.hpp).  Everything the public snapshot API needs from the
+// engine's private state funnels through these three entry points, so
+// the capture/restore surface stays auditable in one place.
+
+#include "core/engine.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace sci::snapshot {
+
+struct engine_access {
+    /// Read the complete mutable state (see snapshot.hpp for the
+    /// serialize-vs-rebuild split).
+    static engine_state capture(sim_engine& engine);
+
+    /// Overlay `state` onto a freshly constructed engine (same config,
+    /// setup() NOT run).  Rebuilds the pure-from-config parts, then
+    /// restores every serialized field; afterwards the engine reports
+    /// is_setup() and run_until continues the original timeline.
+    static void restore_into(sim_engine& engine, const engine_state& state);
+
+    /// Scheduler internals for the read-only what-if planner.
+    static const conductor& conductor_of(const sim_engine& engine) {
+        expects(engine.is_setup(), "snapshot: engine not set up");
+        return *engine.conductor_;
+    }
+};
+
+}  // namespace sci::snapshot

@@ -1,0 +1,39 @@
+// Multi-region snapshot composition.  One event-time barrier — the pool
+// barrier of region_set::run_until(T) — covers all N regions at once:
+// regions share no mutable state, so after run_until returns each engine
+// sits at its own valid barrier and the bundle is a consistent cut.
+
+#include "multiregion/region_set.hpp"
+#include "snapshot/engine_access.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace sci::snapshot {
+
+std::vector<engine_state> capture(region_set& regions) {
+    std::vector<engine_state> states;
+    states.reserve(regions.region_count());
+    for (std::size_t r = 0; r < regions.region_count(); ++r) {
+        engine_state state = engine_access::capture(regions.region(r));
+        state.region = regions.spec(r).name;
+        states.push_back(std::move(state));
+    }
+    return states;
+}
+
+std::unique_ptr<region_set> restore_regions(
+    std::span<const engine_state> states, std::optional<unsigned> threads) {
+    expects(!states.empty(), "snapshot::restore_regions: no regions");
+    std::vector<region_spec> specs;
+    specs.reserve(states.size());
+    for (const engine_state& state : states) {
+        specs.push_back({state.region, state.config});
+    }
+    return std::make_unique<region_set>(
+        std::move(specs),
+        [&states](std::size_t r, thread_pool& pool) {
+            return restore(states[r], &pool);
+        },
+        threads);
+}
+
+}  // namespace sci::snapshot

@@ -1,0 +1,64 @@
+#include "snapshot/whatif.hpp"
+
+#include <algorithm>
+
+#include "sched/conductor.hpp"
+#include "snapshot/engine_access.hpp"
+
+namespace sci::snapshot {
+
+whatif_planner::whatif_planner(const sim_engine& engine)
+    : catalog_(&engine.catalog()),
+      scheduler_(&engine_access::conductor_of(engine).scheduler()),
+      base_(engine_access::conductor_of(engine).build_host_states()) {}
+
+whatif_result whatif_planner::plan(
+    std::span<const whatif_query> queries) const {
+    std::vector<host_state> hosts = base_;
+    sched_scratch scratch;
+    whatif_result result;
+    result.landings.reserve(queries.size());
+
+    for (const whatif_query& q : queries) {
+        const flavor& f = catalog_->get(q.flavor);
+        schedule_request rq;
+        rq.flavor = q.flavor;
+        rq.policy = q.policy;
+        const request_context ctx{rq, f};
+        const std::span<const bb_id> ranked =
+            scheduler_->select_destinations(ctx, hosts, 1, scratch);
+        if (ranked.empty()) {
+            result.landings.emplace_back(std::nullopt);
+            ++result.failed;
+            continue;
+        }
+        const bb_id dest = ranked.front();
+        // the host view is providers-ordered and dense in bb id value
+        const auto it = std::find_if(
+            hosts.begin(), hosts.end(),
+            [dest](const host_state& h) { return h.bb == dest; });
+        expects(it != hosts.end(), "whatif: destination missing from view");
+        it->vcpus_used += f.vcpus;
+        it->ram_used_mib += f.ram_mib;
+        it->disk_used_gib += f.disk_gib;
+        ++it->instances;
+        result.landings.emplace_back(dest);
+        ++result.placed;
+    }
+
+    for (const host_state& h : hosts) {
+        if (h.vcpu_capacity() > 0.0) {
+            result.peak_cpu_allocation_ratio =
+                std::max(result.peak_cpu_allocation_ratio,
+                         static_cast<double>(h.vcpus_used) / h.vcpu_capacity());
+        }
+        if (h.ram_capacity_mib() > 0.0) {
+            result.peak_ram_allocation_ratio = std::max(
+                result.peak_ram_allocation_ratio,
+                static_cast<double>(h.ram_used_mib) / h.ram_capacity_mib());
+        }
+    }
+    return result;
+}
+
+}  // namespace sci::snapshot

@@ -1,0 +1,64 @@
+#pragma once
+
+// Read-only what-if queries against a live engine or a restored fork:
+// "where would these 500 VMs land, and what does allocation pressure
+// become?"  The planner copies the scheduler's host view ONCE at
+// construction; plan() is a pure const function over that copy (each call
+// works on its own private host vector and scratch), so any number of
+// threads may run queries concurrently against one hot snapshot and every
+// per-query result is identical to executing the same queries serially.
+//
+// The planner walks the real filter+weigher pipeline (the conductor's
+// filter_scheduler) — not a re-implementation — so a what-if answer is
+// exactly the placement the engine itself would have chosen.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "sched/scheduler.hpp"
+
+namespace sci::snapshot {
+
+/// One hypothetical VM to place.
+struct whatif_query {
+    flavor_id flavor;
+    placement_policy policy = placement_policy::spread;
+};
+
+/// Outcome of one plan() call.
+struct whatif_result {
+    /// Landing BB per query, in query order (nullopt = NoValidHost).
+    std::vector<std::optional<bb_id>> landings;
+    std::size_t placed = 0;
+    std::size_t failed = 0;
+    /// Worst per-BB utilization of the *allocation* capacity (vCPU/RAM
+    /// under the overcommit ratios) after all placements applied.
+    double peak_cpu_allocation_ratio = 0.0;
+    double peak_ram_allocation_ratio = 0.0;
+};
+
+class whatif_planner {
+public:
+    /// Snapshot the scheduler's host view of a set-up engine.  The engine
+    /// must outlive the planner (catalog and scheduler are borrowed); the
+    /// engine must not RUN while queries execute — fork a snapshot for
+    /// concurrent explore-while-simulating.
+    explicit whatif_planner(const sim_engine& engine);
+
+    /// Place `queries` in order against a private copy of the base view,
+    /// each placement's reservation visible to the next query.  Pure
+    /// const: concurrent calls never share mutable state.
+    whatif_result plan(std::span<const whatif_query> queries) const;
+
+    std::size_t host_count() const { return base_.size(); }
+
+private:
+    const flavor_catalog* catalog_;
+    const filter_scheduler* scheduler_;
+    std::vector<host_state> base_;
+};
+
+}  // namespace sci::snapshot

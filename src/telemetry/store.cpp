@@ -192,6 +192,46 @@ std::size_t metric_store::raw_resident_samples() const {
     return total;
 }
 
+metric_store::series_view metric_store::view_of(series_id id) const {
+    const series_data& s = series_at(id);
+    return {s.daily_first, s.hourly_first, s.daily, s.hourly, s.raw};
+}
+
+series_id metric_store::restore_series(std::string_view metric,
+                                       label_set labels,
+                                       std::int32_t daily_first,
+                                       std::vector<running_stats> daily,
+                                       std::int32_t hourly_first,
+                                       std::vector<running_stats> hourly,
+                                       std::vector<sample> raw) {
+    const series_id id = open_series(metric, std::move(labels));
+    series_data& s = series_[static_cast<std::size_t>(id.value())];
+    expects(s.daily.empty() && s.hourly.empty() && s.raw.empty(),
+            "metric_store::restore_series: series already carries data");
+    s.daily_first = daily_first;
+    s.daily = std::move(daily);
+    s.hourly_first = hourly_first;
+    s.hourly = std::move(hourly);
+    s.raw = std::move(raw);
+    return id;
+}
+
+std::pair<std::uint64_t, std::uint64_t> metric_store::shard_counter(
+    unsigned shard) const {
+    expects(shard < append_shard_count,
+            "metric_store::shard_counter: shard out of range");
+    return {counters_[shard].appended, counters_[shard].dropped};
+}
+
+void metric_store::restore_shard_counter(unsigned shard,
+                                         std::uint64_t appended,
+                                         std::uint64_t dropped) {
+    expects(shard < append_shard_count,
+            "metric_store::restore_shard_counter: shard out of range");
+    counters_[shard].appended = appended;
+    counters_[shard].dropped = dropped;
+}
+
 const metric_store::series_data& metric_store::series_at(series_id id) const {
     expects(id.valid() && static_cast<std::size_t>(id.value()) < series_.size(),
             "metric_store: unknown series");

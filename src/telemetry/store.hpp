@@ -160,6 +160,35 @@ public:
     /// gone — stream them through the seal sink instead).
     std::span<const sample> raw(series_id id) const;
 
+    // --- snapshot support -------------------------------------------------
+    /// Read-only view of one series' complete mutable state (metric name
+    /// and labels come from metric_of / labels_of).
+    struct series_view {
+        std::int32_t daily_first;
+        std::int32_t hourly_first;
+        std::span<const running_stats> daily;
+        std::span<const running_stats> hourly;
+        std::span<const sample> raw;
+    };
+    series_view view_of(series_id id) const;
+
+    /// Re-create a series verbatim (sparse aggregates + unsealed raw
+    /// block).  Ids are assigned in call order, so restoring rows in
+    /// ascending id order reproduces the original assignment exactly —
+    /// later open_series calls then resolve to the restored ids.
+    series_id restore_series(std::string_view metric, label_set labels,
+                             std::int32_t daily_first,
+                             std::vector<running_stats> daily,
+                             std::int32_t hourly_first,
+                             std::vector<running_stats> hourly,
+                             std::vector<sample> raw);
+
+    /// Per-shard ingest counters {appended, dropped}.
+    std::pair<std::uint64_t, std::uint64_t> shard_counter(unsigned shard) const;
+    void restore_shard_counter(unsigned shard, std::uint64_t appended,
+                               std::uint64_t dropped);
+    void restore_raw_sealed_through(int day) { raw_sealed_through_ = day; }
+
 private:
     struct series_data {
         std::size_t metric_index;

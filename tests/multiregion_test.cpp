@@ -188,7 +188,10 @@ TEST(MultiRegionTest, DerivedRegionSeedsAreDistinct) {
 TEST(MultiRegionTest, RejectsRegionsSharingAMasterSeed) {
     std::vector<region_spec> specs = make_region_specs(base_config(), 2);
     specs[1].config.scenario.seed = specs[0].config.scenario.seed;
-    EXPECT_THROW(region_set(std::move(specs), 0u), precondition_error);
+    // the explicit optional avoids ambiguity with the engine-adopting
+    // overload (a literal 0 also converts to a null engine_builder)
+    EXPECT_THROW(region_set(std::move(specs), std::optional<unsigned>{0u}),
+                 precondition_error);
 }
 
 }  // namespace

@@ -151,6 +151,45 @@ TEST(PlacementServiceTest, FailedMoveRollsBack) {
     EXPECT_EQ(svc.usage(bb_id(1)).instances, 1);
 }
 
+TEST(PlacementServiceTest, ReclaimRestoresAboveShrunkCapacity) {
+    // A fork arm can retune a provider's allocation ratio below its live
+    // usage (overcommit sweep).  Rollback paths restore exactly what they
+    // released, so the restore must not re-run the capacity check.
+    placement_service svc;
+    svc.register_provider(bb_id(0), small_inventory());
+    const flavor f = make_flavor(150, 256);  // fits at ratio 2.0 (192 vCPUs)
+    svc.claim(vm_id(1), bb_id(0), f);
+    provider_inventory shrunk = small_inventory();
+    shrunk.cpu_allocation_ratio = 1.0;  // capacity 96 < 150 used
+    svc.update_inventory(bb_id(0), shrunk);
+
+    // a failed-resize rollback: release the old reservation, fail to grow,
+    // put the old reservation back
+    svc.release(vm_id(1), f);
+    EXPECT_THROW(svc.claim(vm_id(1), bb_id(0), f), capacity_error);
+    svc.reclaim(vm_id(1), bb_id(0), f);
+    EXPECT_EQ(svc.allocation_of(vm_id(1)), bb_id(0));
+    EXPECT_EQ(svc.usage(bb_id(0)).vcpus_used, 150);
+}
+
+TEST(PlacementServiceTest, FailedMoveRollsBackOntoShrunkProvider) {
+    placement_service svc;
+    svc.register_provider(bb_id(0), small_inventory());
+    svc.register_provider(bb_id(1), small_inventory());
+    const flavor f = make_flavor(150, 256);
+    svc.claim(vm_id(1), bb_id(0), f);
+    svc.claim(vm_id(9), bb_id(1), make_flavor(100, 200));  // destination busy
+    provider_inventory shrunk = small_inventory();
+    shrunk.cpu_allocation_ratio = 1.0;  // both providers now over/near cap
+    svc.update_inventory(bb_id(0), shrunk);
+    svc.update_inventory(bb_id(1), shrunk);
+    // the move fails at the destination; the rollback must restore the
+    // source reservation even though the source sits above capacity
+    EXPECT_THROW(svc.move(vm_id(1), bb_id(1), f), capacity_error);
+    EXPECT_EQ(svc.allocation_of(vm_id(1)), bb_id(0));
+    EXPECT_EQ(svc.usage(bb_id(0)).instances, 1);
+}
+
 TEST(PlacementServiceTest, UnknownProviderThrows) {
     placement_service svc;
     EXPECT_THROW(svc.inventory(bb_id(0)), not_found_error);

@@ -32,6 +32,7 @@
 #include "harness/invariants.hpp"
 #include "harness/scenario_dsl.hpp"
 #include "multiregion/region_set.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace {
 
@@ -44,6 +45,14 @@ struct cli_options {
     std::filesystem::path scenario_file;  ///< --scenario: run a .scn file
     int regions = 1;                      ///< --regions: multi-region run
     bool check_invariants = false;
+    /// --snapshot-at: checkpoint the run at this event time (seconds).
+    std::optional<sci::sim_time> snapshot_at;
+    /// --snapshot-out: where the checkpoint goes (multi-region runs
+    /// write one file per region: PATH.<region>).
+    std::filesystem::path snapshot_out = "scisim.snap";
+    /// --restore: resume from checkpoint file(s) instead of a fresh
+    /// setup (pass once per region, in region order).
+    std::vector<std::filesystem::path> restore_files;
     // CLI flags win over a --scenario file only when actually given.
     bool scale_set = false;
     bool seed_set = false;
@@ -77,6 +86,13 @@ cli_options parse_options(int argc, char** argv, int first) {
             options.regions = std::atoi(next());
         } else if (arg == "--check-invariants") {
             options.check_invariants = true;
+        } else if (arg == "--snapshot-at") {
+            options.snapshot_at =
+                static_cast<sci::sim_time>(std::strtoll(next(), nullptr, 10));
+        } else if (arg == "--snapshot-out") {
+            options.snapshot_out = next();
+        } else if (arg == "--restore") {
+            options.restore_files.emplace_back(next());
         } else if (arg == "--crash-rate") {
             options.fault.host_crash_rate_per_day = std::atof(next());
             options.fault_touched = true;
@@ -106,6 +122,13 @@ cli_options parse_options(int argc, char** argv, int first) {
     }
     if (options.regions < 1) {
         std::cerr << "--regions must be at least 1\n";
+        std::exit(2);
+    }
+    if (options.snapshot_at.has_value() &&
+        (*options.snapshot_at <= 0 ||
+         *options.snapshot_at >= sci::days(sci::observation_days))) {
+        std::cerr << "--snapshot-at must fall inside the "
+                  << sci::observation_days << "-day window\n";
         std::exit(2);
     }
     return options;
@@ -174,12 +197,30 @@ struct engine_run {
 engine_run run_engine(const cli_options& options,
                       const resolved_run& resolved) {
     const sci::engine_config& config = resolved.config;
-    std::cout << "simulating 30 days at scale " << config.scenario.scale
-              << " (seed " << config.scenario.seed << ") ...\n";
     engine_run run;
-    run.engine = std::make_unique<sci::sim_engine>(config);
+    if (!options.restore_files.empty()) {
+        // resume from a checkpoint: the snapshot's embedded config wins
+        // over --scale/--seed (the state was built from it)
+        const std::filesystem::path& file = options.restore_files.front();
+        std::cout << "restoring checkpoint " << file.string()
+                  << ", resuming the 30-day window ...\n";
+        run.engine = sci::snapshot::restore(sci::snapshot::load_file(file));
+    } else {
+        std::cout << "simulating 30 days at scale " << config.scenario.scale
+                  << " (seed " << config.scenario.seed << ") ...\n";
+        run.engine = std::make_unique<sci::sim_engine>(config);
+    }
     std::optional<sci::harness::invariant_monitor> monitor;
     if (options.check_invariants) monitor.emplace(*run.engine, resolved.inv);
+    if (options.snapshot_at.has_value()) {
+        if (options.restore_files.empty()) run.engine->setup();
+        run.engine->run_until(*options.snapshot_at);
+        sci::snapshot::save_file(sci::snapshot::capture(*run.engine),
+                                 options.snapshot_out);
+        std::cout << "  checkpoint written to "
+                  << options.snapshot_out.string() << " at t="
+                  << *options.snapshot_at << "s\n";
+    }
     run.engine->run();
     const sci::run_stats& stats = run.engine->stats();
     std::cout << "  " << run.engine->infrastructure().node_count()
@@ -214,10 +255,23 @@ struct region_run {
 region_run run_region_set(const cli_options& options,
                           const resolved_run& resolved) {
     region_run run;
-    run.set = std::make_unique<sci::region_set>(resolved.region_specs);
+    if (!options.restore_files.empty()) {
+        std::vector<sci::snapshot::engine_state> states;
+        states.reserve(options.restore_files.size());
+        for (const std::filesystem::path& file : options.restore_files) {
+            states.push_back(sci::snapshot::load_file(file));
+        }
+        std::cout << "restoring " << states.size()
+                  << "-region checkpoint, resuming the 30-day window ...\n";
+        run.set = sci::snapshot::restore_regions(states);
+    } else {
+        run.set = std::make_unique<sci::region_set>(resolved.region_specs);
+    }
     sci::region_set& set = *run.set;
-    std::cout << "simulating 30 days across " << set.region_count()
-              << " regions (base seed " << options.seed << ") ...\n";
+    if (options.restore_files.empty()) {
+        std::cout << "simulating 30 days across " << set.region_count()
+                  << " regions (base seed " << options.seed << ") ...\n";
+    }
     std::vector<std::unique_ptr<sci::harness::invariant_monitor>> monitors;
     if (options.check_invariants) {
         sci::harness::invariant_config per_region = resolved.inv;
@@ -226,6 +280,18 @@ region_run run_region_set(const cli_options& options,
             monitors.push_back(
                 std::make_unique<sci::harness::invariant_monitor>(
                     set.region(r), per_region));
+        }
+    }
+    if (options.snapshot_at.has_value()) {
+        // one event-time barrier checkpoints all regions consistently;
+        // one file per region, suffixed with the region's name
+        set.run_until(*options.snapshot_at);
+        for (sci::snapshot::engine_state& state : sci::snapshot::capture(set)) {
+            std::filesystem::path file = options.snapshot_out;
+            file += "." + state.region;
+            sci::snapshot::save_file(state, file);
+            std::cout << "  checkpoint written to " << file.string()
+                      << " at t=" << *options.snapshot_at << "s\n";
         }
     }
     set.run();
@@ -472,6 +538,17 @@ void usage() {
                  "                            no silent drops, conservation); "
                  "exit 1 on any\n"
                  "                            violation\n"
+                 "checkpointing (sci::snapshot):\n"
+                 "  --snapshot-at T           checkpoint the run at event "
+                 "time T seconds\n"
+                 "                            (multi-region: one file per "
+                 "region)\n"
+                 "  --snapshot-out PATH       checkpoint file (default "
+                 "scisim.snap)\n"
+                 "  --restore PATH            resume from a checkpoint "
+                 "instead of a fresh\n"
+                 "                            setup (repeat once per region, "
+                 "in region order)\n"
                  "fault injection (sci::fault; all default off):\n"
                  "  --crash-rate R            host crashes per node per day\n"
                  "  --claim-fail P            transient placement-claim failure "

@@ -14,6 +14,8 @@
 //                     (default: the SCI_BENCH_DAYS environment variable,
 //                     else the full 30-day observation window)
 //   --threads N       worker-thread override (default: SCI_THREADS)
+//   --watch           assert the scrape-checkable invariants at every
+//                     scrape barrier instead of spot-checking
 //
 // Replay traces are recorded, not committed: the fingerprints cover
 // floating-point history, reproducible per-toolchain but not across
@@ -38,6 +40,8 @@ void usage() {
            "  --days N      cap each run to the first N simulated days\n"
            "                (default: SCI_BENCH_DAYS env, else full window)\n"
            "  --threads N   worker-thread override (default: SCI_THREADS)\n"
+           "  --watch       assert scrape-checkable invariants at every\n"
+           "                scrape barrier instead of spot-checking\n"
            "\n"
            "Prints a JSON pass/fail summary to stdout; progress goes to\n"
            "stderr.  Exit 0 iff every scenario passes.\n";
@@ -88,6 +92,8 @@ int main(int argc, char** argv) {
             options.days = std::atoi(next());
         } else if (arg == "--threads") {
             options.threads = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--watch") {
+            options.watch = true;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
