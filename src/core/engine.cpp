@@ -37,6 +37,7 @@ void sim_engine::setup() {
     schedule_window_events();
     schedule_resizes();
     setup_faults();
+    setup_backpressure();
 }
 
 void sim_engine::run() {
@@ -67,6 +68,7 @@ void sim_engine::dispatch(const engine_event& event, sim_time t) {
             cluster_of(scenario_.infrastructure.get(node).bb)
                 .node(node)
                 .set_accepting(true);
+            if (bp_ != nullptr) bp_drain_wanted_ = true;
             break;
         }
         case action::decommission_node:
@@ -96,7 +98,15 @@ void sim_engine::dispatch(const engine_event& event, sim_time t) {
         case action::drain_ha_restarts:
             drain_ha_restarts(t);
             break;
+        case action::drain_backpressure:
+            drain_backpressure(t);
+            break;
     }
+    // Any capacity released during this event (deletion, crash repair,
+    // migration, commission) re-arms the pinned drain for the same
+    // instant — it fires before later-scheduled work at t, mirroring the
+    // churn drain's tie order.
+    if (bp_ != nullptr) maybe_arm_bp_drain(t);
 }
 
 void sim_engine::set_drs_enabled(bool enabled) {
@@ -435,6 +445,12 @@ void sim_engine::schedule_window_events() {
                          return a.created_at < b.created_at;
                      });
     arrival_drain_seq_ = queue_.reserve_seq();
+    // The backpressure drain slot is reserved unconditionally right after
+    // the churn drain's: with backpressure off nothing is ever scheduled
+    // into it, and reserving it only shifts every later sequence number by
+    // one uniformly — relative tie order (and so the default output) is
+    // unchanged.
+    bp_drain_seq_ = queue_.reserve_seq();
     if (!arrivals_.empty()) {
         queue_.schedule_at_pinned(
             arrivals_.front().created_at, arrival_drain_seq_,
@@ -483,12 +499,21 @@ void sim_engine::drain_arrivals(sim_time t) {
         ++arrival_cursor_;
         const std::uint64_t spec_ok = conductor_->speculative_placement_count();
         const std::uint64_t spec_miss = conductor_->speculation_miss_count();
+        // Under backpressure a failed arrival is not a terminal
+        // schedule_fail: it is admitted to the bounded deadline queue (or
+        // shed with a reason when that is full).  The planned deletion is
+        // only scheduled once the VM actually places.
+        const bool quiet = bp_ != nullptr;
         if (place_vm(vm, t, lifecycle_event_kind::create, spec,
-                     spec_claim_counts_) &&
-            deleted_at.has_value()) {
-            queue_.schedule_at(
-                *deleted_at,
-                engine_event{engine_event::action::delete_vm, vm.value()});
+                     spec_claim_counts_, quiet)) {
+            if (deleted_at.has_value()) {
+                queue_.schedule_at(
+                    *deleted_at,
+                    engine_event{engine_event::action::delete_vm, vm.value()});
+            }
+        } else if (quiet) {
+            bp_admit(vm, t, bp_request_kind::create,
+                     deleted_at.value_or(bp_queued_request::no_deletion));
         }
         stats_.window_speculative_placements +=
             conductor_->speculative_placement_count() - spec_ok;
@@ -578,8 +603,9 @@ placement_policy sim_engine::policy_for(vm_id vm, const flavor& f) const {
 
 bool sim_engine::place_vm(vm_id vm, sim_time when, lifecycle_event_kind kind,
                           const host_speculation* spec,
-                          std::span<const std::uint64_t> spec_counts) {
-    if (config_.holistic) return place_vm_holistic(vm, when, kind);
+                          std::span<const std::uint64_t> spec_counts,
+                          bool quiet_fail) {
+    if (config_.holistic) return place_vm_holistic(vm, when, kind, quiet_fail);
 
     vm_record& rec = vms_.get_mutable(vm);
     const flavor& f = scenario_.catalog.get(rec.flavor);
@@ -596,6 +622,7 @@ bool sim_engine::place_vm(vm_id vm, sim_time when, lifecycle_event_kind kind,
     stats_.scheduler_retries +=
         outcome.attempts > 0 ? static_cast<std::uint64_t>(outcome.attempts - 1) : 0;
     if (!outcome.success) {
+        if (quiet_fail) return false;
         rec.state = vm_state::error;
         ++stats_.placement_failures;
         events_.record(
@@ -623,6 +650,7 @@ bool sim_engine::place_vm(vm_id vm, sim_time when, lifecycle_event_kind kind,
         }
         if (best == nullptr) {
             placement_.release(vm, f);
+            if (quiet_fail) return false;
             rec.state = vm_state::error;
             ++stats_.placement_failures;
             events_.record(lifecycle_event{
@@ -685,7 +713,8 @@ void sim_engine::account_migration(vm_id vm, sim_time t) {
 }
 
 bool sim_engine::place_vm_holistic(vm_id vm, sim_time when,
-                                   lifecycle_event_kind kind) {
+                                   lifecycle_event_kind kind,
+                                   bool quiet_fail) {
     vm_record& rec = vms_.get_mutable(vm);
     const flavor& f = scenario_.catalog.get(rec.flavor);
     const placement_policy policy = policy_for(vm, f);
@@ -724,6 +753,7 @@ bool sim_engine::place_vm_holistic(vm_id vm, sim_time when,
         }
     }
     if (best_cluster == nullptr) {
+        if (quiet_fail) return false;
         rec.state = vm_state::error;
         ++stats_.placement_failures;
         events_.record(lifecycle_event{
@@ -741,6 +771,7 @@ bool sim_engine::place_vm_holistic(vm_id vm, sim_time when,
     try {
         placement_.claim(vm, best_cluster->bb(), f);
     } catch (const capacity_error&) {
+        if (quiet_fail) return false;
         rec.state = vm_state::error;
         ++stats_.placement_failures;
         ++stats_.holistic_claim_rejections;
@@ -780,6 +811,18 @@ void sim_engine::delete_vm(vm_id vm, sim_time when) {
                                        .kind = lifecycle_event_kind::remove,
                                        .vm = vm,
                                        .bb = rec.placed_bb});
+        return;
+    }
+    if (bp_ != nullptr && bp_->cancel(vm)) {
+        // the owner deleted a request still waiting in the backpressure
+        // queue; it never held resources, so just retire it
+        rec.state = vm_state::deleted;
+        rec.deleted_at = when;
+        ++stats_.deletions;
+        ++stats_.bp_cancelled;
+        events_.record(lifecycle_event{.t = when,
+                                       .kind = lifecycle_event_kind::remove,
+                                       .vm = vm});
         return;
     }
     if (rec.state != vm_state::active) return;
@@ -1063,6 +1106,15 @@ void sim_engine::scrape(sim_time t) {
     }
 
     ++stats_.scrapes;
+    if (bp_ != nullptr) {
+        // Backpressure tick, once per scrape: shed overdue queue entries
+        // and re-evaluate the queuing/shedding regime.  Evaluating regime
+        // transitions only here (never at admit time) is what rules out
+        // flapping — consecutive flips are at least one sampling interval
+        // apart by construction.
+        bp_expire_overdue(t);
+        if (bp_->update_regime(t)) ++stats_.bp_regime_transitions;
+    }
     if (probes_.after_scrape) probes_.after_scrape(t);
     const sim_time next = t + config_.sampling_interval;
     if (next < observation_window) {
@@ -1405,6 +1457,7 @@ void sim_engine::apply_fault(const fault_event& event, sim_time t) {
         case fault_event_kind::host_repair:
             node_down_[idx] = 0;
             if (meta.available_at(t)) nr.set_accepting(true);
+            if (bp_ != nullptr) bp_drain_wanted_ = true;
             break;
         case fault_event_kind::degrade_begin:
             node_cpu_factor_[idx] = event.cpu_factor;
@@ -1422,6 +1475,7 @@ void sim_engine::apply_fault(const fault_event& event, sim_time t) {
         case fault_event_kind::maintenance_end:
             node_down_[idx] = 0;
             if (meta.available_at(t)) nr.set_accepting(true);
+            if (bp_ != nullptr) bp_drain_wanted_ = true;
             break;
         case fault_event_kind::az_outage_begin:
         case fault_event_kind::az_outage_end:
@@ -1495,6 +1549,7 @@ void sim_engine::end_az_outage(az_id az, sim_time t) {
             }
         }
     }
+    if (bp_ != nullptr) bp_drain_wanted_ = true;
 }
 
 void sim_engine::enqueue_ha_group(sim_time due, std::vector<vm_id> victims) {
@@ -1578,8 +1633,25 @@ void sim_engine::drain_ha_restarts(sim_time t) {
             continue;
         }
         ++stats_.ha_restart_failures;
-        if (ha_->on_restart_failure(vm, t).has_value()) failed.push_back(vm);
-        // else: attempts exhausted — the victim stays down (vm_state::error)
+        if (ha_->on_restart_failure(vm, t).has_value()) {
+            failed.push_back(vm);
+        } else if (bp_ != nullptr) {
+            // attempts exhausted: hand the victim to the backpressure
+            // layer instead of abandoning it (it may still place when
+            // capacity comes back, or shed with an explicit reason)
+            bp_admit(vm, t, bp_request_kind::ha_restart,
+                     bp_queued_request::no_deletion);
+        } else {
+            // attempts exhausted — the victim stays down
+            // (vm_state::error), but never silently: the give-up is a
+            // shed event and a counted stat
+            ++stats_.ha_give_ups;
+            events_.record(lifecycle_event{
+                .t = t,
+                .kind = lifecycle_event_kind::shed,
+                .vm = vm,
+                .reason = schedule_fail_reason::ha_attempts_exhausted});
+        }
     }
     if (ha_spec_active_ && ha_spec_cursor_ >= ha_spec_vms_.size()) {
         ha_spec_active_ = false;  // batch fully consumed
@@ -1737,6 +1809,150 @@ void sim_engine::slot_reflavor(const vm_record& rec) {
     slot_flavor_[slot] = &scenario_.catalog.get(rec.flavor);
     slot_behavior_[slot] = behaviors_.sample(
         rec.id, scenario_.catalog.get(rec.flavor), rec.project);
+}
+
+// ---------------------------------------------------------------------------
+// conductor backpressure
+// ---------------------------------------------------------------------------
+
+void sim_engine::setup_backpressure() {
+    if (!config_.backpressure.active()) return;
+    expects(config_.backpressure.queue_capacity > 0,
+            "sim_engine: backpressure queue_capacity must be positive");
+    expects(config_.backpressure.queue_deadline > 0,
+            "sim_engine: backpressure queue_deadline must be positive");
+    bp_ = std::make_unique<backpressure_controller>(config_.backpressure);
+    // Capacity releases (deletions, crash victims, evacuations, cross-BB
+    // moves) arm the pinned drain event for the same instant.  The
+    // bp_draining_ guard keeps the drain's own quiet placement attempts
+    // from re-arming it forever: a failed node-level claim releases the
+    // provider reservation it just took.
+    placement_.set_release_listener([this] {
+        if (!bp_draining_) bp_drain_wanted_ = true;
+    });
+}
+
+void sim_engine::bp_admit(vm_id vm, sim_time t, bp_request_kind kind,
+                          sim_time deleted_at) {
+    bp_queued_request req;
+    req.vm = vm;
+    req.kind = kind;
+    if (kind == bp_request_kind::ha_restart) {
+        // HA victims held capacity until their crash: recovering them
+        // outranks admitting new work of either policy.
+        req.priority = 2;
+    } else {
+        const vm_record& rec = vms_.get(vm);
+        req.priority = policy_for(vm, scenario_.catalog.get(rec.flavor)) ==
+                               placement_policy::pack
+                           ? 1
+                           : 0;
+    }
+    req.enqueued_at = t;
+    req.deadline = t + config_.backpressure.queue_deadline;
+    req.deleted_at = deleted_at;
+    const auto admitted = bp_->admit(req);
+    if (admitted.evicted.has_value()) {
+        ++stats_.bp_shed_evicted;
+        bp_shed(*admitted.evicted, t,
+                schedule_fail_reason::shed_lower_priority);
+    }
+    using outcome = backpressure_controller::admit_result::outcome;
+    if (admitted.result == outcome::queued) {
+        ++stats_.bp_enqueued;
+        stats_.bp_peak_queue_len =
+            std::max<std::uint64_t>(stats_.bp_peak_queue_len, bp_->size());
+    } else {
+        ++stats_.bp_shed_queue_full;
+        bp_shed(req, t, schedule_fail_reason::queue_full);
+    }
+}
+
+void sim_engine::bp_shed(const bp_queued_request& req, sim_time t,
+                         schedule_fail_reason reason) {
+    vms_.get_mutable(req.vm).state = vm_state::error;
+    events_.record(lifecycle_event{.t = t,
+                                   .kind = lifecycle_event_kind::shed,
+                                   .vm = req.vm,
+                                   .reason = reason});
+}
+
+void sim_engine::bp_expire_overdue(sim_time t) {
+    for (const bp_queued_request& req : bp_->expire(t)) {
+        if (req.kind == bp_request_kind::create &&
+            req.deleted_at != bp_queued_request::no_deletion &&
+            req.deleted_at <= t) {
+            // the owner's planned deletion already passed: had the VM
+            // placed it would be gone by now — retire it as a deletion,
+            // not a shed
+            vm_record& rec = vms_.get_mutable(req.vm);
+            rec.state = vm_state::deleted;
+            rec.deleted_at = req.deleted_at;
+            ++stats_.deletions;
+            ++stats_.bp_cancelled;
+            events_.record(lifecycle_event{
+                .t = t, .kind = lifecycle_event_kind::remove, .vm = req.vm});
+        } else {
+            ++stats_.bp_shed_deadline;
+            bp_shed(req, t, schedule_fail_reason::deadline_expired);
+        }
+    }
+}
+
+void sim_engine::drain_backpressure(sim_time t) {
+    bp_drain_armed_ = false;
+    bp_draining_ = true;
+    // Overdue entries first: capacity releases can land between scrapes,
+    // and a request must never place after its deadline passed.
+    bp_expire_overdue(t);
+    // Retry the remaining queue in FIFO (= deadline) order.  A quiet
+    // failure keeps the entry queued — later entries still get their try
+    // (a smaller flavor may fit where the head does not).
+    std::size_t i = 0;
+    while (i < bp_->size()) {
+        const bp_queued_request req = bp_->at(i);
+        if (req.kind == bp_request_kind::create &&
+            req.deleted_at != bp_queued_request::no_deletion &&
+            req.deleted_at <= t) {
+            vm_record& rec = vms_.get_mutable(req.vm);
+            rec.state = vm_state::deleted;
+            rec.deleted_at = req.deleted_at;
+            ++stats_.deletions;
+            ++stats_.bp_cancelled;
+            events_.record(lifecycle_event{
+                .t = t, .kind = lifecycle_event_kind::remove, .vm = req.vm});
+            bp_->erase(i);
+            continue;
+        }
+        const lifecycle_event_kind kind =
+            req.kind == bp_request_kind::ha_restart
+                ? lifecycle_event_kind::ha_restart
+                : lifecycle_event_kind::create;
+        if (place_vm(req.vm, t, kind, nullptr, {}, /*quiet_fail=*/true)) {
+            ++stats_.bp_queue_placed;
+            if (req.kind == bp_request_kind::create &&
+                req.deleted_at != bp_queued_request::no_deletion) {
+                queue_.schedule_at(req.deleted_at,
+                                   engine_event{engine_event::action::delete_vm,
+                                                req.vm.value()});
+            }
+            bp_->erase(i);
+            continue;
+        }
+        ++i;
+    }
+    bp_draining_ = false;
+    bp_drain_wanted_ = false;
+}
+
+void sim_engine::maybe_arm_bp_drain(sim_time t) {
+    if (!bp_drain_wanted_) return;
+    bp_drain_wanted_ = false;
+    if (bp_->empty() || bp_drain_armed_) return;
+    bp_drain_armed_ = true;
+    queue_.schedule_at_pinned(
+        t, bp_drain_seq_,
+        engine_event{engine_event::action::drain_backpressure});
 }
 
 drs_cluster& sim_engine::cluster_of(bb_id bb) {

@@ -34,6 +34,7 @@
 #include "infra/event_log.hpp"
 #include "infra/vm.hpp"
 #include "rebalancer/cross_bb.hpp"
+#include "sched/backpressure.hpp"
 #include "sched/conductor.hpp"
 #include "simcore/event_heap.hpp"
 #include "simcore/rng.hpp"
@@ -67,6 +68,7 @@ struct engine_event {
         resize_vm,          ///< id = vm
         fault,              ///< apply `fault`
         drain_ha_restarts,  ///< drain the due HA victim group
+        drain_backpressure, ///< pinned-slot backpressure-queue drain
     };
     action act = action::scrape;
     std::int32_t id = -1;
@@ -122,6 +124,10 @@ struct engine_config {
     /// rates zero) is fully inert: no schedule is compiled, no RNG
     /// streams are opened, and runs reproduce byte-for-byte.
     fault_config fault;
+    /// Conductor backpressure (sci::backpressure_controller).  The default
+    /// (`degrade`, zero capacity/deadline) is fully inert: no controller is
+    /// built, no events fire, and runs reproduce byte-for-byte.
+    backpressure_config backpressure;
 };
 
 /// Aggregate counters of one simulation run.
@@ -226,6 +232,23 @@ struct run_stats {
     std::uint64_t maintenance_evacuations = 0;  ///< unplanned maintenance moves
     /// Pre-copy work thrown away by aborted migrations (seconds).
     double wasted_migration_seconds = 0.0;
+
+    // --- conductor backpressure (all zero when mode == degrade) -----------
+    // The no_blackhole invariant closes this ledger: bp_enqueued ==
+    // bp_queue_placed + bp_shed_deadline + bp_shed_evicted + bp_cancelled
+    // + still-queued at evaluation time.
+    std::uint64_t bp_enqueued = 0;        ///< requests that entered the queue
+    std::uint64_t bp_queue_placed = 0;    ///< queued requests later placed
+    std::uint64_t bp_shed_deadline = 0;   ///< shed: queue deadline expired
+    std::uint64_t bp_shed_queue_full = 0; ///< shed at admit: queue was full
+    std::uint64_t bp_shed_evicted = 0;    ///< shed: displaced by higher priority
+    std::uint64_t bp_cancelled = 0;       ///< owner deleted a queued request
+    std::uint64_t bp_regime_transitions = 0;  ///< queuing<->shedding flips
+    std::uint64_t bp_peak_queue_len = 0;  ///< high-water mark of the queue
+    /// HA victims abandoned after max_restart_attempts in degrade mode
+    /// (recorded as shed/ha_attempts_exhausted — never silent; under
+    /// queue/shed modes the victim is re-queued instead).
+    std::uint64_t ha_give_ups = 0;
 };
 
 /// Optional in-run observation hooks for the invariants harness
@@ -282,6 +305,8 @@ public:
 
     /// HA recovery controller; null unless config().fault.enabled().
     const ha_controller* ha() const { return ha_.get(); }
+    /// Backpressure controller; null unless config().backpressure.active().
+    const backpressure_controller* backpressure() const { return bp_.get(); }
     /// Injected claim races absorbed by the conductor's retry loop.
     std::uint64_t transient_claim_failures() const;
     /// VMs currently active (incrementally maintained; equals the
@@ -375,11 +400,17 @@ private:
     void drain_arrivals(sim_time t);
     void speculate_arrival_batch(sim_time t);
 
+    /// quiet_fail: on admission failure leave the VM's state untouched and
+    /// record no schedule_fail event or failure counter — the caller (the
+    /// backpressure layer) owns the request's terminal outcome.  Retry
+    /// counters still accumulate.
     bool place_vm(vm_id vm, sim_time when,
                   lifecycle_event_kind kind = lifecycle_event_kind::create,
                   const host_speculation* spec = nullptr,
-                  std::span<const std::uint64_t> spec_counts = {});
-    bool place_vm_holistic(vm_id vm, sim_time when, lifecycle_event_kind kind);
+                  std::span<const std::uint64_t> spec_counts = {},
+                  bool quiet_fail = false);
+    bool place_vm_holistic(vm_id vm, sim_time when, lifecycle_event_kind kind,
+                           bool quiet_fail = false);
     void delete_vm(vm_id vm, sim_time when);
     void scrape(sim_time t);
     void drs_pass(sim_time t);
@@ -420,6 +451,27 @@ private:
     /// Speculate destination nodes for planned cross-BB moves [from, n).
     void speculate_cross_bb_targets(const std::vector<cross_bb_move>& moves,
                                     std::size_t from);
+
+    // --- conductor backpressure -------------------------------------------
+    void setup_backpressure();
+    /// Route one failed admission through the active controller: queue it,
+    /// or shed it (and possibly a displaced lower-priority entry) with an
+    /// explicit reason.  Only called when bp_ is non-null.
+    void bp_admit(vm_id vm, sim_time t, bp_request_kind kind,
+                  sim_time deleted_at);
+    /// Terminate one queue entry with a shed event of `reason`.
+    void bp_shed(const bp_queued_request& req, sim_time t,
+                 schedule_fail_reason reason);
+    /// Shed (or retire, when the owner's planned deletion already passed)
+    /// every queue entry whose deadline has expired.
+    void bp_expire_overdue(sim_time t);
+    /// Drain the queue at a capacity-release instant: expire overdue
+    /// entries, then retry the rest in FIFO order (quiet failures keep
+    /// entries queued).
+    void drain_backpressure(sim_time t);
+    /// Schedule the pinned drain event for the current instant if capacity
+    /// was released by the event just dispatched.
+    void maybe_arm_bp_drain(sim_time t);
 
     // --- SoA active-VM slot table ----------------------------------------
     // Hot-path state of every *currently active* VM lives in parallel
@@ -638,6 +690,20 @@ private:
     std::vector<double> node_cpu_factor_;      ///< degraded-capacity factor
     std::optional<rng_stream> mig_abort_rng_;  ///< serial event-loop draws
     std::optional<rng_stream> claim_fault_rng_;
+
+    // --- conductor backpressure (engaged only when backpressure.active()) -
+    std::unique_ptr<backpressure_controller> bp_;  ///< null in degrade mode
+    std::uint64_t bp_drain_seq_ = 0;  ///< pinned heap sequence slot
+    /// A capacity release happened during the current dispatch (set by the
+    /// placement release listener and the repair paths); cleared when the
+    /// drain event is armed at dispatch end.  Transient within one event —
+    /// never set at a heap barrier, so snapshots need not carry it.
+    bool bp_drain_wanted_ = false;
+    bool bp_drain_armed_ = false;  ///< a drain event is live in the heap
+    /// Guards against the drain's own quiet placement attempts re-arming
+    /// the drain at the same instant (a failed node-claim path releases the
+    /// provider reservation it just took, firing the release listener).
+    bool bp_draining_ = false;
 };
 
 }  // namespace sci

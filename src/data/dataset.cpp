@@ -213,7 +213,8 @@ std::vector<lifecycle_event> import_events_csv(
                        lifecycle_event_kind::resize,
                        lifecycle_event_kind::remove,
                        lifecycle_event_kind::crash,
-                       lifecycle_event_kind::ha_restart}) {
+                       lifecycle_event_kind::ha_restart,
+                       lifecycle_event_kind::shed}) {
             if (s == to_string(k)) return k;
         }
         throw error("import_events_csv: unknown event kind '" + s + "'");

@@ -120,6 +120,15 @@ std::uint64_t stats_fingerprint(const run_stats& s) {
     fnv1a(h, s.migration_aborts);
     fnv1a(h, s.maintenance_evacuations);
     fnv1a(h, s.wasted_migration_seconds);
+    fnv1a(h, s.bp_enqueued);
+    fnv1a(h, s.bp_queue_placed);
+    fnv1a(h, s.bp_shed_deadline);
+    fnv1a(h, s.bp_shed_queue_full);
+    fnv1a(h, s.bp_shed_evicted);
+    fnv1a(h, s.bp_cancelled);
+    fnv1a(h, s.bp_regime_transitions);
+    fnv1a(h, s.bp_peak_queue_len);
+    fnv1a(h, s.ha_give_ups);
     return h;
 }
 
@@ -437,7 +446,8 @@ std::string outcomes_json(std::span<const scenario_outcome> outcomes) {
             const invariant_result& r = o.invariants[j];
             out << (j == 0 ? "" : ",") << "\n        {\"name\": \""
                 << json_escape(r.name) << "\", \"passed\": "
-                << (r.passed ? "true" : "false") << ", \"detail\": \""
+                << (r.passed ? "true" : "false") << ", \"skipped\": "
+                << (r.skipped ? "true" : "false") << ", \"detail\": \""
                 << json_escape(r.detail) << "\"}";
         }
         out << (o.invariants.empty() ? "]" : "\n      ]") << "\n    }";

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/engine.hpp"
 #include "fault/ha.hpp"
@@ -19,6 +20,24 @@ invariant_result pass(std::string name, std::string detail) {
 
 invariant_result fail(std::string name, std::string detail) {
     return invariant_result{std::move(name), false, std::move(detail)};
+}
+
+/// VMs currently held by the HA controller or the backpressure queue:
+/// their unterminated states are in flight, not dropped.
+std::vector<vm_id> collect_in_flight(const sim_engine& engine) {
+    std::vector<vm_id> out;
+    if (const ha_controller* ha = engine.ha(); ha != nullptr) {
+        for (const ha_controller::pending_row& row : ha->pending_table()) {
+            out.push_back(row.vm);
+        }
+    }
+    if (const backpressure_controller* bp = engine.backpressure();
+        bp != nullptr) {
+        for (std::size_t i = 0; i < bp->size(); ++i) {
+            out.push_back(bp->at(i).vm);
+        }
+    }
+    return out;
 }
 
 }  // namespace
@@ -73,10 +92,12 @@ invariant_result check_admission_accounting(const run_stats& stats,
 }
 
 invariant_result check_no_silent_drops(std::span<const vm_record> records,
-                                       const event_log& events) {
+                                       const event_log& events,
+                                       std::span<const vm_id> in_flight) {
     const std::string name = "no_silent_drops";
     struct vm_flags {
-        bool failed = false, crashed = false, removed = false, placed = false;
+        bool failed = false, crashed = false, removed = false, placed = false,
+             shed = false;
     };
     std::unordered_map<std::int32_t, vm_flags> flags;
     flags.reserve(records.size());
@@ -88,9 +109,13 @@ invariant_result check_no_silent_drops(std::span<const vm_record> records,
             case lifecycle_event_kind::remove: f.removed = true; break;
             case lifecycle_event_kind::create:
             case lifecycle_event_kind::ha_restart: f.placed = true; break;
+            case lifecycle_event_kind::shed: f.shed = true; break;
             default: break;
         }
     }
+    std::unordered_set<std::int32_t> in_flight_set;
+    in_flight_set.reserve(in_flight.size());
+    for (const vm_id vm : in_flight) in_flight_set.insert(vm.value());
     std::uint64_t violations = 0;
     std::ostringstream first;
     const auto violate = [&](const vm_record& rec, const char* what) {
@@ -105,7 +130,17 @@ invariant_result check_no_silent_drops(std::span<const vm_record> records,
         const vm_flags f = it == flags.end() ? vm_flags{} : it->second;
         switch (rec.state) {
             case vm_state::error:
-                if (!f.failed) violate(rec, "schedule_fail");
+                if (!f.failed && !f.shed) {
+                    violate(rec, "schedule_fail/shed");
+                } else if (f.crashed && !f.shed &&
+                           !in_flight_set.contains(rec.id.value())) {
+                    // A crash victim stuck in error with no terminal shed
+                    // and no pending HA/backpressure entry is the silent
+                    // give-up this audit exists to catch: its failed
+                    // restart *attempts* logged schedule_fails, but the
+                    // abandonment itself vanished.
+                    violate(rec, "shed");
+                }
                 break;
             case vm_state::pending:
                 // A pending VM with no events at all was never admitted
@@ -204,7 +239,12 @@ invariant_result check_recovery_tail(std::span<const double> downtime_seconds,
             "check_recovery_tail: limit must be positive");
     const std::string name = "recovery_tail";
     if (downtime_seconds.empty()) {
-        return pass(name, "no HA recoveries observed");
+        // No distribution to judge: an explicit skip, not an implicit
+        // pass (`passed` stays true so gates don't trip on fault-free
+        // runs, but sciverify reports the verdict as "skip").
+        invariant_result result = pass(name, "skipped: no HA recoveries observed");
+        result.skipped = true;
+        return result;
     }
     std::vector<double> sorted(downtime_seconds.begin(),
                                downtime_seconds.end());
@@ -217,6 +257,71 @@ invariant_result check_recovery_tail(std::span<const double> downtime_seconds,
     out << "downtime p99 " << p99 << " s over " << sorted.size()
         << " recoveries (limit " << p99_limit_seconds << " s)";
     if (p99 > p99_limit_seconds) return fail(name, out.str());
+    return pass(name, out.str());
+}
+
+invariant_result check_no_blackhole(const run_stats& stats,
+                                    const event_log& events,
+                                    std::uint64_t still_queued) {
+    const std::string name = "no_blackhole";
+    std::ostringstream out;
+    const std::uint64_t terminated = stats.bp_queue_placed +
+                                     stats.bp_shed_deadline +
+                                     stats.bp_shed_evicted + stats.bp_cancelled;
+    if (stats.bp_enqueued != terminated + still_queued) {
+        out << "bp_enqueued (" << stats.bp_enqueued << ") != placed ("
+            << stats.bp_queue_placed << ") + shed-deadline ("
+            << stats.bp_shed_deadline << ") + evicted ("
+            << stats.bp_shed_evicted << ") + cancelled (" << stats.bp_cancelled
+            << ") + still queued (" << still_queued << ")";
+        return fail(name, out.str());
+    }
+    const auto sheds = events.count(lifecycle_event_kind::shed);
+    const std::uint64_t expected_sheds =
+        stats.bp_shed_deadline + stats.bp_shed_queue_full +
+        stats.bp_shed_evicted + stats.ha_give_ups;
+    if (sheds != expected_sheds) {
+        out << "shed events (" << sheds << ") != bp_shed_deadline ("
+            << stats.bp_shed_deadline << ") + bp_shed_queue_full ("
+            << stats.bp_shed_queue_full << ") + bp_shed_evicted ("
+            << stats.bp_shed_evicted << ") + ha_give_ups ("
+            << stats.ha_give_ups << ")";
+        return fail(name, out.str());
+    }
+    std::uint64_t missing_reason = 0;
+    for (const lifecycle_event& e : events.all()) {
+        if (e.kind == lifecycle_event_kind::shed &&
+            e.reason == schedule_fail_reason::none) {
+            ++missing_reason;
+        }
+    }
+    if (missing_reason > 0) {
+        out << missing_reason << " shed events carry no reason";
+        return fail(name, out.str());
+    }
+    out << stats.bp_enqueued << " queued requests terminated exactly once ("
+        << still_queued << " still queued); " << sheds
+        << " sheds, all with reasons";
+    return pass(name, out.str());
+}
+
+invariant_result check_backpressure_stability(
+    std::span<const sim_time> transitions, sim_duration min_gap) {
+    expects(min_gap > 0,
+            "check_backpressure_stability: min_gap must be positive");
+    const std::string name = "backpressure_stability";
+    std::ostringstream out;
+    for (std::size_t i = 1; i < transitions.size(); ++i) {
+        const sim_duration gap = transitions[i] - transitions[i - 1];
+        if (gap < min_gap) {
+            out << "regime flapped: transitions at t=" << transitions[i - 1]
+                << " and t=" << transitions[i] << " are " << gap
+                << " s apart (min " << min_gap << " s)";
+            return fail(name, out.str());
+        }
+    }
+    out << transitions.size() << " regime transitions, all at least "
+        << min_gap << " s apart";
     return pass(name, out.str());
 }
 
@@ -369,7 +474,7 @@ invariant_monitor::invariant_monitor(sim_engine& engine,
     }
     const bool scrape_checks =
         config_.conservation ||
-        (watch_ && (config_.no_silent_drops ||
+        (watch_ && (config_.no_silent_drops || config_.no_blackhole ||
                     config_.flapping_max_moves_per_vm_day.has_value()));
     if (scrape_checks) {
         probes.after_scrape = [this](sim_time t) { on_scrape(t); };
@@ -398,8 +503,15 @@ void invariant_monitor::on_scrape(sim_time t) {
     // Event-log prefix checkers: valid at any scrape barrier because
     // state transitions and their events commit atomically per event.
     if (config_.no_silent_drops) {
-        record(check_no_silent_drops(engine_->vms().all(),
-                                     engine_->events()));
+        record(check_no_silent_drops(engine_->vms().all(), engine_->events(),
+                                     collect_in_flight(*engine_)));
+    }
+    if (config_.no_blackhole) {
+        // The backpressure ledger closes at every scrape barrier: the
+        // bp tick (expiry + regime update) ran just before this probe.
+        const backpressure_controller* bp = engine_->backpressure();
+        record(check_no_blackhole(engine_->stats(), engine_->events(),
+                                  bp != nullptr ? bp->size() : 0));
     }
     if (config_.flapping_max_moves_per_vm_day.has_value()) {
         record(check_bounded_flapping(
@@ -426,8 +538,20 @@ std::vector<invariant_result> invariant_monitor::evaluate() const {
                                                      engine_->events()));
     }
     if (config_.no_silent_drops) {
-        finish(check_no_silent_drops(engine_->vms().all(),
-                                     engine_->events()));
+        finish(check_no_silent_drops(engine_->vms().all(), engine_->events(),
+                                     collect_in_flight(*engine_)));
+    }
+    if (config_.no_blackhole) {
+        const backpressure_controller* bp = engine_->backpressure();
+        finish(check_no_blackhole(engine_->stats(), engine_->events(),
+                                  bp != nullptr ? bp->size() : 0));
+    }
+    if (config_.backpressure_stability) {
+        const backpressure_controller* bp = engine_->backpressure();
+        results.push_back(check_backpressure_stability(
+            bp != nullptr ? std::span<const sim_time>(bp->transitions())
+                          : std::span<const sim_time>{},
+            engine_->config().sampling_interval));
     }
     if (config_.conservation) {
         conservation_snapshot snap = collect_conservation(*engine_);

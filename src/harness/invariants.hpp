@@ -47,6 +47,13 @@ struct invariant_config {
     bool admission_accounting = false;
     bool no_silent_drops = false;
     bool conservation = false;
+    /// Backpressure ledger closure: every request that entered the
+    /// conductor's queue terminated in exactly one of {placed,
+    /// schedule_fail-with-reason, shed-with-reason}.
+    bool no_blackhole = false;
+    /// Regime transitions (queuing <-> shedding) never flap: consecutive
+    /// flips are at least one sampling interval apart.
+    bool backpressure_stability = false;
     /// Max DRS migrations of one VM within one day (unset: not checked).
     std::optional<int> flapping_max_moves_per_vm_day;
     /// Per-pass tolerance for imbalance(after) <= imbalance(before) + eps.
@@ -68,7 +75,8 @@ struct invariant_config {
     /// Number of enabled checkers.
     int count() const {
         return (admission_accounting ? 1 : 0) + (no_silent_drops ? 1 : 0) +
-               (conservation ? 1 : 0) +
+               (conservation ? 1 : 0) + (no_blackhole ? 1 : 0) +
+               (backpressure_stability ? 1 : 0) +
                (flapping_max_moves_per_vm_day.has_value() ? 1 : 0) +
                (imbalance_epsilon.has_value() ? 1 : 0) +
                (recovery_p99_seconds.has_value() ? 1 : 0) +
@@ -82,6 +90,10 @@ struct invariant_result {
     std::string name;
     bool passed = true;
     std::string detail;  ///< precise violation (or a short pass note)
+    /// True when the checker had no data to judge (e.g. recovery_tail
+    /// over zero recoveries): `passed` stays true so gates don't trip,
+    /// but sciverify reports the verdict as "skip", not an implicit pass.
+    bool skipped = false;
 };
 
 /// admitted == placed + explicitly rejected, every rejection carries a
@@ -89,9 +101,26 @@ struct invariant_result {
 invariant_result check_admission_accounting(const run_stats& stats,
                                             const event_log& events);
 
-/// Every terminal/down VM state is explained by a logged event.
+/// Every terminal/down VM state is explained by a logged event.  A VM in
+/// error must carry a schedule_fail or shed event — and a crash victim
+/// that ended in error must carry a terminal shed (the HA give-up) unless
+/// it is still in flight (`in_flight` = VMs currently pending in the HA
+/// controller or waiting in the backpressure queue).
 invariant_result check_no_silent_drops(std::span<const vm_record> records,
-                                       const event_log& events);
+                                       const event_log& events,
+                                       std::span<const vm_id> in_flight = {});
+
+/// Backpressure ledger closure: bp_enqueued == bp_queue_placed +
+/// bp_shed_deadline + bp_shed_evicted + bp_cancelled + still_queued,
+/// shed events match their counters (queue-full sheds and degrade-mode
+/// HA give-ups included), and every shed names a reason.
+invariant_result check_no_blackhole(const run_stats& stats,
+                                    const event_log& events,
+                                    std::uint64_t still_queued);
+
+/// Consecutive regime transitions are at least `min_gap` apart.
+invariant_result check_backpressure_stability(
+    std::span<const sim_time> transitions, sim_duration min_gap);
 
 /// No VM is DRS-migrated more than `max_moves_per_vm_day` times in a day.
 invariant_result check_bounded_flapping(const event_log& events,

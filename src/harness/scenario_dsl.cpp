@@ -66,7 +66,8 @@ std::string format_double(double value) {
 }
 
 enum class section {
-    none, scenario, engine, fault, invariants, snapshot, region, replay
+    none, scenario, engine, fault, backpressure, invariants, snapshot, region,
+    replay
 };
 
 }  // namespace
@@ -98,6 +99,7 @@ scenario_spec parse_scenario(std::string_view text) {
             if (name == "scenario") current = section::scenario;
             else if (name == "engine") current = section::engine;
             else if (name == "fault") current = section::fault;
+            else if (name == "backpressure") current = section::backpressure;
             else if (name == "invariants") current = section::invariants;
             else if (name == "snapshot") current = section::snapshot;
             else if (name == "replay") current = section::replay;
@@ -235,6 +237,30 @@ scenario_spec parse_scenario(std::string_view text) {
                                             std::string(key) + "'");
                 }
                 break;
+            case section::backpressure:
+                if (key == "mode") {
+                    const auto mode = backpressure_mode_from(value);
+                    if (!mode.has_value()) {
+                        parse_fail(line_no,
+                                   "expected degrade/queue/shed, got '" +
+                                       std::string(value) + "'");
+                    }
+                    cfg.backpressure.mode = *mode;
+                } else if (key == "queue_capacity") {
+                    const std::int64_t capacity = parse_int(value, line_no);
+                    if (capacity < 0) {
+                        parse_fail(line_no, "queue_capacity must be >= 0");
+                    }
+                    cfg.backpressure.queue_capacity =
+                        static_cast<std::uint32_t>(capacity);
+                } else if (key == "queue_deadline") {
+                    cfg.backpressure.queue_deadline =
+                        static_cast<sim_duration>(parse_int(value, line_no));
+                } else {
+                    parse_fail(line_no, "unknown [backpressure] key '" +
+                                            std::string(key) + "'");
+                }
+                break;
             case section::invariants:
                 if (key == "admission_accounting") {
                     inv.admission_accounting = parse_bool(value, line_no);
@@ -242,6 +268,10 @@ scenario_spec parse_scenario(std::string_view text) {
                     inv.no_silent_drops = parse_bool(value, line_no);
                 } else if (key == "conservation") {
                     inv.conservation = parse_bool(value, line_no);
+                } else if (key == "no_blackhole") {
+                    inv.no_blackhole = parse_bool(value, line_no);
+                } else if (key == "backpressure_stability") {
+                    inv.backpressure_stability = parse_bool(value, line_no);
                 } else if (key == "flapping_max_moves_per_vm_day") {
                     inv.flapping_max_moves_per_vm_day =
                         static_cast<int>(parse_int(value, line_no));
@@ -433,11 +463,18 @@ std::string render_scenario(const scenario_spec& spec) {
     out << "ha_max_restart_attempts = " << fault.ha_max_restart_attempts
         << "\n";
     out << "crash_repair_time = " << fault.crash_repair_time << "\n";
+    out << "\n[backpressure]\n";
+    out << "mode = " << to_string(cfg.backpressure.mode) << "\n";
+    out << "queue_capacity = " << cfg.backpressure.queue_capacity << "\n";
+    out << "queue_deadline = " << cfg.backpressure.queue_deadline << "\n";
     out << "\n[invariants]\n";
     out << "admission_accounting = " << boolean(inv.admission_accounting)
         << "\n";
     out << "no_silent_drops = " << boolean(inv.no_silent_drops) << "\n";
     out << "conservation = " << boolean(inv.conservation) << "\n";
+    out << "no_blackhole = " << boolean(inv.no_blackhole) << "\n";
+    out << "backpressure_stability = " << boolean(inv.backpressure_stability)
+        << "\n";
     if (inv.flapping_max_moves_per_vm_day.has_value()) {
         out << "flapping_max_moves_per_vm_day = "
             << *inv.flapping_max_moves_per_vm_day << "\n";

@@ -16,6 +16,7 @@ std::string_view to_string(lifecycle_event_kind k) {
         case lifecycle_event_kind::remove: return "delete";
         case lifecycle_event_kind::crash: return "crash";
         case lifecycle_event_kind::ha_restart: return "ha_restart";
+        case lifecycle_event_kind::shed: return "shed";
     }
     return "unknown";
 }
@@ -30,6 +31,12 @@ std::string_view to_string(schedule_fail_reason r) {
             return "holistic_no_candidate";
         case schedule_fail_reason::holistic_claim_rejected:
             return "holistic_claim_rejected";
+        case schedule_fail_reason::deadline_expired: return "deadline_expired";
+        case schedule_fail_reason::queue_full: return "queue_full";
+        case schedule_fail_reason::shed_lower_priority:
+            return "shed_lower_priority";
+        case schedule_fail_reason::ha_attempts_exhausted:
+            return "ha_attempts_exhausted";
     }
     return "unknown";
 }
@@ -40,7 +47,11 @@ std::optional<schedule_fail_reason> schedule_fail_reason_from(
                    schedule_fail_reason::no_valid_host,
                    schedule_fail_reason::no_accepting_node,
                    schedule_fail_reason::holistic_no_candidate,
-                   schedule_fail_reason::holistic_claim_rejected}) {
+                   schedule_fail_reason::holistic_claim_rejected,
+                   schedule_fail_reason::deadline_expired,
+                   schedule_fail_reason::queue_full,
+                   schedule_fail_reason::shed_lower_priority,
+                   schedule_fail_reason::ha_attempts_exhausted}) {
         if (token == to_string(r)) return r;
     }
     return std::nullopt;

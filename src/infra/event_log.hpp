@@ -27,19 +27,24 @@ enum class lifecycle_event_kind {
     remove,         ///< VM deleted
     crash,          ///< VM killed by a hypervisor failure (sci::fault)
     ha_restart,     ///< HA re-placed a crash victim
+    shed,           ///< backpressure rejected the request (reason says why)
 };
 
 std::string_view to_string(lifecycle_event_kind k);
 
-/// Why a schedule_fail happened (`none` for every other kind).  Exported
-/// with the event rows, so admission accounting — every rejected request
-/// names its rejecting stage — is auditable from the dataset alone.
+/// Why a schedule_fail or shed happened (`none` for every other kind).
+/// Exported with the event rows, so admission accounting — every rejected
+/// request names its rejecting stage — is auditable from the dataset alone.
 enum class schedule_fail_reason {
-    none,                     ///< not a schedule_fail event
+    none,                     ///< not a schedule_fail/shed event
     no_valid_host,            ///< scheduler exhausted candidates/retries
     no_accepting_node,        ///< BB admitted, but no node was accepting
     holistic_no_candidate,    ///< holistic scan found no admissible node
     holistic_claim_rejected,  ///< node accepted, provider claim was full
+    deadline_expired,         ///< shed: request outlived its queue deadline
+    queue_full,               ///< shed: backpressure queue was full
+    shed_lower_priority,      ///< shed: evicted for a higher-priority request
+    ha_attempts_exhausted,    ///< shed: HA gave up after max_restart_attempts
 };
 
 /// CSV token of a reason ("" for none, so non-failure rows stay clean).

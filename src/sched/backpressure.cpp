@@ -1,0 +1,120 @@
+#include "sched/backpressure.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sci {
+
+std::string_view to_string(backpressure_mode m) {
+    switch (m) {
+        case backpressure_mode::degrade: return "degrade";
+        case backpressure_mode::queue: return "queue";
+        case backpressure_mode::shed: return "shed";
+    }
+    return "?";
+}
+
+std::optional<backpressure_mode> backpressure_mode_from(std::string_view token) {
+    for (auto m : {backpressure_mode::degrade, backpressure_mode::queue,
+                   backpressure_mode::shed}) {
+        if (token == to_string(m)) return m;
+    }
+    return std::nullopt;
+}
+
+std::string_view to_string(bp_regime r) {
+    switch (r) {
+        case bp_regime::queuing: return "queuing";
+        case bp_regime::shedding: return "shedding";
+    }
+    return "?";
+}
+
+backpressure_controller::backpressure_controller(backpressure_config config)
+    : config_(config) {
+    assert(config_.active());
+    assert(config_.queue_capacity > 0);
+    assert(config_.queue_deadline > 0);
+}
+
+void backpressure_controller::erase(std::size_t i) {
+    assert(i < queue_.size());
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+}
+
+backpressure_controller::admit_result backpressure_controller::admit(
+    bp_queued_request request) {
+    admit_result out;
+    if (queue_.size() < config_.queue_capacity) {
+        queue_.push_back(request);
+        out.result = admit_result::outcome::queued;
+        return out;
+    }
+    if (config_.mode == backpressure_mode::shed) {
+        // Evict the lowest-priority entry, breaking ties toward the
+        // latest-enqueued one (it has waited least), but only for a
+        // strictly higher-priority newcomer.
+        std::size_t victim = queue_.size();
+        for (std::size_t i = 0; i < queue_.size(); ++i) {
+            if (victim == queue_.size() ||
+                queue_[i].priority <= queue_[victim].priority) {
+                victim = i;
+            }
+        }
+        if (queue_[victim].priority < request.priority) {
+            out.evicted = queue_[victim];
+            erase(victim);
+            queue_.push_back(request);
+            out.result = admit_result::outcome::queued;
+            return out;
+        }
+    }
+    out.result = admit_result::outcome::shed_queue_full;
+    return out;
+}
+
+bool backpressure_controller::cancel(vm_id vm) {
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [vm](const bp_queued_request& r) { return r.vm == vm; });
+    if (it == queue_.end()) return false;
+    queue_.erase(it);
+    return true;
+}
+
+std::vector<bp_queued_request> backpressure_controller::expire(sim_time t) {
+    std::vector<bp_queued_request> expired;
+    // Deadline = enqueue time + the constant queue_deadline, so FIFO
+    // order is deadline order and expiry is a prefix of the queue.
+    while (!queue_.empty() && queue_.front().deadline <= t) {
+        expired.push_back(queue_.front());
+        queue_.pop_front();
+    }
+    return expired;
+}
+
+bool backpressure_controller::update_regime(sim_time t) {
+    bp_regime next = regime_;
+    if (regime_ == bp_regime::queuing) {
+        if (queue_.size() >= config_.queue_capacity) next = bp_regime::shedding;
+    } else {
+        if (queue_.size() <= config_.queue_capacity / 2) next = bp_regime::queuing;
+    }
+    if (next == regime_) return false;
+    regime_ = next;
+    transitions_.push_back(t);
+    return true;
+}
+
+std::vector<bp_queued_request> backpressure_controller::queue_table() const {
+    return {queue_.begin(), queue_.end()};
+}
+
+void backpressure_controller::restore_state(
+    const std::vector<bp_queued_request>& queue, bp_regime regime,
+    std::vector<sim_time> transitions) {
+    queue_.assign(queue.begin(), queue.end());
+    regime_ = regime;
+    transitions_ = std::move(transitions);
+}
+
+}  // namespace sci

@@ -97,6 +97,7 @@ void placement_service::release(vm_id vm, const flavor& f) {
     allocations_.erase(it);
     ++version_;
     ++shrink_version_;
+    if (release_listener_) release_listener_();
 }
 
 void placement_service::move(vm_id vm, bb_id to, const flavor& f) {

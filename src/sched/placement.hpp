@@ -9,6 +9,7 @@
 // capacity_error — modelling the race the Nova retry loop exists for.
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -90,6 +91,14 @@ public:
     /// shrinks any provider.
     std::uint64_t shrink_version() const { return shrink_version_; }
 
+    /// Observer invoked after every release() (and so during move()):
+    /// capacity just came back, so queued admission requests may now fit.
+    /// The backpressure layer uses this to arm its drain event.  At most
+    /// one listener; pass nullptr to clear.
+    void set_release_listener(std::function<void()> fn) {
+        release_listener_ = std::move(fn);
+    }
+
     // --- snapshot / fork support ------------------------------------------
     /// Every allocation as (vm, bb) rows sorted by vm id — the canonical
     /// serialized form (the live map's iteration order is not).
@@ -126,6 +135,7 @@ private:
     std::unordered_map<vm_id, bb_id> allocations_;
     std::uint64_t version_ = 0;
     std::uint64_t shrink_version_ = 0;
+    std::function<void()> release_listener_;
 };
 
 }  // namespace sci

@@ -135,6 +135,18 @@ engine_state engine_access::capture(sim_engine& e) {
     }
     s.churn_batch_spans = e.churn_batch_spans_;
 
+    // backpressure (bp_drain_wanted_/bp_draining_ are transient and never
+    // set at an event-time barrier, so only the durable pieces travel)
+    if (e.bp_) {
+        s.has_bp = true;
+        s.bp_queue = e.bp_->queue_table();
+        s.bp_regime = static_cast<std::uint8_t>(e.bp_->regime());
+        s.bp_transitions.assign(e.bp_->transitions().begin(),
+                                e.bp_->transitions().end());
+    }
+    s.bp_drain_seq = e.bp_drain_seq_;
+    s.bp_drain_armed = e.bp_drain_armed_;
+
     // HA recovery
     if (e.ha_) {
         s.has_ha = true;
@@ -320,6 +332,26 @@ void engine_access::restore_into(sim_engine& e, const engine_state& s) {
     e.spec_requests_.resize(e.spec_slots_.size());
     e.spec_claim_counts_ = s.spec_claim_counts;
     e.churn_batch_spans_ = s.churn_batch_spans;
+
+    // (10b) Backpressure controller + queued requests.  Rebuilt by hand
+    // (restore never runs setup_backpressure), including the placement
+    // release listener — same pattern as the claim-fault hook in (12).
+    // The pinned drain event itself, if armed, is in the restored queue.
+    if (s.has_bp) {
+        expects(e.config_.backpressure.active(),
+                "snapshot::restore: snapshot has backpressure state but "
+                "config is degrade-mode");
+        e.bp_ = std::make_unique<backpressure_controller>(
+            e.config_.backpressure);
+        e.bp_->restore_state(s.bp_queue,
+                             static_cast<sci::bp_regime>(s.bp_regime),
+                             s.bp_transitions);
+        e.placement_.set_release_listener([&e] {
+            if (!e.bp_draining_) e.bp_drain_wanted_ = true;
+        });
+    }
+    e.bp_drain_seq_ = s.bp_drain_seq;
+    e.bp_drain_armed_ = s.bp_drain_armed;
 
     // (11) HA controller + queued victim groups + open recovery batch.
     const fault_config& fc = e.config_.fault;

@@ -194,9 +194,12 @@ void write_config(byte_writer& w, const engine_config& c) {
     w.i64(c.fault.ha_retry_backoff);
     w.i32(c.fault.ha_max_restart_attempts);
     w.i64(c.fault.crash_repair_time);
+    w.u8(static_cast<std::uint8_t>(c.backpressure.mode));
+    w.u32(c.backpressure.queue_capacity);
+    w.i64(c.backpressure.queue_deadline);
 }
 
-engine_config read_config(byte_reader& r) {
+engine_config read_config(byte_reader& r, std::uint32_t version) {
     engine_config c;
     c.scenario.scale = r.f64();
     c.scenario.seed = r.u64();
@@ -252,6 +255,11 @@ engine_config read_config(byte_reader& r) {
     c.fault.ha_retry_backoff = r.i64();
     c.fault.ha_max_restart_attempts = r.i32();
     c.fault.crash_repair_time = r.i64();
+    if (version >= 2) {
+        c.backpressure.mode = static_cast<backpressure_mode>(r.u8());
+        c.backpressure.queue_capacity = r.u32();
+        c.backpressure.queue_deadline = r.i64();
+    }
     return c;
 }
 
@@ -385,9 +393,18 @@ void write_run_stats(byte_writer& w, const run_stats& s) {
     w.u64(s.migration_aborts);
     w.u64(s.maintenance_evacuations);
     w.f64(s.wasted_migration_seconds);
+    w.u64(s.bp_enqueued);
+    w.u64(s.bp_queue_placed);
+    w.u64(s.bp_shed_deadline);
+    w.u64(s.bp_shed_queue_full);
+    w.u64(s.bp_shed_evicted);
+    w.u64(s.bp_cancelled);
+    w.u64(s.bp_regime_transitions);
+    w.u64(s.bp_peak_queue_len);
+    w.u64(s.ha_give_ups);
 }
 
-run_stats read_run_stats(byte_reader& r) {
+run_stats read_run_stats(byte_reader& r, std::uint32_t version) {
     run_stats s;
     s.placements = r.u64();
     s.placement_failures = r.u64();
@@ -430,6 +447,17 @@ run_stats read_run_stats(byte_reader& r) {
     s.migration_aborts = r.u64();
     s.maintenance_evacuations = r.u64();
     s.wasted_migration_seconds = r.f64();
+    if (version >= 2) {
+        s.bp_enqueued = r.u64();
+        s.bp_queue_placed = r.u64();
+        s.bp_shed_deadline = r.u64();
+        s.bp_shed_queue_full = r.u64();
+        s.bp_shed_evicted = r.u64();
+        s.bp_cancelled = r.u64();
+        s.bp_regime_transitions = r.u64();
+        s.bp_peak_queue_len = r.u64();
+        s.ha_give_ups = r.u64();
+    }
     return s;
 }
 
@@ -601,11 +629,28 @@ void write_payload(byte_writer& w, const engine_state& s) {
 
     w.size(s.bb_contention_ewma.size());
     for (const double v : s.bb_contention_ewma) w.f64(v);
+
+    // backpressure (format v2)
+    w.boolean(s.has_bp);
+    w.size(s.bp_queue.size());
+    for (const bp_queued_request& q : s.bp_queue) {
+        w.id(q.vm);
+        w.u8(static_cast<std::uint8_t>(q.kind));
+        w.i32(q.priority);
+        w.i64(q.enqueued_at);
+        w.i64(q.deadline);
+        w.i64(q.deleted_at);
+    }
+    w.u8(s.bp_regime);
+    w.size(s.bp_transitions.size());
+    for (const sim_time t : s.bp_transitions) w.i64(t);
+    w.u64(s.bp_drain_seq);
+    w.boolean(s.bp_drain_armed);
 }
 
-engine_state read_payload(byte_reader& r) {
+engine_state read_payload(byte_reader& r, std::uint32_t version) {
     engine_state s;
-    s.config = read_config(r);
+    s.config = read_config(r, version);
     s.region = r.str();
 
     s.queue.resize(r.size(8 + 8 + 1));
@@ -706,7 +751,7 @@ engine_state read_payload(byte_reader& r) {
         e.to = r.id<node_tag>();
         e.reason = static_cast<schedule_fail_reason>(r.u8());
     }
-    s.stats = read_run_stats(r);
+    s.stats = read_run_stats(r, version);
 
     s.arrival_cursor = r.u64();
     s.arrival_drain_seq = r.u64();
@@ -770,6 +815,24 @@ engine_state read_payload(byte_reader& r) {
 
     s.bb_contention_ewma.resize(r.size(8));
     for (double& v : s.bb_contention_ewma) v = r.f64();
+
+    if (version >= 2) {
+        s.has_bp = r.boolean();
+        s.bp_queue.resize(r.size(4 + 1 + 4 + 8 + 8 + 8));
+        for (bp_queued_request& q : s.bp_queue) {
+            q.vm = r.id<vm_tag>();
+            q.kind = static_cast<bp_request_kind>(r.u8());
+            q.priority = r.i32();
+            q.enqueued_at = r.i64();
+            q.deadline = r.i64();
+            q.deleted_at = r.i64();
+        }
+        s.bp_regime = r.u8();
+        s.bp_transitions.resize(r.size(8));
+        for (sim_time& t : s.bp_transitions) t = r.i64();
+        s.bp_drain_seq = r.u64();
+        s.bp_drain_armed = r.boolean();
+    }
     return s;
 }
 
@@ -828,7 +891,7 @@ engine_state deserialize(std::span<const std::byte> bytes) {
     }
 
     byte_reader r(payload);
-    engine_state state = read_payload(r);
+    engine_state state = read_payload(r, version);
     if (r.remaining() != 0) {
         throw snapshot_error(
             "snapshot: trailing bytes after the payload (corrupted input)");

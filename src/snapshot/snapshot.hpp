@@ -53,7 +53,7 @@ namespace snapshot {
 /// Serialized-format version.  deserialize() accepts exactly the versions
 /// it knows how to read; a snapshot from a future build fails with a
 /// precise error instead of misinterpreting bytes.
-inline constexpr std::uint32_t format_version = 1;
+inline constexpr std::uint32_t format_version = 2;
 
 /// Raised by the codec on malformed input: wrong magic, future version,
 /// truncation, or checksum mismatch.  Never undefined behaviour — every
@@ -161,6 +161,14 @@ struct engine_state {
     std::vector<host_speculation> spec_slots;  ///< open-batch slots only
     std::vector<std::uint64_t> spec_claim_counts;
     std::vector<sim_engine::churn_batch_span> churn_batch_spans;
+
+    // --- backpressure (format v2; v1 snapshots restore as inert) ----------
+    bool has_bp = false;
+    std::vector<bp_queued_request> bp_queue;  ///< front-to-back
+    std::uint8_t bp_regime = 0;               ///< sci::bp_regime value
+    std::vector<sim_time> bp_transitions;
+    std::uint64_t bp_drain_seq = 0;  ///< pinned drain slot (always reserved)
+    bool bp_drain_armed = false;     ///< a drain event sits in the queue
 
     // --- HA recovery ------------------------------------------------------
     bool has_ha = false;

@@ -1,0 +1,488 @@
+// Backpressure acceptance tests:
+//   - the controller keeps its ground rules at unit level: the queue is
+//     bounded by capacity, deadline expiry pops in event-time (= FIFO)
+//     order, shed-mode eviction displaces the lowest-priority
+//     latest-enqueued entry only for a strictly higher-priority
+//     newcomer, and the queuing/shedding regime is hysteretic — one
+//     flip under constant overload across three scrape ticks, never a
+//     flap,
+//   - both new checkers demonstrably FAIL on deliberately broken input
+//     with precise messages (no vacuously-green physics), and the
+//     no_silent_drops audit flags a hand-built HA give-up trace,
+//   - a queue-mode engine run under real overload closes the
+//     no-blackhole ledger, stays bit-identical at 0 / 1 / 4 worker
+//     threads, and never exceeds the configured queue bound,
+//   - degrade mode keeps the audited drop paths regression-tested: HA
+//     give-ups emit terminal shed events that reconcile with the
+//     ha_give_ups counter, and churn-arrival schedule_fails are
+//     accounted exactly once,
+//   - the v2 snapshot codec round-trips the backpressure state.
+//
+// Registered as a single ctest entry: the cases share the expensive
+// engine runs built once.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "harness/harness.hpp"
+#include "harness/invariants.hpp"
+#include "harness/scenario_dsl.hpp"
+#include "sched/backpressure.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace sci {
+namespace {
+
+bp_queued_request request(std::int32_t vm, std::int32_t priority,
+                          sim_time enqueued_at, sim_time deadline) {
+    bp_queued_request r;
+    r.vm = vm_id(vm);
+    r.priority = priority;
+    r.enqueued_at = enqueued_at;
+    r.deadline = deadline;
+    return r;
+}
+
+backpressure_config config_of(backpressure_mode mode, std::uint32_t capacity,
+                              sim_duration deadline) {
+    backpressure_config c;
+    c.mode = mode;
+    c.queue_capacity = capacity;
+    c.queue_deadline = deadline;
+    return c;
+}
+
+// --- controller ground rules --------------------------------------------
+
+TEST(Controller, QueueNeverExceedsCapacity) {
+    backpressure_controller bp(
+        config_of(backpressure_mode::queue, 4, 3600));
+    for (std::int32_t i = 0; i < 7; ++i) {
+        const auto r = bp.admit(request(i, 0, 0, 3600));
+        EXPECT_LE(bp.size(), 4u);
+        if (i < 4) {
+            EXPECT_EQ(r.result,
+                      backpressure_controller::admit_result::outcome::queued);
+        } else {
+            // queue mode has no eviction: overflow is shed outright
+            EXPECT_EQ(r.result, backpressure_controller::admit_result::
+                                    outcome::shed_queue_full);
+            EXPECT_FALSE(r.evicted.has_value());
+        }
+    }
+    EXPECT_EQ(bp.size(), 4u);
+}
+
+TEST(Controller, DeadlineExpiryPopsInEventTimeOrder) {
+    backpressure_controller bp(
+        config_of(backpressure_mode::queue, 8, 100));
+    bp.admit(request(0, 0, 0, 100));
+    bp.admit(request(1, 0, 10, 110));
+    bp.admit(request(2, 0, 20, 120));
+
+    const auto first = bp.expire(105);
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(first[0].vm, vm_id(0));
+
+    const auto rest = bp.expire(200);
+    ASSERT_EQ(rest.size(), 2u);
+    EXPECT_EQ(rest[0].vm, vm_id(1));  // deadline 110 before 120
+    EXPECT_EQ(rest[1].vm, vm_id(2));
+    EXPECT_TRUE(bp.empty());
+}
+
+TEST(Controller, ShedModeEvictsLowestPriorityLatestEnqueued) {
+    backpressure_controller bp(config_of(backpressure_mode::shed, 3, 3600));
+    bp.admit(request(0, 1, 0, 3600));   // pack
+    bp.admit(request(1, 0, 10, 3610));  // spread
+    bp.admit(request(2, 0, 20, 3620));  // spread, latest of the p0 pair
+
+    // equal priority cannot displace anyone: shed outright, queue intact
+    const auto equal = bp.admit(request(3, 0, 30, 3630));
+    EXPECT_EQ(equal.result,
+              backpressure_controller::admit_result::outcome::shed_queue_full);
+    EXPECT_EQ(bp.size(), 3u);
+
+    // a strictly higher-priority newcomer (HA restart) displaces the
+    // lowest-priority latest-enqueued victim: vm 2, not vm 1
+    const auto ha = bp.admit(request(4, 2, 40, 3640));
+    EXPECT_EQ(ha.result,
+              backpressure_controller::admit_result::outcome::queued);
+    ASSERT_TRUE(ha.evicted.has_value());
+    EXPECT_EQ(ha.evicted->vm, vm_id(2));
+    EXPECT_EQ(bp.size(), 3u);
+}
+
+TEST(Controller, RegimeFlipsOnceUnderConstantOverloadAcrossScrapes) {
+    backpressure_controller bp(config_of(backpressure_mode::queue, 4, 7200));
+    for (std::int32_t i = 0; i < 4; ++i) bp.admit(request(i, 0, 0, 7200));
+
+    // scrape tick 1: queue at capacity -> enter shedding, exactly one flip
+    EXPECT_TRUE(bp.update_regime(300));
+    EXPECT_EQ(bp.regime(), bp_regime::shedding);
+    // scrape ticks 2 and 3 under the same constant overload: NO flapping
+    EXPECT_FALSE(bp.update_regime(600));
+    EXPECT_FALSE(bp.update_regime(900));
+    ASSERT_EQ(bp.transitions().size(), 1u);
+    EXPECT_EQ(bp.transitions()[0], 300);
+
+    // hysteresis: shrinking to 3 (> capacity/2) keeps shedding ...
+    bp.erase(0);
+    EXPECT_FALSE(bp.update_regime(1200));
+    EXPECT_EQ(bp.regime(), bp_regime::shedding);
+    // ... only draining to half releases it
+    bp.erase(0);
+    EXPECT_TRUE(bp.update_regime(1500));
+    EXPECT_EQ(bp.regime(), bp_regime::queuing);
+    ASSERT_EQ(bp.transitions().size(), 2u);
+    EXPECT_EQ(bp.transitions()[1], 1500);
+}
+
+// --- both new checkers can actually fail --------------------------------
+
+lifecycle_event make_event(sim_time t, lifecycle_event_kind kind,
+                           std::int32_t vm, schedule_fail_reason reason =
+                                               schedule_fail_reason::none) {
+    lifecycle_event e;
+    e.t = t;
+    e.kind = kind;
+    e.vm = vm_id(vm);
+    e.reason = reason;
+    return e;
+}
+
+TEST(Checkers, NoBlackholeCatchesLedgerMismatch) {
+    run_stats stats;
+    stats.bp_enqueued = 5;
+    stats.bp_queue_placed = 2;
+    const harness::invariant_result r =
+        harness::check_no_blackhole(stats, event_log{}, 1);
+    EXPECT_FALSE(r.passed);
+    EXPECT_EQ(r.detail,
+              "bp_enqueued (5) != placed (2) + shed-deadline (0) + evicted "
+              "(0) + cancelled (0) + still queued (1)");
+}
+
+TEST(Checkers, NoBlackholeCatchesUncountedSheds) {
+    run_stats stats;  // ledger closes trivially (nothing enqueued) ...
+    event_log events;  // ... but a shed event appears with no counter
+    events.record(make_event(0, lifecycle_event_kind::shed, 3,
+                             schedule_fail_reason::deadline_expired));
+    const harness::invariant_result r =
+        harness::check_no_blackhole(stats, events, 0);
+    EXPECT_FALSE(r.passed);
+    EXPECT_EQ(r.detail,
+              "shed events (1) != bp_shed_deadline (0) + bp_shed_queue_full "
+              "(0) + bp_shed_evicted (0) + ha_give_ups (0)");
+}
+
+TEST(Checkers, NoBlackholeCatchesReasonlessSheds) {
+    run_stats stats;
+    stats.bp_enqueued = 1;
+    stats.bp_shed_deadline = 1;
+    event_log events;
+    events.record(make_event(0, lifecycle_event_kind::shed, 3));
+    const harness::invariant_result r =
+        harness::check_no_blackhole(stats, events, 0);
+    EXPECT_FALSE(r.passed);
+    EXPECT_EQ(r.detail, "1 shed events carry no reason");
+}
+
+TEST(Checkers, NoBlackholePassesOnClosedLedger) {
+    run_stats stats;
+    stats.bp_enqueued = 3;
+    stats.bp_queue_placed = 1;
+    stats.bp_shed_deadline = 1;
+    event_log events;
+    events.record(make_event(0, lifecycle_event_kind::shed, 3,
+                             schedule_fail_reason::deadline_expired));
+    const harness::invariant_result r =
+        harness::check_no_blackhole(stats, events, 1);
+    EXPECT_TRUE(r.passed) << r.detail;
+    EXPECT_EQ(r.detail,
+              "3 queued requests terminated exactly once (1 still queued); "
+              "1 sheds, all with reasons");
+}
+
+TEST(Checkers, BackpressureStabilityCatchesFlapping) {
+    const std::vector<sim_time> flapping{0, 100};
+    const harness::invariant_result r =
+        harness::check_backpressure_stability(flapping, 300);
+    EXPECT_FALSE(r.passed);
+    EXPECT_EQ(r.detail,
+              "regime flapped: transitions at t=0 and t=100 are 100 s apart "
+              "(min 300 s)");
+    const std::vector<sim_time> stable{0, 400, 800};
+    EXPECT_TRUE(harness::check_backpressure_stability(stable, 300).passed);
+}
+
+// The satellite audit: a crash victim abandoned at
+// ha_max_restart_attempts without a terminal shed event is exactly the
+// silent give-up the fixed engine no longer produces.
+TEST(Checkers, NoSilentDropsFlagsHandBuiltGiveUpTrace) {
+    vm_record rec;
+    rec.id = vm_id(5);
+    rec.state = vm_state::error;
+    const std::vector<vm_record> records{rec};
+    event_log events;
+    events.record(make_event(0, lifecycle_event_kind::create, 5));
+    events.record(make_event(100, lifecycle_event_kind::crash, 5));
+    events.record(make_event(200, lifecycle_event_kind::schedule_fail, 5,
+                             schedule_fail_reason::no_valid_host));
+
+    // broken trace: restart attempts logged, abandonment vanished
+    const harness::invariant_result broken =
+        harness::check_no_silent_drops(records, events);
+    EXPECT_FALSE(broken.passed);
+    EXPECT_EQ(broken.detail,
+              "1 unexplained VM states; first: vm 5 is error but has no "
+              "shed event");
+
+    // still pending in the HA controller or backpressure queue -> in
+    // flight, not dropped
+    const std::vector<vm_id> in_flight{vm_id(5)};
+    EXPECT_TRUE(
+        harness::check_no_silent_drops(records, events, in_flight).passed);
+
+    // fixed engine: the give-up leaves a terminal shed with its reason
+    events.record(make_event(200, lifecycle_event_kind::shed, 5,
+                             schedule_fail_reason::ha_attempts_exhausted));
+    EXPECT_TRUE(harness::check_no_silent_drops(records, events).passed);
+}
+
+// --- engine runs under real overload ------------------------------------
+
+engine_config storm_config(backpressure_mode mode) {
+    engine_config config;
+    config.scenario.scale = 0.02;
+    config.scenario.seed = 23;
+    config.population.seed = 23;
+    config.population.daily_churn_fraction = 0.08;
+    config.gp_cpu_allocation_ratio_override = 1.0;
+    config.fault.host_crash_rate_per_day = 0.30;
+    config.fault.claim_failure_probability = 0.35;
+    config.fault.ha_max_restart_attempts = 1;
+    config.fault.crash_repair_time = 14400;
+    if (mode != backpressure_mode::degrade) {
+        config.backpressure.mode = mode;
+        config.backpressure.queue_capacity = 64;
+        config.backpressure.queue_deadline = 7200;
+    }
+    return config;
+}
+
+struct storm_run {
+    std::unique_ptr<sim_engine> engine;
+    std::uint64_t events_hash = 0;
+    std::uint64_t stats_hash = 0;
+};
+
+storm_run run_storm(backpressure_mode mode, unsigned threads) {
+    storm_run run;
+    engine_config config = storm_config(mode);
+    config.threads = threads;
+    run.engine = std::make_unique<sim_engine>(config);
+    run.engine->setup();
+    run.engine->run_until(days(2));
+    run.events_hash = harness::events_fingerprint(run.engine->events());
+    run.stats_hash = harness::stats_fingerprint(run.engine->stats());
+    return run;
+}
+
+const std::vector<storm_run>& queue_runs() {
+    static auto* runs = [] {
+        auto* out = new std::vector<storm_run>();
+        for (const unsigned threads : {0u, 1u, 4u}) {
+            out->push_back(run_storm(backpressure_mode::queue, threads));
+        }
+        return out;
+    }();
+    return *runs;
+}
+
+std::uint64_t shed_count_with_reason(const event_log& events,
+                                     schedule_fail_reason reason) {
+    std::uint64_t n = 0;
+    for (const lifecycle_event& e : events.all()) {
+        if (e.kind == lifecycle_event_kind::shed && e.reason == reason) ++n;
+    }
+    return n;
+}
+
+TEST(QueueMode, BitIdenticalAcrossThreadCounts) {
+    const auto& runs = queue_runs();
+    ASSERT_EQ(runs.size(), 3u);
+    EXPECT_GT(runs[0].engine->events().size(), 0u);
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+        EXPECT_EQ(runs[i].events_hash, runs[0].events_hash) << i;
+        EXPECT_EQ(runs[i].stats_hash, runs[0].stats_hash) << i;
+    }
+}
+
+TEST(QueueMode, OverloadActuallyQueuesAndLedgerCloses) {
+    const storm_run& run = queue_runs().front();
+    const run_stats& stats = run.engine->stats();
+    const backpressure_controller* bp = run.engine->backpressure();
+    ASSERT_NE(bp, nullptr);
+    // the storm must actually bite, or this test is vacuous
+    EXPECT_GT(stats.bp_enqueued, 0u);
+    const harness::invariant_result r = harness::check_no_blackhole(
+        stats, run.engine->events(), bp->size());
+    EXPECT_TRUE(r.passed) << r.detail;
+}
+
+TEST(QueueMode, QueueLengthStaysBounded) {
+    const storm_run& run = queue_runs().front();
+    const run_stats& stats = run.engine->stats();
+    EXPECT_LE(stats.bp_peak_queue_len, 64u);
+    EXPECT_LE(run.engine->backpressure()->size(), 64u);
+}
+
+TEST(QueueMode, QueuedArrivalsLogNoScheduleFail) {
+    // Under queue mode a churn arrival that cannot place is requeued with
+    // a deadline, not failed: placement_failures still reconciles against
+    // schedule_fail events exactly (the queued ones are in neither).
+    const storm_run& run = queue_runs().front();
+    const run_stats& stats = run.engine->stats();
+    EXPECT_EQ(stats.placement_failures,
+              run.engine->events().count(lifecycle_event_kind::schedule_fail));
+    const harness::invariant_result r = harness::check_admission_accounting(
+        stats, run.engine->events());
+    EXPECT_TRUE(r.passed) << r.detail;
+}
+
+TEST(QueueMode, RegimeTransitionsRespectScrapeSpacing) {
+    const storm_run& run = queue_runs().front();
+    const backpressure_controller* bp = run.engine->backpressure();
+    const harness::invariant_result r =
+        harness::check_backpressure_stability(
+            bp->transitions(), run.engine->config().sampling_interval);
+    EXPECT_TRUE(r.passed) << r.detail;
+    EXPECT_EQ(run.engine->stats().bp_regime_transitions,
+              bp->transitions().size());
+}
+
+TEST(ShedMode, BitIdenticalAcrossThreadCountsAndLedgerCloses) {
+    const storm_run serial = run_storm(backpressure_mode::shed, 0);
+    const storm_run parallel = run_storm(backpressure_mode::shed, 4);
+    EXPECT_EQ(parallel.events_hash, serial.events_hash);
+    EXPECT_EQ(parallel.stats_hash, serial.stats_hash);
+    const run_stats& stats = serial.engine->stats();
+    const harness::invariant_result r = harness::check_no_blackhole(
+        stats, serial.engine->events(), serial.engine->backpressure()->size());
+    EXPECT_TRUE(r.passed) << r.detail;
+    // every priority eviction shows up as a shed_lower_priority event
+    EXPECT_EQ(stats.bp_shed_evicted,
+              shed_count_with_reason(serial.engine->events(),
+                                     schedule_fail_reason::shed_lower_priority));
+}
+
+// --- degrade mode: the audited drop paths, regression-tested ------------
+
+TEST(DegradeMode, HaGiveUpEmitsTerminalShedAndCounter) {
+    const storm_run run = run_storm(backpressure_mode::degrade, 0);
+    const run_stats& stats = run.engine->stats();
+    EXPECT_EQ(run.engine->backpressure(), nullptr);
+    EXPECT_GT(stats.host_crashes, 0u);
+    // with a single restart attempt, scarce capacity and a 35% transient
+    // claim-failure rate, some victim runs out of budget inside two days
+    EXPECT_GT(stats.ha_give_ups, 0u);
+    EXPECT_EQ(stats.ha_give_ups,
+              shed_count_with_reason(
+                  run.engine->events(),
+                  schedule_fail_reason::ha_attempts_exhausted));
+    const harness::invariant_result r = harness::check_no_silent_drops(
+        run.engine->vms().all(), run.engine->events());
+    EXPECT_TRUE(r.passed) << r.detail;
+}
+
+TEST(DegradeMode, ChurnScheduleFailAccountedExactlyOnce) {
+    const storm_run run = run_storm(backpressure_mode::degrade, 0);
+    const run_stats& stats = run.engine->stats();
+    EXPECT_EQ(stats.bp_enqueued, 0u);
+    EXPECT_EQ(stats.placement_failures,
+              run.engine->events().count(lifecycle_event_kind::schedule_fail));
+    const harness::invariant_result r = harness::check_admission_accounting(
+        stats, run.engine->events());
+    EXPECT_TRUE(r.passed) << r.detail;
+}
+
+// --- recovery-tail skip verdict (satellite 3) ---------------------------
+
+TEST(RecoveryTail, ZeroRecoveriesYieldExplicitSkipVerdict) {
+    const harness::scenario_spec spec = harness::parse_scenario(R"([scenario]
+name = no_faults
+description = fault-free run with a recovery bound
+
+[engine]
+scale = 0.02
+seed = 5
+
+[invariants]
+recovery_p99_seconds = 3600
+)");
+    harness::run_options options;
+    options.days = 1;
+    options.threads = 0u;
+    const harness::scenario_outcome outcome =
+        harness::run_scenario(spec, options);
+    ASSERT_EQ(outcome.invariants.size(), 1u);
+    const harness::invariant_result& r = outcome.invariants.front();
+    EXPECT_EQ(r.name, "recovery_tail");
+    EXPECT_TRUE(r.passed);
+    EXPECT_TRUE(r.skipped);
+    EXPECT_EQ(r.detail, "skipped: no HA recoveries observed");
+    const std::string json =
+        harness::outcomes_json(std::vector{outcome});
+    EXPECT_NE(json.find("\"skipped\": true"), std::string::npos) << json;
+}
+
+// --- snapshot codec v2 --------------------------------------------------
+
+TEST(SnapshotCodec, RoundTripsBackpressureState) {
+    snapshot::engine_state state;
+    state.has_bp = true;
+    state.bp_queue.push_back(request(7, 2, 100, 7300));
+    state.bp_queue.back().kind = bp_request_kind::ha_restart;
+    state.bp_queue.push_back(request(9, 0, 200, 7400));
+    state.bp_queue.back().deleted_at = 9000;
+    state.bp_regime = static_cast<std::uint8_t>(bp_regime::shedding);
+    state.bp_transitions = {300, 3900};
+    state.bp_drain_seq = 17;
+    state.bp_drain_armed = true;
+    state.stats.bp_enqueued = 12;
+    state.stats.ha_give_ups = 3;
+    state.config.backpressure =
+        config_of(backpressure_mode::shed, 64, 7200);
+
+    const snapshot::engine_state decoded =
+        snapshot::deserialize(snapshot::serialize(state));
+    ASSERT_TRUE(decoded.has_bp);
+    ASSERT_EQ(decoded.bp_queue.size(), 2u);
+    EXPECT_EQ(decoded.bp_queue[0].vm, vm_id(7));
+    EXPECT_EQ(decoded.bp_queue[0].kind, bp_request_kind::ha_restart);
+    EXPECT_EQ(decoded.bp_queue[0].priority, 2);
+    EXPECT_EQ(decoded.bp_queue[0].deadline, 7300);
+    EXPECT_EQ(decoded.bp_queue[0].deleted_at, bp_queued_request::no_deletion);
+    EXPECT_EQ(decoded.bp_queue[1].deleted_at, 9000);
+    EXPECT_EQ(decoded.bp_regime,
+              static_cast<std::uint8_t>(bp_regime::shedding));
+    EXPECT_EQ(decoded.bp_transitions, (std::vector<sim_time>{300, 3900}));
+    EXPECT_EQ(decoded.bp_drain_seq, 17u);
+    EXPECT_TRUE(decoded.bp_drain_armed);
+    EXPECT_EQ(decoded.stats.bp_enqueued, 12u);
+    EXPECT_EQ(decoded.stats.ha_give_ups, 3u);
+    EXPECT_EQ(decoded.config.backpressure.mode, backpressure_mode::shed);
+    EXPECT_EQ(decoded.config.backpressure.queue_capacity, 64u);
+    EXPECT_EQ(decoded.config.backpressure.queue_deadline, 7200);
+
+    // serialize . deserialize . serialize is the identity
+    EXPECT_EQ(snapshot::serialize(decoded), snapshot::serialize(state));
+}
+
+}  // namespace
+}  // namespace sci

@@ -42,6 +42,11 @@ struct cli_options {
     std::filesystem::path out_dir = "sci_dataset";
     std::filesystem::path markdown_file;  ///< report: write markdown here
     sci::fault_config fault;              ///< inert unless a knob is set
+    /// --backpressure: overload mode for ad-hoc runs.  A --scenario
+    /// file's [backpressure] section always wins over this flag — a
+    /// scenario IS its overload physics, unlike --scale/--seed which are
+    /// run-shape knobs.
+    std::optional<sci::backpressure_mode> backpressure;
     std::filesystem::path scenario_file;  ///< --scenario: run a .scn file
     int regions = 1;                      ///< --regions: multi-region run
     bool check_invariants = false;
@@ -111,6 +116,15 @@ cli_options parse_options(int argc, char** argv, int first) {
         } else if (arg == "--maintenance") {
             options.fault.maintenance_windows = std::atoi(next());
             options.fault_touched = true;
+        } else if (arg == "--backpressure") {
+            const char* token = next();
+            options.backpressure = sci::backpressure_mode_from(token);
+            if (!options.backpressure.has_value()) {
+                std::cerr << "--backpressure expects degrade, queue or "
+                             "shed (got '"
+                          << token << "')\n";
+                std::exit(2);
+            }
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             std::exit(2);
@@ -170,6 +184,13 @@ resolved_run resolve_run(const cli_options& options) {
         run.config.scenario.seed = options.seed;
         run.config.population.seed = options.seed;
         run.config.fault = options.fault;
+        if (options.backpressure.has_value()) {
+            run.config.backpressure.mode = *options.backpressure;
+            if (run.config.backpressure.active()) {
+                run.config.backpressure.queue_capacity = 256;
+                run.config.backpressure.queue_deadline = 3600;
+            }
+        }
     }
     if (run.region_specs.empty() && options.regions > 1) {
         run.region_specs = sci::make_region_specs(
@@ -237,9 +258,10 @@ engine_run run_engine(const cli_options& options,
         run.invariants = monitor->evaluate();
         std::cout << "  invariants:\n";
         for (const auto& r : run.invariants) {
-            std::cout << "    [" << (r.passed ? "pass" : "FAIL") << "] "
-                      << r.name << (r.detail.empty() ? "" : ": " + r.detail)
-                      << "\n";
+            std::cout << "    ["
+                      << (r.skipped ? "skip" : (r.passed ? "pass" : "FAIL"))
+                      << "] " << r.name
+                      << (r.detail.empty() ? "" : ": " + r.detail) << "\n";
             run.invariants_ok = run.invariants_ok && r.passed;
         }
     }
@@ -313,9 +335,10 @@ region_run run_region_set(const cli_options& options,
     if (options.check_invariants) {
         std::cout << "  invariants:\n";
         const auto show = [&](const sci::harness::invariant_result& r) {
-            std::cout << "    [" << (r.passed ? "pass" : "FAIL") << "] "
-                      << r.name << (r.detail.empty() ? "" : ": " + r.detail)
-                      << "\n";
+            std::cout << "    ["
+                      << (r.skipped ? "skip" : (r.passed ? "pass" : "FAIL"))
+                      << "] " << r.name
+                      << (r.detail.empty() ? "" : ": " + r.detail) << "\n";
             run.invariants_ok = run.invariants_ok && r.passed;
         };
         for (std::size_t r = 0; r < set.region_count(); ++r) {
@@ -558,7 +581,18 @@ void usage() {
                  "in-window\n"
                  "  --degraded-cpu-factor C   effective CPU factor while "
                  "degraded (default 0.6)\n"
-                 "  --maintenance N           unplanned maintenance windows\n";
+                 "  --maintenance N           unplanned maintenance windows\n"
+                 "backpressure (sci::sched):\n"
+                 "  --backpressure MODE       overload handling: degrade "
+                 "(default, immediate\n"
+                 "                            NoValidHost), queue (bounded "
+                 "deadline queue,\n"
+                 "                            capacity 256 / deadline 3600s), "
+                 "or shed (queue +\n"
+                 "                            priority eviction); a --scenario "
+                 "file's\n"
+                 "                            [backpressure] section wins "
+                 "over this flag\n";
 }
 
 }  // namespace

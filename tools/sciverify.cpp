@@ -125,8 +125,9 @@ int main(int argc, char** argv) {
                       << spec.invariants.count() << " invariants) ...\n";
             auto outcome = sci::harness::run_scenario(spec, options);
             for (const auto& r : outcome.invariants) {
-                std::cerr << "  [" << (r.passed ? "pass" : "FAIL") << "] "
-                          << r.name
+                std::cerr << "  ["
+                          << (r.skipped ? "skip" : (r.passed ? "pass" : "FAIL"))
+                          << "] " << r.name
                           << (r.detail.empty() ? "" : ": " + r.detail)
                           << "\n";
             }
